@@ -1,0 +1,69 @@
+#ifndef AUTOEM_BENCH_BENCH_ACTIVE_COMMON_H_
+#define AUTOEM_BENCH_BENCH_ACTIVE_COMMON_H_
+
+// Shared driver for the AutoML-EM-Active experiments (paper Figs. 13-15).
+// The two hard datasets are used, as in the paper (§V-D2). All batch-size
+// knobs are scaled alongside the dataset so the pool/batch proportions match
+// the paper's full-size runs.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "active/active_learner.h"
+#include "bench/bench_util.h"
+#include "ml/metrics.h"
+
+namespace autoem {
+namespace bench {
+
+/// Scales a paper-sized batch knob down with the dataset, keeping a floor.
+inline size_t ScaledKnob(size_t paper_value, double scale,
+                         size_t floor_value = 4) {
+  return std::max<size_t>(
+      floor_value,
+      static_cast<size_t>(paper_value * std::min(1.0, scale) + 0.5));
+}
+
+/// Runs one AutoML-EM-Active configuration on a featurized benchmark and
+/// returns the final AutoML-EM test F1 (in percent), averaged over
+/// `trials` seeds (active-learning outcomes are high-variance; the paper
+/// effects are means over repeated runs).
+inline double RunActiveArm(const FeaturizedBenchmark& fb,
+                           ActiveLearningOptions options, int trials = 3) {
+  double total = 0.0;
+  int completed = 0;
+  for (int t = 0; t < trials; ++t) {
+    ActiveLearningOptions arm = options;
+    arm.seed = options.seed + static_cast<uint64_t>(t) * 1000003u;
+    arm.automl.seed = arm.seed ^ 0x5bd1e995u;
+    GroundTruthOracle oracle(fb.train.y);
+    auto result =
+        RunAutoMlEmActive(fb.train, &oracle, arm, /*test=*/nullptr);
+    if (!result.ok()) {
+      std::fprintf(stderr, "active run failed: %s\n",
+                   result.status().ToString().c_str());
+      continue;
+    }
+    if (!result->automl.has_value()) continue;
+    total +=
+        F1Score(fb.test.y, result->automl->model.Predict(fb.test.X)) * 100.0;
+    ++completed;
+  }
+  return completed > 0 ? total / completed : 0.0;
+}
+
+/// Baseline iteration-model options used by every arm.
+inline ActiveLearningOptions BaseActiveOptions(const BenchArgs& args) {
+  ActiveLearningOptions options;
+  options.model.n_estimators = 80;
+  options.automl.max_evaluations = std::max(6, args.evals);
+  options.automl.seed = args.seed;
+  options.seed = args.seed;
+  options.run_automl_at_end = true;
+  return options;
+}
+
+}  // namespace bench
+}  // namespace autoem
+
+#endif  // AUTOEM_BENCH_BENCH_ACTIVE_COMMON_H_

@@ -1,0 +1,111 @@
+// Micro-benchmarks (google-benchmark) for the similarity-function and
+// feature-generation substrate: these dominate AutoML-EM's featurization
+// cost, so regressions here slow every experiment.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datagen/benchmark_gen.h"
+#include "features/feature_gen.h"
+#include "text/similarity.h"
+#include "text/similarity_function.h"
+#include "text/tokenizer.h"
+
+namespace autoem {
+namespace {
+
+std::string MakeString(size_t words, uint64_t seed) {
+  Rng rng(seed);
+  std::string out;
+  for (size_t i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    size_t len = 3 + rng.UniformIndex(7);
+    for (size_t c = 0; c < len; ++c) {
+      out += static_cast<char>('a' + rng.UniformIndex(26));
+    }
+  }
+  return out;
+}
+
+void BM_LevenshteinDistance(benchmark::State& state) {
+  std::string a = MakeString(state.range(0), 1);
+  std::string b = MakeString(state.range(0), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_LevenshteinDistance)->Arg(2)->Arg(8)->Arg(24);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  std::string a = MakeString(state.range(0), 3);
+  std::string b = MakeString(state.range(0), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaroWinklerSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaroWinkler)->Arg(2)->Arg(8)->Arg(24);
+
+void BM_MongeElkan(benchmark::State& state) {
+  std::string a = MakeString(state.range(0), 5);
+  std::string b = MakeString(state.range(0), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MongeElkan(a, b));
+  }
+}
+BENCHMARK(BM_MongeElkan)->Arg(2)->Arg(8)->Arg(24);
+
+void BM_JaccardQGram(benchmark::State& state) {
+  std::string a = MakeString(state.range(0), 7);
+  std::string b = MakeString(state.range(0), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        JaccardSimilarity(QGramTokenize(a, 3), QGramTokenize(b, 3)));
+  }
+}
+BENCHMARK(BM_JaccardQGram)->Arg(2)->Arg(8)->Arg(24);
+
+void BM_AllStringFunctionsOnePair(benchmark::State& state) {
+  std::string a = MakeString(8, 9);
+  std::string b = MakeString(8, 10);
+  const auto& funcs = AllStringFunctions();
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const auto& f : funcs) sum += f.Apply(a, b);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_AllStringFunctionsOnePair);
+
+void BM_FeaturizeRestaurantPairs(benchmark::State& state) {
+  auto data = GenerateBenchmarkByName("Fodors-Zagats", 1, 0.2);
+  if (!data.ok()) {
+    state.SkipWithError("generation failed");
+    return;
+  }
+  AutoMlEmFeatureGenerator generator;
+  if (!generator.Plan(data->train.left, data->train.right).ok()) {
+    state.SkipWithError("plan failed");
+    return;
+  }
+  for (auto _ : state) {
+    Dataset d = generator.Generate(data->train);
+    benchmark::DoNotOptimize(d.X.rows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data->train.pairs.size()));
+}
+BENCHMARK(BM_FeaturizeRestaurantPairs)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateBenchmark(benchmark::State& state) {
+  auto profile = FindProfile("Amazon-Google");
+  for (auto _ : state) {
+    auto data = GenerateBenchmark(*profile, 42, 0.1);
+    benchmark::DoNotOptimize(data.ok());
+  }
+  state.SetLabel("Amazon-Google @ scale 0.1");
+}
+BENCHMARK(BM_GenerateBenchmark)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace autoem
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+#ifndef AUTOEM_BENCH_BENCH_UTIL_H_
+#define AUTOEM_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the paper-reproduction benchmark binaries. Every bench
+// accepts:
+//   --scale=<f>   dataset size multiplier vs the paper's Table III
+//                 (default below 1.0 to keep single-core runtimes sane)
+//   --evals=<n>   pipeline-search evaluation budget (the stand-in for the
+//                 paper's wall-clock budget; see DESIGN.md)
+//   --seed=<n>    RNG seed
+//   --datasets=a,b  comma-separated subset of Table III dataset names
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "datagen/benchmark_gen.h"
+#include "features/feature_gen.h"
+#include "ml/dataset.h"
+
+namespace autoem {
+namespace bench {
+
+struct BenchArgs {
+  double scale = 0.2;
+  int evals = 20;
+  uint64_t seed = 42;
+  std::vector<std::string> datasets;  // empty = all
+
+  static BenchArgs Parse(int argc, char** argv, double default_scale = 0.2,
+                         int default_evals = 20) {
+    BenchArgs args;
+    args.scale = default_scale;
+    args.evals = default_evals;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (StartsWith(arg, "--scale=")) {
+        args.scale = std::atof(arg.c_str() + 8);
+      } else if (StartsWith(arg, "--evals=")) {
+        args.evals = std::atoi(arg.c_str() + 8);
+      } else if (StartsWith(arg, "--seed=")) {
+        args.seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+      } else if (StartsWith(arg, "--datasets=")) {
+        args.datasets = Split(arg.substr(11), ',');
+      } else if (arg == "--full") {
+        args.scale = 1.0;
+      } else if (arg == "--help") {
+        std::printf(
+            "flags: --scale=F --evals=N --seed=N --datasets=a,b --full\n");
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+
+  bool WantsDataset(const std::string& name) const {
+    if (datasets.empty()) return true;
+    for (const auto& d : datasets) {
+      if (d == name) return true;
+    }
+    return false;
+  }
+};
+
+/// Featurized train/test for one generated benchmark.
+struct FeaturizedBenchmark {
+  DatasetProfile profile;
+  Dataset train;
+  Dataset test;
+  size_t num_features = 0;
+};
+
+inline FeaturizedBenchmark Featurize(const BenchmarkData& data,
+                                     FeatureGenerator* generator) {
+  FeaturizedBenchmark out;
+  out.profile = data.profile;
+  Status st = generator->Plan(data.train.left, data.train.right);
+  if (!st.ok()) {
+    std::fprintf(stderr, "feature plan failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  out.train = generator->Generate(data.train);
+  out.test = generator->Generate(data.test);
+  out.num_features = generator->num_features();
+  return out;
+}
+
+inline BenchmarkData MustGenerate(const DatasetProfile& profile,
+                                  uint64_t seed, double scale) {
+  auto data = GenerateBenchmark(profile, seed, scale);
+  if (!data.ok()) {
+    std::fprintf(stderr, "generate %s failed: %s\n", profile.name.c_str(),
+                 data.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*data);
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace autoem
+
+#endif  // AUTOEM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,87 @@
+// Hard product matching (the paper's Abt-Buy workload: short names, long
+// free-text descriptions, near-miss SKUs). Compares the three systems the
+// paper evaluates: the Magellan-style human baseline, the DeepMatcher
+// stand-in, and AutoML-EM.
+#include <cstdio>
+
+#include "automl/automl_em.h"
+#include "automl/explain.h"
+#include "baselines/deep_matcher.h"
+#include "baselines/magellan_matcher.h"
+#include "common/timer.h"
+#include "datagen/benchmark_gen.h"
+#include "features/feature_gen.h"
+#include "ml/metrics.h"
+
+int main() {
+  using namespace autoem;
+
+  auto data = GenerateBenchmarkByName("Abt-Buy", /*seed=*/11, /*scale=*/0.3);
+  if (!data.ok()) return 1;
+  std::printf("Abt-Buy-style workload: %zu train pairs (%zu matches), "
+              "%zu test pairs\n",
+              data->train.pairs.size(), data->train.NumPositives(),
+              data->test.pairs.size());
+
+  // Show one hard positive and one hard negative.
+  for (const auto& pair : data->train.pairs) {
+    static bool shown_pos = false, shown_neg = false;
+    bool is_pos = pair.label == 1;
+    if ((is_pos && shown_pos) || (!is_pos && shown_neg)) continue;
+    (is_pos ? shown_pos : shown_neg) = true;
+    std::printf("\n%s example:\n  A: %s\n  B: %s\n",
+                is_pos ? "MATCH" : "NON-MATCH",
+                data->train.left.cell(pair.left_id, 0).ToString().c_str(),
+                data->train.right.cell(pair.right_id, 0).ToString().c_str());
+    if (shown_pos && shown_neg) break;
+  }
+
+  Stopwatch timer;
+
+  // --- Magellan-style human baseline -------------------------------------
+  MagellanMatcher::Options magellan_options;
+  auto magellan = MagellanMatcher::Train(data->train, magellan_options);
+  if (!magellan.ok()) return 1;
+  double magellan_f1 = magellan->Evaluate(data->test)->f1;
+  std::printf("\nMagellan baseline: best model '%s', test F1 = %.3f (%.1fs)\n",
+              magellan->best_model_name().c_str(), magellan_f1,
+              timer.ElapsedSeconds());
+
+  // --- DeepMatcher stand-in -----------------------------------------------
+  timer.Reset();
+  DeepMatcherModel::Options deep_options;
+  auto deep = DeepMatcherModel::Train(data->train, deep_options);
+  if (!deep.ok()) return 1;
+  double deep_f1 = deep->Evaluate(data->test)->f1;
+  std::printf("DeepMatcher stand-in: test F1 = %.3f (%.1fs)\n", deep_f1,
+              timer.ElapsedSeconds());
+
+  // --- AutoML-EM -----------------------------------------------------------
+  timer.Reset();
+  AutoMlEmFeatureGenerator generator;
+  if (!generator.Plan(data->train.left, data->train.right).ok()) return 1;
+  Dataset train = generator.Generate(data->train);
+  Dataset test = generator.Generate(data->test);
+  AutoMlEmOptions options;
+  options.max_evaluations = 20;
+  auto automl = RunAutoMlEm(train, options);
+  if (!automl.ok()) return 1;
+  double automl_f1 = F1Score(test.y, automl->model.Predict(test.X));
+  std::printf("AutoML-EM: test F1 = %.3f after %zu pipeline evaluations "
+              "(%.1fs)\n",
+              automl_f1, automl->trajectory.size(), timer.ElapsedSeconds());
+
+  std::printf("\nsearched pipeline:\n%s\n",
+              automl->BestPipelineString().c_str());
+
+  // Which similarity features does the searched model actually lean on?
+  // (permutation importance on the test split; paper §VII's explanation ask)
+  auto importances = PermutationImportance(automl->model, test, 2);
+  std::printf("\ntop features by permutation importance:\n%s",
+              FormatImportances(importances, 8).c_str());
+  std::printf(
+      "\npaper shape (Table IV / Fig. 8 on Abt-Buy): AutoML-EM (59.2) > "
+      "Magellan (43.6); DeepMatcher (62.8) slightly ahead on this textual "
+      "dataset.\n");
+  return 0;
+}

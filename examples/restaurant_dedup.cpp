@@ -1,0 +1,106 @@
+// Restaurant deduplication end to end: blocking two raw tables into
+// candidate pairs, then matching them with a trained model — the workload
+// from the paper's Figure 1.
+#include <cstdio>
+
+#include "datagen/benchmark_gen.h"
+#include "em/blocking.h"
+#include "em/matcher.h"
+
+using namespace autoem;
+
+namespace {
+
+Table FigureOneTableA() {
+  Table t("fodors", Schema({"name", "address", "city", "phone", "type",
+                            "category_code"}));
+  auto add = [&](const char* name, const char* addr, const char* city,
+                 const char* phone, const char* type, double code) {
+    Status st = t.Append(Record({Value(name), Value(addr), Value(city),
+                                 Value(phone), Value(type), Value(code)}));
+    if (!st.ok()) std::abort();
+  };
+  add("arnie mortons of chicago", "435 s. la cienega blv.", "los angeles",
+      "310-246-1501", "american", 1);
+  add("arts delicatessen", "12224 ventura blvd.", "studio city",
+      "818-762-1221", "american", 2);
+  add("fenix", "8358 sunset blvd.", "west hollywood", "213-848-6677",
+      "american", 3);
+  add("restaurant katsu", "1972 n. hillhurst ave.", "los angeles",
+      "213-665-1891", "asian", 4);
+  return t;
+}
+
+Table FigureOneTableB() {
+  Table t("zagats", Schema({"name", "address", "city", "phone", "type",
+                            "category_code"}));
+  auto add = [&](const char* name, const char* addr, const char* city,
+                 const char* phone, const char* type, double code) {
+    Status st = t.Append(Record({Value(name), Value(addr), Value(city),
+                                 Value(phone), Value(type), Value(code)}));
+    if (!st.ok()) std::abort();
+  };
+  add("arnie mortons of chicago", "435 s. la cienega blvd.", "los angeles",
+      "310-246-1501", "steakhouses", 1);
+  add("arts deli", "12224 ventura blvd.", "studio city", "818-762-1221",
+      "delis", 2);
+  add("fenix at the argyle", "8358 sunset blvd.", "w. hollywood",
+      "213-848-6677", "french (new)", 3);
+  add("katsu", "1972 hillhurst ave.", "los feliz", "213-665-1891",
+      "japanese", 4);
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Train a matcher on the restaurant benchmark (same schema as Fig. 1).
+  auto data = GenerateBenchmarkByName("Fodors-Zagats", 7, 0.4);
+  if (!data.ok()) return 1;
+  EntityMatcher::Options options;
+  options.automl.max_evaluations = 10;
+  auto matcher = EntityMatcher::Train(data->train, options);
+  if (!matcher.ok()) {
+    std::fprintf(stderr, "train failed: %s\n",
+                 matcher.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("trained matcher (validation F1 = %.3f)\n",
+              matcher->automl_result().best_valid_f1);
+
+  // 2. Block the two Figure-1 tables. The q-gram blocker on `name` is
+  // robust to the name drift between the sources ("arts delicatessen" vs
+  // "arts deli").
+  Table a = FigureOneTableA();
+  Table b = FigureOneTableB();
+  QGramBlocker blocker("name", /*min_shared=*/3);
+  auto candidates = blocker.Block(a, b);
+  if (!candidates.ok()) return 1;
+  std::printf("blocking: %zu x %zu records -> %zu candidate pairs\n",
+              a.num_rows(), b.num_rows(), candidates->size());
+
+  // 3. Match the candidates.
+  PairSet pairs;
+  pairs.left = a;
+  pairs.right = b;
+  pairs.pairs = *candidates;
+  auto scores = matcher->ScorePairs(pairs);
+  if (!scores.ok()) {
+    std::fprintf(stderr, "scoring failed: %s\n",
+                 scores.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%-28s %-28s %8s %s\n", "table A", "table B", "P(match)",
+              "decision");
+  for (size_t i = 0; i < pairs.pairs.size(); ++i) {
+    const RecordPair& pair = pairs.pairs[i];
+    std::printf("%-28s %-28s %8.2f %s\n",
+                a.cell(pair.left_id, 0).ToString().c_str(),
+                b.cell(pair.right_id, 0).ToString().c_str(), (*scores)[i],
+                (*scores)[i] >= 0.5 ? "MATCH" : "-");
+  }
+  std::printf(
+      "\nexpected: the four same-index restaurant pairs score highest "
+      "(paper Fig. 1: (a1,b1)..(a4,b4) are the true matches).\n");
+  return 0;
+}

@@ -1,0 +1,226 @@
+#include "active/active_learner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/metrics.h"
+
+namespace autoem {
+
+const char* QueryStrategyName(QueryStrategy strategy) {
+  switch (strategy) {
+    case QueryStrategy::kCommittee:
+      return "committee";
+    case QueryStrategy::kMargin:
+      return "margin";
+    case QueryStrategy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, QueryStrategy strategy) {
+  return os << QueryStrategyName(strategy);
+}
+
+namespace {
+
+struct LabeledRow {
+  size_t pool_index;
+  int label;
+  bool machine;
+};
+
+Dataset BuildDataset(const Dataset& pool, const std::vector<LabeledRow>& rows) {
+  std::vector<size_t> idx;
+  idx.reserve(rows.size());
+  for (const auto& r : rows) idx.push_back(r.pool_index);
+  Dataset out = pool.SelectRows(idx);
+  for (size_t i = 0; i < rows.size(); ++i) out.y[i] = rows[i].label;
+  return out;
+}
+
+// Fits the iteration model. The pool may contain NaN, and the iteration
+// model is a plain RF, which handles NaN natively — no pipeline needed.
+// (Kept unweighted, as in the paper's Algorithm 1: class weighting here
+// inflates confidence on borderline positives and poisons self-training.)
+Status FitIterationModel(RandomForestClassifier* model, const Dataset& data) {
+  return model->Fit(data.X, data.y);
+}
+
+}  // namespace
+
+Result<ActiveLearningResult> RunAutoMlEmActive(
+    const Dataset& pool, LabelingOracle* oracle,
+    const ActiveLearningOptions& options, const Dataset* test,
+    const std::vector<int>* true_labels) {
+  if (pool.size() == 0) return Status::InvalidArgument("empty pool");
+  if (options.init_size == 0) {
+    return Status::InvalidArgument("init_size must be positive");
+  }
+  if (oracle == nullptr) return Status::InvalidArgument("null oracle");
+
+  Rng rng(options.seed);
+  ActiveLearningResult result;
+
+  // Unlabeled pool U as an index set.
+  std::vector<size_t> unlabeled(pool.size());
+  std::iota(unlabeled.begin(), unlabeled.end(), 0);
+  rng.Shuffle(&unlabeled);
+
+  // ---- Algorithm 1, lines 1-4: initial human-labeled sample ----
+  std::vector<LabeledRow> labeled;
+  size_t n_init = std::min(options.init_size, pool.size());
+  for (size_t k = 0; k < n_init; ++k) {
+    size_t idx = unlabeled.back();
+    unlabeled.pop_back();
+    labeled.push_back({idx, oracle->Label(idx), /*machine=*/false});
+  }
+  size_t human_used = n_init;
+
+  // α: positive ratio of the initial training data (Remark 2).
+  size_t init_pos = 0;
+  for (const auto& r : labeled) init_pos += (r.label == 1);
+  double alpha = static_cast<double>(init_pos) / static_cast<double>(n_init);
+
+  RandomForestOptions model_opt = options.model;
+  model_opt.seed = rng.engine()();
+  RandomForestClassifier model(model_opt);
+  AUTOEM_RETURN_IF_ERROR(FitIterationModel(&model, BuildDataset(pool, labeled)));
+
+  size_t machine_added = 0;
+  size_t machine_correct = 0;
+
+  auto record_iteration = [&](size_t iter) {
+    ActiveIterationStats stats;
+    stats.iteration = iter;
+    stats.human_labels = human_used;
+    stats.machine_labels = machine_added;
+    if (test != nullptr) {
+      stats.iteration_model_test_f1 =
+          F1Score(test->y, model.Predict(test->X));
+    }
+    result.iterations.push_back(stats);
+  };
+  record_iteration(0);
+
+  // ---- Algorithm 1, lines 5-12: the labeling loop ----
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    if (unlabeled.empty() || human_used >= options.label_budget) break;
+
+    // Confidence of every unlabeled pair under the current model.
+    Dataset u_data = pool.SelectRows(unlabeled);
+    std::vector<double> conf = model.VoteConfidence(u_data.X);
+    std::vector<double> proba = model.PredictProba(u_data.X);
+
+    // Query priority: smaller = queried earlier. Self-training always uses
+    // the committee confidence for its high-confidence end.
+    std::vector<double> query_score(unlabeled.size());
+    switch (options.query_strategy) {
+      case QueryStrategy::kCommittee:
+        query_score = conf;
+        break;
+      case QueryStrategy::kMargin:
+        for (size_t k = 0; k < proba.size(); ++k) {
+          query_score[k] = std::fabs(2.0 * proba[k] - 1.0);
+        }
+        break;
+      case QueryStrategy::kRandom:
+        for (size_t k = 0; k < query_score.size(); ++k) {
+          query_score[k] = rng.Uniform();
+        }
+        break;
+    }
+
+    std::vector<size_t> order(unlabeled.size());  // positions into unlabeled
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return query_score[a] < query_score[b];
+    });
+    // The self-training end must rank by committee confidence even when the
+    // query end uses a different strategy.
+    std::vector<size_t> st_order = order;
+    if (options.query_strategy != QueryStrategy::kCommittee) {
+      std::sort(st_order.begin(), st_order.end(),
+                [&](size_t a, size_t b) { return conf[a] < conf[b]; });
+    }
+
+    std::vector<bool> taken(unlabeled.size(), false);
+
+    // Active learning: lowest-confidence pairs go to the human.
+    size_t ac_take = std::min({options.ac_batch, unlabeled.size(),
+                               options.label_budget - human_used});
+    for (size_t k = 0; k < ac_take; ++k) {
+      size_t pos = order[k];
+      taken[pos] = true;
+      size_t idx = unlabeled[pos];
+      labeled.push_back({idx, oracle->Label(idx), /*machine=*/false});
+    }
+    human_used += ac_take;
+
+    // Self-training: highest-confidence pairs keep their predicted labels,
+    // with the class mix pinned to α (Remark 2) unless disabled.
+    if (options.st_batch > 0) {
+      size_t st_take = std::min(options.st_batch,
+                                unlabeled.size() - ac_take);
+      size_t want_pos = options.preserve_class_ratio
+                            ? static_cast<size_t>(alpha * st_take + 0.5)
+                            : st_take;  // naive mode: no quota
+      size_t got_pos = 0;
+      size_t got_neg = 0;
+      for (size_t k = st_order.size();
+           k-- > 0 && got_pos + got_neg < st_take;) {
+        size_t pos = st_order[k];
+        if (taken[pos]) continue;
+        int pred = proba[pos] >= 0.5 ? 1 : 0;
+        if (options.preserve_class_ratio) {
+          if (pred == 1 && got_pos >= want_pos) continue;
+          if (pred == 0 && got_neg >= st_take - want_pos) continue;
+        }
+        taken[pos] = true;
+        size_t idx = unlabeled[pos];
+        labeled.push_back({idx, pred, /*machine=*/true});
+        ++machine_added;
+        if (true_labels != nullptr &&
+            ((*true_labels)[idx] == 1) == (pred == 1)) {
+          ++machine_correct;
+        }
+        (pred == 1 ? got_pos : got_neg) += 1;
+      }
+    }
+
+    // Remove the taken pairs from U.
+    std::vector<size_t> next_unlabeled;
+    next_unlabeled.reserve(unlabeled.size());
+    for (size_t pos = 0; pos < unlabeled.size(); ++pos) {
+      if (!taken[pos]) next_unlabeled.push_back(unlabeled[pos]);
+    }
+    unlabeled = std::move(next_unlabeled);
+
+    AUTOEM_RETURN_IF_ERROR(
+        FitIterationModel(&model, BuildDataset(pool, labeled)));
+    record_iteration(static_cast<size_t>(iter));
+  }
+
+  result.collected = BuildDataset(pool, labeled);
+  result.is_machine_label.reserve(labeled.size());
+  for (const auto& r : labeled) result.is_machine_label.push_back(r.machine);
+  result.human_labels_used = human_used;
+  result.machine_labels_added = machine_added;
+  if (true_labels != nullptr && machine_added > 0) {
+    result.machine_label_accuracy =
+        static_cast<double>(machine_correct) /
+        static_cast<double>(machine_added);
+  }
+
+  // ---- Algorithm 1, line 13: AutoML-EM on the collected labels ----
+  if (options.run_automl_at_end) {
+    auto automl = RunAutoMlEm(result.collected, options.automl);
+    if (!automl.ok()) return automl.status();
+    result.automl.emplace(std::move(*automl));
+  }
+  return result;
+}
+
+}  // namespace autoem

@@ -1,0 +1,27 @@
+#include "active/oracle.h"
+
+#include "common/rng.h"
+
+namespace autoem {
+
+NoisyOracle::NoisyOracle(std::vector<int> labels, double flip_probability,
+                         uint64_t seed)
+    : labels_(std::move(labels)),
+      flip_probability_(flip_probability),
+      state_(seed) {}
+
+int NoisyOracle::Label(size_t pool_index) {
+  AUTOEM_CHECK(pool_index < labels_.size());
+  ++queries_;
+  int truth = labels_[pool_index] == 1 ? 1 : 0;
+  // splitmix64 step for a cheap deterministic coin.
+  state_ += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+  return u < flip_probability_ ? 1 - truth : truth;
+}
+
+}  // namespace autoem

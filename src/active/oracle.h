@@ -1,0 +1,64 @@
+#ifndef AUTOEM_ACTIVE_ORACLE_H_
+#define AUTOEM_ACTIVE_ORACLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace autoem {
+
+/// The human labeler of the active-learning loop (paper §IV). Each Label()
+/// call is one unit of the labeling budget B.
+class LabelingOracle {
+ public:
+  virtual ~LabelingOracle() = default;
+
+  /// Returns the label (0/1) of the pool item at `pool_index`.
+  virtual int Label(size_t pool_index) = 0;
+
+  /// Number of labels supplied so far (the human cost).
+  virtual size_t num_queries() const = 0;
+};
+
+/// Oracle backed by ground-truth labels — the benchmark stand-in for the
+/// paper's human annotator (identical information content: a true label per
+/// query).
+class GroundTruthOracle : public LabelingOracle {
+ public:
+  explicit GroundTruthOracle(std::vector<int> labels)
+      : labels_(std::move(labels)) {}
+
+  int Label(size_t pool_index) override {
+    AUTOEM_CHECK(pool_index < labels_.size());
+    ++queries_;
+    return labels_[pool_index] == 1 ? 1 : 0;
+  }
+
+  size_t num_queries() const override { return queries_; }
+
+ private:
+  std::vector<int> labels_;
+  size_t queries_ = 0;
+};
+
+/// Oracle that flips the true label with probability p — for robustness
+/// experiments on noisy annotators.
+class NoisyOracle : public LabelingOracle {
+ public:
+  NoisyOracle(std::vector<int> labels, double flip_probability, uint64_t seed);
+
+  int Label(size_t pool_index) override;
+  size_t num_queries() const override { return queries_; }
+
+ private:
+  std::vector<int> labels_;
+  double flip_probability_;
+  uint64_t state_;
+  size_t queries_ = 0;
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_ACTIVE_ORACLE_H_

@@ -1,0 +1,98 @@
+#include "automl/automl_em.h"
+
+#include <utility>
+
+namespace autoem {
+
+namespace {
+
+Dataset ConcatDatasets(const Dataset& a, const Dataset& b) {
+  Dataset out;
+  out.feature_names = a.feature_names;
+  out.X = Matrix(a.size() + b.size(), a.X.cols());
+  out.y.reserve(a.size() + b.size());
+  for (size_t r = 0; r < a.size(); ++r) {
+    std::copy(a.X.RowPtr(r), a.X.RowPtr(r) + a.X.cols(), out.X.RowPtr(r));
+    out.y.push_back(a.y[r]);
+  }
+  for (size_t r = 0; r < b.size(); ++r) {
+    std::copy(b.X.RowPtr(r), b.X.RowPtr(r) + b.X.cols(),
+              out.X.RowPtr(a.size() + r));
+    out.y.push_back(b.y[r]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<AutoMlEmResult> RunAutoMlEm(const Dataset& train, const Dataset& valid,
+                                   const AutoMlEmOptions& options) {
+  if (train.size() == 0 || valid.size() == 0) {
+    return Status::InvalidArgument("train and valid must be non-empty");
+  }
+  if (train.num_features() != valid.num_features()) {
+    return Status::InvalidArgument("train/valid feature width mismatch");
+  }
+
+  ConfigurationSpace space = BuildEmSearchSpace(options.model_space);
+  HoldoutEvaluator evaluator(train, valid);
+
+  SearchOptions search_options;
+  search_options.max_evaluations = options.max_evaluations;
+  search_options.max_seconds = options.max_seconds;
+  search_options.seed = options.seed;
+
+  SearchOutcome outcome;
+  if (options.algorithm == SearchAlgorithm::kSmac) {
+    SmacOptions smac;
+    smac.base = search_options;
+    smac.initial_configs = options.warm_start_configs;
+    outcome = SmacSearch(space, &evaluator, smac);
+  } else {
+    outcome = RandomSearch(space, &evaluator, search_options);
+  }
+  if (outcome.trajectory.empty()) {
+    return Status::Internal("search produced no evaluations");
+  }
+
+  auto compiled = EmPipeline::Compile(outcome.best_config);
+  if (!compiled.ok()) return compiled.status();
+
+  AutoMlEmResult result{std::move(outcome.best_config),
+                        outcome.best_valid_f1, std::move(*compiled),
+                        std::move(outcome.trajectory)};
+  Status fit_status =
+      options.refit_on_train_plus_valid
+          ? result.model.Fit(ConcatDatasets(train, valid))
+          : result.model.Fit(train);
+  if (!fit_status.ok()) {
+    // The winning config fit during search but failed on refit (e.g. a
+    // degenerate train+valid union); fall back to train-only.
+    AUTOEM_RETURN_IF_ERROR(result.model.Fit(train));
+  }
+  return result;
+}
+
+Result<AutoMlEmResult> RunAutoMlEm(const Dataset& train_all,
+                                   const AutoMlEmOptions& options) {
+  Rng rng(options.seed ^ 0x9e3779b97f4a7c15ull);
+  SplitResult split =
+      TrainTestSplit(train_all, options.valid_fraction, &rng,
+                     /*stratified=*/true);
+  return RunAutoMlEm(split.train, split.test, options);
+}
+
+Result<AutoMlEmResult> RunAutoMlEmOnPairs(const PairSet& train_pairs,
+                                          const AutoMlEmOptions& options,
+                                          const PairSet* test_pairs,
+                                          Dataset* test_out) {
+  AutoMlEmFeatureGenerator generator;
+  AUTOEM_RETURN_IF_ERROR(generator.Plan(train_pairs.left, train_pairs.right));
+  Dataset train = generator.Generate(train_pairs);
+  if (test_pairs != nullptr && test_out != nullptr) {
+    *test_out = generator.Generate(*test_pairs);
+  }
+  return RunAutoMlEm(train, options);
+}
+
+}  // namespace autoem

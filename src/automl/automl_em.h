@@ -1,0 +1,75 @@
+#ifndef AUTOEM_AUTOML_AUTOML_EM_H_
+#define AUTOEM_AUTOML_AUTOML_EM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automl/pipeline.h"
+#include "automl/random_search.h"
+#include "automl/search_space.h"
+#include "automl/smac.h"
+#include "common/status.h"
+#include "features/feature_gen.h"
+#include "table/table.h"
+
+namespace autoem {
+
+enum class SearchAlgorithm {
+  kSmac,
+  kRandom,
+};
+
+/// Options for a full AutoML-EM run.
+struct AutoMlEmOptions {
+  /// AutoML-EM's restriction (paper §III-C); kAllModels reproduces the
+  /// "all-model" arm of Fig. 10.
+  ModelSpace model_space = ModelSpace::kRandomForestOnly;
+  SearchAlgorithm algorithm = SearchAlgorithm::kSmac;
+  int max_evaluations = 30;
+  double max_seconds = 0.0;
+  uint64_t seed = 1;
+  /// Fraction of the training split held out for validation when the caller
+  /// does not pass an explicit validation set (paper: 1/5 of train).
+  double valid_fraction = 0.2;
+  /// Refit the winning pipeline on train+valid before returning (standard
+  /// AutoML practice; disable to keep the exact searched model).
+  bool refit_on_train_plus_valid = true;
+  /// Warm-start configurations evaluated before the search proper (simple
+  /// meta-learning: carry over winners from similar past datasets).
+  std::vector<Configuration> warm_start_configs;
+};
+
+/// Outcome of an AutoML-EM run: the searched-best configuration, the final
+/// fitted pipeline, and the full evaluation trajectory.
+struct AutoMlEmResult {
+  Configuration best_config;
+  double best_valid_f1 = 0.0;
+  EmPipeline model;  // fitted, ready for Predict
+  std::vector<EvalRecord> trajectory;
+
+  /// Fig. 11-style printable pipeline.
+  std::string BestPipelineString() const { return model.ToString(); }
+};
+
+/// AutoML-EM (paper §III): automated pipeline search for entity matching on
+/// an already-featurized dataset.
+Result<AutoMlEmResult> RunAutoMlEm(const Dataset& train, const Dataset& valid,
+                                   const AutoMlEmOptions& options);
+
+/// Convenience overload: splits `train_all` into train/valid internally.
+Result<AutoMlEmResult> RunAutoMlEm(const Dataset& train_all,
+                                   const AutoMlEmOptions& options);
+
+/// End-to-end overload: featurizes labeled record pairs with the AutoML-EM
+/// feature generator (Table II) and then searches. `test_out`, when
+/// non-null, receives the featurized copy of `test_pairs` using the same
+/// feature plan.
+Result<AutoMlEmResult> RunAutoMlEmOnPairs(const PairSet& train_pairs,
+                                          const AutoMlEmOptions& options,
+                                          const PairSet* test_pairs = nullptr,
+                                          Dataset* test_out = nullptr);
+
+}  // namespace autoem
+
+#endif  // AUTOEM_AUTOML_AUTOML_EM_H_

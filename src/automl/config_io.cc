@@ -1,0 +1,126 @@
+#include "automl/config_io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace autoem {
+
+namespace {
+
+std::string RenderValue(const ParamValue& value) {
+  if (value.is_bool()) return value.AsBool() ? "true" : "false";
+  if (value.is_int()) return std::to_string(value.AsInt());
+  if (value.is_double()) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value.AsDouble());
+    return buf;
+  }
+  // Single-quoted string; embedded quotes are doubled.
+  std::string out = "'";
+  for (char c : value.AsString()) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+Result<ParamValue> ReadValue(const std::string& raw, size_t line_no) {
+  if (raw.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("line %zu: empty value", line_no));
+  }
+  if (raw.front() == '\'') {
+    if (raw.size() < 2 || raw.back() != '\'') {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: unterminated string", line_no));
+    }
+    std::string out;
+    for (size_t i = 1; i + 1 < raw.size(); ++i) {
+      if (raw[i] == '\'' && i + 2 < raw.size() && raw[i + 1] == '\'') {
+        out += '\'';
+        ++i;
+      } else if (raw[i] == '\'') {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: stray quote", line_no));
+      } else {
+        out += raw[i];
+      }
+    }
+    return ParamValue(out);
+  }
+  if (raw == "true") return ParamValue(true);
+  if (raw == "false") return ParamValue(false);
+  // Integer when it round-trips as one; double otherwise.
+  char* end = nullptr;
+  long long as_int = std::strtoll(raw.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0') {
+    return ParamValue(static_cast<int64_t>(as_int));
+  }
+  end = nullptr;
+  double as_double = std::strtod(raw.c_str(), &end);
+  if (end != nullptr && *end == '\0') return ParamValue(as_double);
+  return Status::InvalidArgument(
+      StrFormat("line %zu: cannot parse value '%s'", line_no, raw.c_str()));
+}
+
+}  // namespace
+
+std::string SerializeConfiguration(const Configuration& config) {
+  std::string out;
+  for (const auto& [key, value] : config) {  // std::map: sorted keys
+    out += key;
+    out += " = ";
+    out += RenderValue(value);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Configuration> ParseConfiguration(const std::string& text) {
+  Configuration config;
+  size_t line_no = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    size_t eq = line.find(" = ");
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: expected 'key = value'", line_no));
+    }
+    std::string key = Trim(line.substr(0, eq));
+    if (key.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: empty key", line_no));
+    }
+    auto value = ReadValue(Trim(line.substr(eq + 3)), line_no);
+    if (!value.ok()) return value.status();
+    config[key] = *value;
+  }
+  return config;
+}
+
+Status SaveConfiguration(const Configuration& config,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "# AutoEM pipeline configuration\n" << SerializeConfiguration(config);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Configuration> LoadConfiguration(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseConfiguration(buf.str());
+}
+
+}  // namespace autoem

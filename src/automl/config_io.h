@@ -1,0 +1,32 @@
+#ifndef AUTOEM_AUTOML_CONFIG_IO_H_
+#define AUTOEM_AUTOML_CONFIG_IO_H_
+
+#include <string>
+
+#include "automl/param_space.h"
+#include "common/status.h"
+
+namespace autoem {
+
+/// Serializes a configuration to a stable, human-editable text form:
+/// one `key = value` per line, keys sorted; strings single-quoted,
+/// booleans as true/false, numbers in round-trip precision.
+///
+/// Together with AutoMlEmOptions::warm_start_configs this lets a search
+/// persist its winner and seed the next run (the repo's simple
+/// meta-learning workflow).
+std::string SerializeConfiguration(const Configuration& config);
+
+/// Parses the SerializeConfiguration format. Unknown lines and malformed
+/// entries produce InvalidArgument; blank lines and `#` comments are
+/// ignored.
+Result<Configuration> ParseConfiguration(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveConfiguration(const Configuration& config,
+                         const std::string& path);
+Result<Configuration> LoadConfiguration(const std::string& path);
+
+}  // namespace autoem
+
+#endif  // AUTOEM_AUTOML_CONFIG_IO_H_

@@ -1,0 +1,84 @@
+#include "automl/evaluator.h"
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+
+namespace autoem {
+
+HoldoutEvaluator::HoldoutEvaluator(Dataset train, Dataset valid)
+    : train_(std::move(train)), valid_(std::move(valid)) {}
+
+EvalRecord HoldoutEvaluator::Evaluate(const Configuration& config) {
+  EvalRecord record;
+  record.config = config;
+
+  Stopwatch timer;
+  auto compiled = EmPipeline::Compile(config);
+  if (compiled.ok()) {
+    EmPipeline& pipeline = *compiled;
+    Status st = pipeline.Fit(train_);
+    if (st.ok()) {
+      record.valid_f1 = F1Score(valid_.y, pipeline.Predict(valid_.X));
+      if (has_test_) {
+        record.test_f1 = F1Score(test_.y, pipeline.Predict(test_.X));
+      }
+    }
+  }
+  record.fit_seconds = timer.ElapsedSeconds();
+
+  if (trajectory_.empty() ||
+      record.valid_f1 > trajectory_[best_index_].valid_f1) {
+    best_index_ = trajectory_.size();
+  }
+  trajectory_.push_back(record);
+  return record;
+}
+
+const EvalRecord& HoldoutEvaluator::best() const {
+  AUTOEM_CHECK(!trajectory_.empty());
+  return trajectory_[best_index_];
+}
+
+Result<double> CrossValidatedF1(const Configuration& config,
+                                const Dataset& data, int folds,
+                                uint64_t seed) {
+  if (folds < 2) return Status::InvalidArgument("folds must be >= 2");
+  if (data.size() < static_cast<size_t>(folds)) {
+    return Status::InvalidArgument("fewer rows than folds");
+  }
+  // Stratified fold assignment: spread each class round-robin over folds.
+  Rng rng(seed);
+  std::vector<size_t> pos;
+  std::vector<size_t> neg;
+  for (size_t i = 0; i < data.size(); ++i) {
+    (data.y[i] == 1 ? pos : neg).push_back(i);
+  }
+  rng.Shuffle(&pos);
+  rng.Shuffle(&neg);
+  std::vector<int> fold_of(data.size(), 0);
+  for (size_t k = 0; k < pos.size(); ++k) {
+    fold_of[pos[k]] = static_cast<int>(k % folds);
+  }
+  for (size_t k = 0; k < neg.size(); ++k) {
+    fold_of[neg[k]] = static_cast<int>(k % folds);
+  }
+
+  double total_f1 = 0.0;
+  for (int fold = 0; fold < folds; ++fold) {
+    std::vector<size_t> train_idx;
+    std::vector<size_t> valid_idx;
+    for (size_t i = 0; i < data.size(); ++i) {
+      (fold_of[i] == fold ? valid_idx : train_idx).push_back(i);
+    }
+    if (valid_idx.empty() || train_idx.empty()) continue;
+    Dataset train = data.SelectRows(train_idx);
+    Dataset valid = data.SelectRows(valid_idx);
+    auto pipeline = EmPipeline::Compile(config);
+    if (!pipeline.ok()) return pipeline.status();
+    if (!pipeline->Fit(train).ok()) continue;  // fold scores 0
+    total_f1 += F1Score(valid.y, pipeline->Predict(valid.X));
+  }
+  return total_f1 / folds;
+}
+
+}  // namespace autoem

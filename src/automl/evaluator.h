@@ -1,0 +1,64 @@
+#ifndef AUTOEM_AUTOML_EVALUATOR_H_
+#define AUTOEM_AUTOML_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "automl/pipeline.h"
+#include "common/timer.h"
+#include "ml/dataset.h"
+
+namespace autoem {
+
+/// One completed pipeline evaluation.
+struct EvalRecord {
+  Configuration config;
+  double valid_f1 = 0.0;
+  double test_f1 = -1.0;  // -1 when no test set was supplied
+  double fit_seconds = 0.0;
+};
+
+/// One-hold-out evaluation (the paper's validation protocol, §V-A): fit the
+/// candidate pipeline on `train`, score F1 on `valid`. A `test` set may be
+/// attached for trajectory reporting (Fig. 10); it never influences search.
+class HoldoutEvaluator {
+ public:
+  HoldoutEvaluator(Dataset train, Dataset valid);
+
+  /// Attaches an optional test set scored alongside each evaluation.
+  void SetTestSet(Dataset test) { test_ = std::move(test); has_test_ = true; }
+
+  /// Fits and scores one configuration. Pipelines that fail to fit score
+  /// 0.0 (the search treats them as bad, not fatal).
+  EvalRecord Evaluate(const Configuration& config);
+
+  size_t num_evaluations() const { return trajectory_.size(); }
+  const std::vector<EvalRecord>& trajectory() const { return trajectory_; }
+
+  /// Best record so far by validation F1 (ties: earliest wins).
+  const EvalRecord& best() const;
+
+  const Dataset& train() const { return train_; }
+  const Dataset& valid() const { return valid_; }
+
+ private:
+  Dataset train_;
+  Dataset valid_;
+  Dataset test_;
+  bool has_test_ = false;
+  std::vector<EvalRecord> trajectory_;
+  size_t best_index_ = 0;
+};
+
+/// Stratified k-fold cross-validated F1 of one configuration — the
+/// resampling alternative to one-hold-out validation (auto-sklearn offers
+/// both; the paper uses holdout, §V-A). Returns the mean fold F1; folds
+/// whose fit fails contribute 0. InvalidArgument for folds < 2 or datasets
+/// with fewer rows than folds.
+Result<double> CrossValidatedF1(const Configuration& config,
+                                const Dataset& data, int folds,
+                                uint64_t seed);
+
+}  // namespace autoem
+
+#endif  // AUTOEM_AUTOML_EVALUATOR_H_

@@ -1,0 +1,62 @@
+#include "automl/explain.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "ml/metrics.h"
+
+namespace autoem {
+
+std::vector<FeatureImportance> PermutationImportance(const EmPipeline& model,
+                                                     const Dataset& data,
+                                                     int repeats,
+                                                     uint64_t seed) {
+  std::vector<FeatureImportance> out;
+  if (data.size() == 0 || data.num_features() == 0) return out;
+  repeats = std::max(1, repeats);
+
+  const double base_f1 = F1Score(data.y, model.Predict(data.X));
+  Rng rng(seed);
+
+  out.reserve(data.num_features());
+  Matrix scratch = data.X;
+  for (size_t f = 0; f < data.num_features(); ++f) {
+    double total_drop = 0.0;
+    std::vector<double> original = data.X.ColVector(f);
+    std::vector<double> shuffled = original;
+    for (int r = 0; r < repeats; ++r) {
+      rng.Shuffle(&shuffled);
+      for (size_t row = 0; row < scratch.rows(); ++row) {
+        scratch.At(row, f) = shuffled[row];
+      }
+      total_drop += base_f1 - F1Score(data.y, model.Predict(scratch));
+    }
+    // Restore the column before moving on.
+    for (size_t row = 0; row < scratch.rows(); ++row) {
+      scratch.At(row, f) = original[row];
+    }
+    FeatureImportance fi;
+    fi.feature = f < data.feature_names.size() ? data.feature_names[f]
+                                               : "f" + std::to_string(f);
+    fi.importance = total_drop / repeats;
+    out.push_back(std::move(fi));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FeatureImportance& a, const FeatureImportance& b) {
+                     return a.importance > b.importance;
+                   });
+  return out;
+}
+
+std::string FormatImportances(const std::vector<FeatureImportance>& ranking,
+                              size_t top_k) {
+  std::string out;
+  for (size_t i = 0; i < ranking.size() && i < top_k; ++i) {
+    out += StrFormat("%2zu. %-36s %+0.4f\n", i + 1,
+                     ranking[i].feature.c_str(), ranking[i].importance);
+  }
+  return out;
+}
+
+}  // namespace autoem

@@ -1,0 +1,38 @@
+#ifndef AUTOEM_AUTOML_EXPLAIN_H_
+#define AUTOEM_AUTOML_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "automl/pipeline.h"
+#include "ml/dataset.h"
+
+namespace autoem {
+
+/// One feature's contribution to the fitted pipeline's F1.
+struct FeatureImportance {
+  std::string feature;
+  /// Mean F1 drop when the feature column is permuted (higher = the model
+  /// leans on it more). Can be slightly negative for pure-noise features.
+  double importance = 0.0;
+};
+
+/// Model-agnostic permutation importance on a held-out set — the
+/// explanation facility the paper's §VII asks for (its Shap/Lime
+/// suggestion, in the standard model-agnostic form). Each input feature
+/// column is shuffled `repeats` times; the reported importance is the mean
+/// drop in F1 relative to the unpermuted predictions.
+///
+/// Results are sorted by descending importance.
+std::vector<FeatureImportance> PermutationImportance(const EmPipeline& model,
+                                                     const Dataset& data,
+                                                     int repeats = 3,
+                                                     uint64_t seed = 97);
+
+/// Pretty one-line-per-feature rendering of the top `top_k` entries.
+std::string FormatImportances(const std::vector<FeatureImportance>& ranking,
+                              size_t top_k = 10);
+
+}  // namespace autoem
+
+#endif  // AUTOEM_AUTOML_EXPLAIN_H_

@@ -1,0 +1,148 @@
+#include "automl/param_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autoem {
+
+ParamValue ParamSpec::Sample(Rng* rng) const {
+  switch (kind) {
+    case ParamKind::kCategorical: {
+      AUTOEM_CHECK(!choices.empty());
+      return ParamValue(choices[rng->UniformIndex(choices.size())]);
+    }
+    case ParamKind::kInt: {
+      if (log_scale && lo > 0.0) {
+        double v = rng->LogUniform(lo, hi + 1.0);
+        return ParamValue(static_cast<int64_t>(
+            std::clamp(std::floor(v), lo, hi)));
+      }
+      return ParamValue(static_cast<int64_t>(
+          rng->UniformInt(static_cast<int>(lo), static_cast<int>(hi))));
+    }
+    case ParamKind::kFloat: {
+      if (log_scale && lo > 0.0) return ParamValue(rng->LogUniform(lo, hi));
+      return ParamValue(rng->Uniform(lo, hi));
+    }
+  }
+  return ParamValue();
+}
+
+double ParamSpec::Encode(const ParamValue& v) const {
+  switch (kind) {
+    case ParamKind::kCategorical: {
+      for (size_t i = 0; i < choices.size(); ++i) {
+        if (v.is_string() && v.AsString() == choices[i]) {
+          return choices.size() > 1
+                     ? static_cast<double>(i) /
+                           static_cast<double>(choices.size() - 1)
+                     : 0.0;
+        }
+      }
+      return -1.0;
+    }
+    case ParamKind::kInt:
+    case ParamKind::kFloat: {
+      double x = v.AsDouble();
+      if (log_scale && lo > 0.0) {
+        double lx = std::log(std::max(x, lo));
+        return (lx - std::log(lo)) / (std::log(hi) - std::log(lo));
+      }
+      return hi > lo ? (x - lo) / (hi - lo) : 0.0;
+    }
+  }
+  return -1.0;
+}
+
+bool ParamSpec::Contains(const ParamValue& v) const {
+  switch (kind) {
+    case ParamKind::kCategorical:
+      if (!v.is_string()) return false;
+      return std::find(choices.begin(), choices.end(), v.AsString()) !=
+             choices.end();
+    case ParamKind::kInt:
+    case ParamKind::kFloat: {
+      double x = v.AsDouble();
+      return x >= lo - 1e-9 && x <= hi + 1e-9;
+    }
+  }
+  return false;
+}
+
+bool ConfigurationSpace::IsActive(const ParamSpec& spec,
+                                  const Configuration& config) const {
+  if (spec.parent.empty()) return true;
+  auto it = config.find(spec.parent);
+  if (it == config.end()) return false;
+  return it->second.is_string() && it->second.AsString() == spec.parent_value;
+}
+
+Configuration ConfigurationSpace::Sample(Rng* rng) const {
+  Configuration config;
+  for (const auto& spec : specs_) {
+    if (!IsActive(spec, config)) continue;
+    config[spec.name] = spec.Sample(rng);
+  }
+  return config;
+}
+
+Configuration ConfigurationSpace::Neighbor(const Configuration& base,
+                                           Rng* rng) const {
+  Configuration config = base;
+  // Perturb 1-3 parameters; re-deriving activity afterwards keeps
+  // conditional children consistent with a changed parent.
+  int n_changes = rng->UniformInt(1, 3);
+  for (int k = 0; k < n_changes; ++k) {
+    const ParamSpec& spec = specs_[rng->UniformIndex(specs_.size())];
+    if (!IsActive(spec, config)) continue;
+    config[spec.name] = spec.Sample(rng);
+  }
+  return Complete(config, rng);
+}
+
+Configuration ConfigurationSpace::Complete(const Configuration& base,
+                                           Rng* rng) const {
+  // Drop inactive keys, sample missing/invalid ones. Activity is judged
+  // against already-resolved parents (specs are in dependency order).
+  Configuration resolved;
+  for (const auto& spec : specs_) {
+    if (!IsActive(spec, resolved)) continue;
+    auto it = base.find(spec.name);
+    if (it != base.end() && spec.Contains(it->second)) {
+      resolved[spec.name] = it->second;
+    } else {
+      resolved[spec.name] = spec.Sample(rng);
+    }
+  }
+  return resolved;
+}
+
+std::vector<double> ConfigurationSpace::Encode(
+    const Configuration& config) const {
+  std::vector<double> out(specs_.size(), -1.0);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const ParamSpec& spec = specs_[i];
+    if (!IsActive(spec, config)) continue;
+    auto it = config.find(spec.name);
+    if (it == config.end()) continue;
+    out[i] = spec.Encode(it->second);
+  }
+  return out;
+}
+
+Status ConfigurationSpace::Validate(const Configuration& config) const {
+  for (const auto& spec : specs_) {
+    if (!IsActive(spec, config)) continue;
+    auto it = config.find(spec.name);
+    if (it == config.end()) {
+      return Status::InvalidArgument("missing active parameter: " + spec.name);
+    }
+    if (!spec.Contains(it->second)) {
+      return Status::OutOfRange("parameter out of domain: " + spec.name +
+                                " = " + it->second.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace autoem

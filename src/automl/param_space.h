@@ -1,0 +1,83 @@
+#ifndef AUTOEM_AUTOML_PARAM_SPACE_H_
+#define AUTOEM_AUTOML_PARAM_SPACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/params.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace autoem {
+
+/// A full pipeline configuration: flat auto-sklearn-style key/value map,
+/// e.g. {"classifier:__choice__": "random_forest",
+///       "classifier:random_forest:max_features": 0.377, ...}.
+using Configuration = ParamMap;
+
+enum class ParamKind { kCategorical, kInt, kFloat };
+
+/// One dimension of the search space. A parameter may be conditional: it is
+/// only active (sampled / encoded) when `parent`'s value equals
+/// `parent_value` — how per-classifier hyperparameters hang off
+/// "classifier:__choice__".
+struct ParamSpec {
+  std::string name;
+  ParamKind kind = ParamKind::kFloat;
+
+  std::vector<std::string> choices;  // kCategorical
+
+  double lo = 0.0;   // numeric bounds (inclusive)
+  double hi = 1.0;
+  bool log_scale = false;
+
+  std::string parent;        // empty = unconditional
+  std::string parent_value;
+
+  /// Draws a value uniformly (or log-uniformly) from the domain.
+  ParamValue Sample(Rng* rng) const;
+
+  /// Normalizes a value into [0, 1] for the surrogate encoding.
+  double Encode(const ParamValue& v) const;
+
+  /// True when the value lies inside the declared domain.
+  bool Contains(const ParamValue& v) const;
+};
+
+/// An ordered collection of ParamSpecs with single-level conditionality.
+class ConfigurationSpace {
+ public:
+  void Add(ParamSpec spec) { specs_.push_back(std::move(spec)); }
+
+  const std::vector<ParamSpec>& specs() const { return specs_; }
+  size_t size() const { return specs_.size(); }
+
+  /// Whether `spec` participates given the currently chosen values.
+  bool IsActive(const ParamSpec& spec, const Configuration& config) const;
+
+  /// Samples a complete configuration (parents before children: specs must
+  /// be added in dependency order, which BuildEmSearchSpace guarantees).
+  Configuration Sample(Rng* rng) const;
+
+  /// Random neighbor of `base`: re-samples a small number of active
+  /// parameters (SMAC-style local perturbation).
+  Configuration Neighbor(const Configuration& base, Rng* rng) const;
+
+  /// Completes a partial configuration: keeps in-domain values from `base`,
+  /// samples anything missing or invalid, drops inactive keys.
+  Configuration Complete(const Configuration& base, Rng* rng) const;
+
+  /// Fixed-width numeric encoding for the surrogate model: one slot per
+  /// spec; inactive parameters encode as -1.
+  std::vector<double> Encode(const Configuration& config) const;
+
+  /// Validates that every active parameter is present and in-domain.
+  Status Validate(const Configuration& config) const;
+
+ private:
+  std::vector<ParamSpec> specs_;
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_AUTOML_PARAM_SPACE_H_

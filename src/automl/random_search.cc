@@ -1,0 +1,54 @@
+#include "automl/random_search.h"
+
+#include "automl/search_space.h"
+#include "common/timer.h"
+
+namespace autoem {
+
+SearchOutcome RandomSearch(const ConfigurationSpace& space,
+                           HoldoutEvaluator* evaluator,
+                           const SearchOptions& options) {
+  AUTOEM_CHECK_MSG(options.max_evaluations > 0 || options.max_seconds > 0.0,
+                   "search needs an evaluation or time budget");
+  Rng rng(options.seed);
+  Stopwatch timer;
+  SearchOutcome outcome;
+
+  size_t start_evals = evaluator->num_evaluations();
+  auto budget_left = [&] {
+    if (options.max_evaluations > 0 &&
+        evaluator->num_evaluations() - start_evals >=
+            static_cast<size_t>(options.max_evaluations)) {
+      return false;
+    }
+    if (options.max_seconds > 0.0 &&
+        timer.ElapsedSeconds() >= options.max_seconds) {
+      return false;
+    }
+    return true;
+  };
+
+  bool first = true;
+  while (budget_left()) {
+    Configuration config;
+    if (first && options.include_default) {
+      // The default must be valid in restricted spaces too; Complete keeps
+      // its in-domain entries and samples the rest.
+      config = space.Complete(DefaultEmConfiguration(ModelSpace::kAllModels),
+                              &rng);
+    } else {
+      config = space.Sample(&rng);
+    }
+    first = false;
+    EvalRecord record = evaluator->Evaluate(config);
+    if (outcome.trajectory.empty() ||
+        record.valid_f1 > outcome.best_valid_f1) {
+      outcome.best_valid_f1 = record.valid_f1;
+      outcome.best_config = record.config;
+    }
+    outcome.trajectory.push_back(std::move(record));
+  }
+  return outcome;
+}
+
+}  // namespace autoem

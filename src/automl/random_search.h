@@ -1,0 +1,37 @@
+#ifndef AUTOEM_AUTOML_RANDOM_SEARCH_H_
+#define AUTOEM_AUTOML_RANDOM_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "automl/evaluator.h"
+#include "automl/param_space.h"
+
+namespace autoem {
+
+/// Shared knobs for the pipeline searchers. A search stops at whichever of
+/// the two budgets is hit first (a zero budget disables that bound; at least
+/// one must be set).
+struct SearchOptions {
+  int max_evaluations = 30;
+  double max_seconds = 0.0;
+  uint64_t seed = 1;
+  /// When true, evaluation #1 is the default configuration (warm start).
+  bool include_default = true;
+};
+
+struct SearchOutcome {
+  Configuration best_config;
+  double best_valid_f1 = 0.0;
+  std::vector<EvalRecord> trajectory;
+};
+
+/// Pure random search over the configuration space (the simplest pipeline
+/// searcher; the SMAC ablation baseline in bench_fig10).
+SearchOutcome RandomSearch(const ConfigurationSpace& space,
+                           HoldoutEvaluator* evaluator,
+                           const SearchOptions& options);
+
+}  // namespace autoem
+
+#endif  // AUTOEM_AUTOML_RANDOM_SEARCH_H_

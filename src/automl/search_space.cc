@@ -1,0 +1,172 @@
+#include "automl/search_space.h"
+
+namespace autoem {
+
+namespace {
+
+ParamSpec Categorical(std::string name, std::vector<std::string> choices,
+                      std::string parent = "", std::string parent_value = "") {
+  ParamSpec spec;
+  spec.name = std::move(name);
+  spec.kind = ParamKind::kCategorical;
+  spec.choices = std::move(choices);
+  spec.parent = std::move(parent);
+  spec.parent_value = std::move(parent_value);
+  return spec;
+}
+
+ParamSpec Float(std::string name, double lo, double hi, bool log_scale = false,
+                std::string parent = "", std::string parent_value = "") {
+  ParamSpec spec;
+  spec.name = std::move(name);
+  spec.kind = ParamKind::kFloat;
+  spec.lo = lo;
+  spec.hi = hi;
+  spec.log_scale = log_scale;
+  spec.parent = std::move(parent);
+  spec.parent_value = std::move(parent_value);
+  return spec;
+}
+
+ParamSpec Int(std::string name, double lo, double hi, bool log_scale = false,
+              std::string parent = "", std::string parent_value = "") {
+  ParamSpec spec = Float(std::move(name), lo, hi, log_scale,
+                         std::move(parent), std::move(parent_value));
+  spec.kind = ParamKind::kInt;
+  return spec;
+}
+
+void AddClassifierParams(ConfigurationSpace* space, const std::string& model) {
+  const std::string parent = "classifier:__choice__";
+  auto key = [&](const std::string& p) {
+    return "classifier:" + model + ":" + p;
+  };
+  if (model == "random_forest" || model == "extra_trees") {
+    space->Add(Int(key("n_estimators"), 16, 128, /*log=*/true, parent, model));
+    space->Add(Categorical(key("criterion"), {"gini", "entropy"}, parent,
+                           model));
+    space->Add(Float(key("max_features"), 0.05, 1.0, false, parent, model));
+    space->Add(Int(key("min_samples_split"), 2, 20, false, parent, model));
+    space->Add(Int(key("min_samples_leaf"), 1, 20, false, parent, model));
+    space->Add(
+        Categorical(key("bootstrap"), {"true", "false"}, parent, model));
+  } else if (model == "decision_tree") {
+    space->Add(Categorical(key("criterion"), {"gini", "entropy"}, parent,
+                           model));
+    space->Add(Int(key("max_depth"), 1, 30, false, parent, model));
+    space->Add(Int(key("min_samples_split"), 2, 20, false, parent, model));
+    space->Add(Int(key("min_samples_leaf"), 1, 20, false, parent, model));
+    space->Add(Float(key("max_features"), 0.05, 1.0, false, parent, model));
+  } else if (model == "adaboost") {
+    space->Add(Int(key("n_estimators"), 20, 200, /*log=*/true, parent, model));
+    space->Add(
+        Float(key("learning_rate"), 0.01, 2.0, /*log=*/true, parent, model));
+    space->Add(Int(key("base_max_depth"), 1, 8, false, parent, model));
+  } else if (model == "gradient_boosting") {
+    space->Add(Int(key("n_estimators"), 20, 200, /*log=*/true, parent, model));
+    space->Add(
+        Float(key("learning_rate"), 0.01, 0.5, /*log=*/true, parent, model));
+    space->Add(Int(key("max_depth"), 1, 8, false, parent, model));
+    space->Add(Float(key("subsample"), 0.5, 1.0, false, parent, model));
+    space->Add(Int(key("min_samples_leaf"), 1, 20, false, parent, model));
+  } else if (model == "k_nearest_neighbors") {
+    space->Add(Int(key("n_neighbors"), 1, 50, /*log=*/true, parent, model));
+    space->Add(
+        Categorical(key("weights"), {"uniform", "distance"}, parent, model));
+  } else if (model == "logistic_regression") {
+    space->Add(Float(key("l2"), 1e-6, 1.0, /*log=*/true, parent, model));
+    space->Add(Int(key("max_iter"), 50, 400, /*log=*/true, parent, model));
+  } else if (model == "linear_svm") {
+    space->Add(Float(key("c"), 0.01, 100.0, /*log=*/true, parent, model));
+    space->Add(Int(key("epochs"), 5, 40, /*log=*/true, parent, model));
+  } else if (model == "gaussian_nb") {
+    space->Add(Float(key("var_smoothing"), 1e-10, 1e-4, /*log=*/true, parent,
+                     model));
+  } else if (model == "mlp") {
+    space->Add(Int(key("hidden_size"), 16, 128, /*log=*/true, parent, model));
+    space->Add(Int(key("n_layers"), 1, 2, false, parent, model));
+    space->Add(Float(key("learning_rate"), 1e-4, 1e-2, /*log=*/true, parent,
+                     model));
+    space->Add(Int(key("epochs"), 20, 80, /*log=*/true, parent, model));
+  }
+}
+
+}  // namespace
+
+ConfigurationSpace BuildEmSearchSpace(ModelSpace model_space) {
+  ConfigurationSpace space;
+
+  space.Add(Categorical("balancing:strategy",
+                        {"none", "weighting", "oversample"}));
+  space.Add(Categorical("imputation:strategy",
+                        {"mean", "median", "most_frequent"}));
+
+  space.Add(Categorical(
+      "rescaling:__choice__",
+      {"none", "standard_scaler", "minmax_scaler", "robust_scaler"}));
+  space.Add(Float("rescaling:robust_scaler:q_min", 0.1, 30.0, false,
+                  "rescaling:__choice__", "robust_scaler"));
+  space.Add(Float("rescaling:robust_scaler:q_max", 70.0, 99.9, false,
+                  "rescaling:__choice__", "robust_scaler"));
+
+  space.Add(Categorical(
+      "preprocessor:__choice__",
+      {"no_preprocessing", "select_percentile_classification", "select_rates",
+       "pca", "feature_agglomeration", "variance_threshold"}));
+  space.Add(Float("preprocessor:select_percentile_classification:percentile",
+                  5.0, 99.0, false, "preprocessor:__choice__",
+                  "select_percentile_classification"));
+  space.Add(Categorical(
+      "preprocessor:select_percentile_classification:score_func",
+      {"f_classif", "chi2"}, "preprocessor:__choice__",
+      "select_percentile_classification"));
+  space.Add(Float("preprocessor:select_rates:alpha", 0.01, 0.5, false,
+                  "preprocessor:__choice__", "select_rates"));
+  space.Add(Categorical("preprocessor:select_rates:mode",
+                        {"fpr", "fdr", "fwe"}, "preprocessor:__choice__",
+                        "select_rates"));
+  space.Add(Categorical("preprocessor:select_rates:score_func",
+                        {"f_classif", "chi2"}, "preprocessor:__choice__",
+                        "select_rates"));
+  space.Add(Float("preprocessor:pca:keep_variance", 0.5, 0.9999, false,
+                  "preprocessor:__choice__", "pca"));
+  space.Add(Int("preprocessor:feature_agglomeration:n_clusters", 2, 100,
+                /*log=*/true, "preprocessor:__choice__",
+                "feature_agglomeration"));
+  space.Add(Float("preprocessor:variance_threshold:threshold", 0.0, 0.01,
+                  false, "preprocessor:__choice__", "variance_threshold"));
+
+  std::vector<std::string> models;
+  if (model_space == ModelSpace::kRandomForestOnly) {
+    models = {"random_forest"};
+  } else {
+    models = {"random_forest",       "extra_trees",
+              "decision_tree",       "adaboost",
+              "gradient_boosting",   "k_nearest_neighbors",
+              "logistic_regression", "linear_svm",
+              "gaussian_nb",         "mlp"};
+  }
+  space.Add(Categorical("classifier:__choice__", models));
+  for (const auto& m : models) AddClassifierParams(&space, m);
+
+  return space;
+}
+
+Configuration DefaultEmConfiguration(ModelSpace model_space) {
+  (void)model_space;
+  Configuration config;
+  config["balancing:strategy"] = "weighting";
+  config["imputation:strategy"] = "mean";
+  config["rescaling:__choice__"] = "none";
+  config["preprocessor:__choice__"] = "no_preprocessing";
+  config["classifier:__choice__"] = "random_forest";
+  config["classifier:random_forest:n_estimators"] = 100;
+  config["classifier:random_forest:criterion"] = "gini";
+  config["classifier:random_forest:max_features"] = 0.5;
+  config["classifier:random_forest:min_samples_split"] = 2;
+  config["classifier:random_forest:min_samples_leaf"] = 1;
+  config["classifier:random_forest:bootstrap"] = "true";
+  return config;
+}
+
+}  // namespace autoem

@@ -1,0 +1,29 @@
+#ifndef AUTOEM_AUTOML_SEARCH_SPACE_H_
+#define AUTOEM_AUTOML_SEARCH_SPACE_H_
+
+#include "automl/param_space.h"
+
+namespace autoem {
+
+/// Which classifier repository the pipeline search may use (paper §III-C,
+/// Fig. 10): the full zoo or the random-forest-only AutoML-EM restriction.
+enum class ModelSpace {
+  kRandomForestOnly,
+  kAllModels,
+};
+
+/// Builds the EM pipeline configuration space: balancing, imputation,
+/// rescaling (incl. RobustScaler quantiles), feature preprocessing
+/// (SelectPercentile / SelectRates / PCA / FeatureAgglomeration), classifier
+/// choice, and per-classifier hyperparameters. Mirrors the auto-sklearn
+/// component families of the paper's Fig. 4/5.
+ConfigurationSpace BuildEmSearchSpace(ModelSpace model_space);
+
+/// The auto-sklearn-style default configuration for a given model space
+/// (weighting + mean imputation + no rescaling + no preprocessing +
+/// default-hyperparameter random forest).
+Configuration DefaultEmConfiguration(ModelSpace model_space);
+
+}  // namespace autoem
+
+#endif  // AUTOEM_AUTOML_SEARCH_SPACE_H_

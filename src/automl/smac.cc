@@ -1,0 +1,120 @@
+#include "automl/smac.h"
+
+#include <algorithm>
+
+#include "automl/search_space.h"
+#include "automl/surrogate.h"
+#include "common/timer.h"
+
+namespace autoem {
+
+SearchOutcome SmacSearch(const ConfigurationSpace& space,
+                         HoldoutEvaluator* evaluator,
+                         const SmacOptions& options) {
+  const SearchOptions& base = options.base;
+  AUTOEM_CHECK_MSG(base.max_evaluations > 0 || base.max_seconds > 0.0,
+                   "search needs an evaluation or time budget");
+  Rng rng(base.seed);
+  Stopwatch timer;
+  SearchOutcome outcome;
+
+  size_t start_evals = evaluator->num_evaluations();
+  auto budget_left = [&] {
+    if (base.max_evaluations > 0 &&
+        evaluator->num_evaluations() - start_evals >=
+            static_cast<size_t>(base.max_evaluations)) {
+      return false;
+    }
+    if (base.max_seconds > 0.0 &&
+        timer.ElapsedSeconds() >= base.max_seconds) {
+      return false;
+    }
+    return true;
+  };
+
+  auto record_result = [&](EvalRecord record) {
+    if (outcome.trajectory.empty() ||
+        record.valid_f1 > outcome.best_valid_f1) {
+      outcome.best_valid_f1 = record.valid_f1;
+      outcome.best_config = record.config;
+    }
+    outcome.trajectory.push_back(std::move(record));
+  };
+
+  // Observed history for the surrogate.
+  std::vector<std::vector<double>> encoded;
+  std::vector<double> scores;
+  auto evaluate = [&](const Configuration& config) {
+    EvalRecord record = evaluator->Evaluate(config);
+    encoded.push_back(space.Encode(config));
+    scores.push_back(record.valid_f1);
+    record_result(std::move(record));
+  };
+
+  // ---- warm start: caller-provided configurations first ----
+  for (const Configuration& warm : options.initial_configs) {
+    if (!budget_left()) break;
+    evaluate(space.Complete(warm, &rng));
+  }
+
+  // ---- initial design: default + random samples ----
+  int n_init = std::max(options.n_init, 2);
+  for (int i = 0; i < n_init && budget_left(); ++i) {
+    Configuration config =
+        (i == 0 && base.include_default)
+            ? space.Complete(DefaultEmConfiguration(ModelSpace::kAllModels),
+                             &rng)
+            : space.Sample(&rng);
+    evaluate(config);
+  }
+
+  // ---- surrogate-guided loop ----
+  bool interleave_random = false;
+  while (budget_left()) {
+    if (interleave_random) {
+      // SMAC's random interleaving step keeps the search from collapsing
+      // onto the surrogate's blind spots.
+      evaluate(space.Sample(&rng));
+      interleave_random = false;
+      continue;
+    }
+    interleave_random = true;
+
+    // Fit surrogate on the history so far.
+    Matrix X(encoded.size(), encoded.empty() ? 0 : encoded[0].size());
+    for (size_t r = 0; r < encoded.size(); ++r) {
+      for (size_t c = 0; c < encoded[r].size(); ++c) {
+        X.At(r, c) = encoded[r][c];
+      }
+    }
+    SurrogateForest::Options surrogate_opt;
+    surrogate_opt.seed = rng.engine()();
+    SurrogateForest surrogate(surrogate_opt);
+    if (!surrogate.Fit(X, scores).ok()) {
+      evaluate(space.Sample(&rng));
+      continue;
+    }
+
+    // Build the candidate pool and rank by expected improvement.
+    Configuration best_candidate;
+    double best_ei = -1.0;
+    int n_neighbors = static_cast<int>(options.n_candidates *
+                                       options.neighbor_fraction);
+    for (int k = 0; k < options.n_candidates; ++k) {
+      Configuration candidate =
+          k < n_neighbors ? space.Neighbor(outcome.best_config, &rng)
+                          : space.Sample(&rng);
+      double mean = 0.0, variance = 0.0;
+      surrogate.PredictMeanVar(space.Encode(candidate), &mean, &variance);
+      double ei = ExpectedImprovement(mean, variance, outcome.best_valid_f1);
+      if (ei > best_ei) {
+        best_ei = ei;
+        best_candidate = std::move(candidate);
+      }
+    }
+    evaluate(best_candidate);
+  }
+  return outcome;
+}
+
+}  // namespace autoem

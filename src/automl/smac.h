@@ -1,0 +1,37 @@
+#ifndef AUTOEM_AUTOML_SMAC_H_
+#define AUTOEM_AUTOML_SMAC_H_
+
+#include "automl/random_search.h"
+
+namespace autoem {
+
+/// SMAC-specific knobs on top of the shared SearchOptions.
+struct SmacOptions {
+  SearchOptions base;
+  /// Configurations evaluated before the random initial design — a simple
+  /// meta-learning warm start (paper §VII): seed the search with pipelines
+  /// that won on previous, similar datasets. Entries are Complete()d
+  /// against the space, so partial configurations are fine.
+  std::vector<Configuration> initial_configs;
+  /// Random initial design size before the surrogate takes over.
+  int n_init = 6;
+  /// Candidate pool per iteration: random samples + neighbors of the
+  /// incumbent, ranked by expected improvement.
+  int n_candidates = 200;
+  /// Fraction of candidates drawn as neighbors of the incumbent (the rest
+  /// are uniform random, SMAC's random interleaving).
+  double neighbor_fraction = 0.5;
+};
+
+/// SMAC-style Bayesian optimization (paper §III-A): iteratively fit a
+/// random-forest surrogate mapping encoded pipelines to validation F1, rank
+/// a candidate pool by expected improvement, and evaluate the most promising
+/// pipeline. Every 2nd evaluation is pure random for exploration, matching
+/// SMAC's interleaving.
+SearchOutcome SmacSearch(const ConfigurationSpace& space,
+                         HoldoutEvaluator* evaluator,
+                         const SmacOptions& options);
+
+}  // namespace autoem
+
+#endif  // AUTOEM_AUTOML_SMAC_H_

@@ -1,0 +1,67 @@
+#include "automl/surrogate.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace autoem {
+
+SurrogateForest::SurrogateForest() : SurrogateForest(Options()) {}
+
+SurrogateForest::SurrogateForest(Options options) : options_(options) {}
+
+Status SurrogateForest::Fit(const Matrix& X, const std::vector<double>& y) {
+  if (X.rows() != y.size() || X.rows() == 0) {
+    return Status::InvalidArgument("surrogate: bad training shape");
+  }
+  trees_.clear();
+  trees_.reserve(options_.n_trees);
+  Rng rng(options_.seed);
+  const size_t n = X.rows();
+  for (int t = 0; t < options_.n_trees; ++t) {
+    TreeOptions opt;
+    opt.min_samples_leaf = options_.min_samples_leaf;
+    opt.min_samples_split = 2 * options_.min_samples_leaf;
+    opt.max_features = options_.max_features;
+    opt.seed = rng.engine()();
+    RegressionTree tree(opt);
+    // Bootstrap as integer weights.
+    std::vector<double> w(n, 0.0);
+    for (size_t k = 0; k < n; ++k) w[rng.UniformIndex(n)] += 1.0;
+    Status st = tree.Fit(X, y, &w);
+    if (!st.ok()) {
+      st = tree.Fit(X, y, nullptr);
+      if (!st.ok()) return st;
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+void SurrogateForest::PredictMeanVar(const std::vector<double>& x,
+                                     double* mean, double* variance) const {
+  AUTOEM_CHECK(!trees_.empty());
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const auto& tree : trees_) {
+    double p = tree.PredictRow(x.data());
+    sum += p;
+    sum_sq += p * p;
+  }
+  double n = static_cast<double>(trees_.size());
+  *mean = sum / n;
+  *variance = std::max(0.0, sum_sq / n - (*mean) * (*mean));
+}
+
+double ExpectedImprovement(double mean, double variance, double best_so_far) {
+  double improvement = mean - best_so_far;
+  if (variance <= 1e-12) return std::max(0.0, improvement);
+  double sd = std::sqrt(variance);
+  double z = improvement / sd;
+  // Standard normal pdf and cdf.
+  double pdf = std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+  double cdf = 0.5 * std::erfc(-z / std::sqrt(2.0));
+  return improvement * cdf + sd * pdf;
+}
+
+}  // namespace autoem

@@ -1,0 +1,46 @@
+#ifndef AUTOEM_AUTOML_SURROGATE_H_
+#define AUTOEM_AUTOML_SURROGATE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ml/models/decision_tree.h"
+
+namespace autoem {
+
+/// Random-forest *regression* surrogate, the SMAC ingredient (paper §III-A):
+/// fit on (encoded configuration, observed validation F1) pairs; the
+/// per-tree prediction spread provides the uncertainty needed by expected
+/// improvement.
+class SurrogateForest {
+ public:
+  struct Options {
+    int n_trees = 24;
+    int min_samples_leaf = 2;
+    double max_features = 0.8;
+    uint64_t seed = 101;
+  };
+
+  SurrogateForest();
+  explicit SurrogateForest(Options options);
+
+  Status Fit(const Matrix& X, const std::vector<double>& y);
+
+  /// Mean and variance of the per-tree predictions for one encoded config.
+  void PredictMeanVar(const std::vector<double>& x, double* mean,
+                      double* variance) const;
+
+  bool fitted() const { return !trees_.empty(); }
+
+ private:
+  Options options_;
+  std::vector<RegressionTree> trees_;
+};
+
+/// Expected improvement of predicted (mean, variance) over `best_so_far`
+/// for a maximization problem. Zero-variance points give max(0, mean-best).
+double ExpectedImprovement(double mean, double variance, double best_so_far);
+
+}  // namespace autoem
+
+#endif  // AUTOEM_AUTOML_SURROGATE_H_

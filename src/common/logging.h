@@ -1,0 +1,31 @@
+#ifndef AUTOEM_COMMON_LOGGING_H_
+#define AUTOEM_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace autoem {
+
+/// Internal invariant check. Unlike assert(), stays active in release builds:
+/// the benchmarks run in Release and we want invariant violations loud.
+#define AUTOEM_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "AUTOEM_CHECK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                          \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+#define AUTOEM_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "AUTOEM_CHECK failed at %s:%d: %s (%s)\n",   \
+                   __FILE__, __LINE__, #cond, (msg));                   \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+}  // namespace autoem
+
+#endif  // AUTOEM_COMMON_LOGGING_H_

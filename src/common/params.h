@@ -1,0 +1,103 @@
+#ifndef AUTOEM_COMMON_PARAMS_H_
+#define AUTOEM_COMMON_PARAMS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace autoem {
+
+/// A dynamically typed hyperparameter value. Kept deliberately small: the
+/// AutoML layer moves these between the configuration space, the pipeline
+/// compiler, and the model registry.
+class ParamValue {
+ public:
+  ParamValue() : data_(int64_t{0}) {}
+  ParamValue(bool b) : data_(b) {}                       // NOLINT
+  ParamValue(int v) : data_(static_cast<int64_t>(v)) {}  // NOLINT
+  ParamValue(int64_t v) : data_(v) {}                    // NOLINT
+  ParamValue(double v) : data_(v) {}                     // NOLINT
+  ParamValue(std::string s) : data_(std::move(s)) {}     // NOLINT
+  ParamValue(const char* s) : data_(std::string(s)) {}   // NOLINT
+
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  /// Numeric coercions accept both int and double payloads.
+  double AsDouble() const {
+    if (is_double()) return std::get<double>(data_);
+    if (is_int()) return static_cast<double>(std::get<int64_t>(data_));
+    if (is_bool()) return std::get<bool>(data_) ? 1.0 : 0.0;
+    AUTOEM_CHECK_MSG(false, "ParamValue: string used as double");
+    return 0.0;
+  }
+  int64_t AsInt() const {
+    if (is_int()) return std::get<int64_t>(data_);
+    if (is_double()) return static_cast<int64_t>(std::get<double>(data_));
+    if (is_bool()) return std::get<bool>(data_) ? 1 : 0;
+    AUTOEM_CHECK_MSG(false, "ParamValue: string used as int");
+    return 0;
+  }
+  bool AsBool() const {
+    if (is_bool()) return std::get<bool>(data_);
+    if (is_int()) return std::get<int64_t>(data_) != 0;
+    if (is_string()) return std::get<std::string>(data_) == "true";
+    return std::get<double>(data_) != 0.0;
+  }
+  const std::string& AsString() const {
+    AUTOEM_CHECK_MSG(is_string(), "ParamValue: non-string used as string");
+    return std::get<std::string>(data_);
+  }
+
+  /// Debug rendering, e.g. "0.37", "'gini'", "true".
+  std::string ToString() const {
+    if (is_bool()) return std::get<bool>(data_) ? "true" : "false";
+    if (is_int()) return std::to_string(std::get<int64_t>(data_));
+    if (is_double()) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(data_));
+      return buf;
+    }
+    return "'" + std::get<std::string>(data_) + "'";
+  }
+
+  bool operator==(const ParamValue& other) const {
+    return data_ == other.data_;
+  }
+
+ private:
+  std::variant<bool, int64_t, double, std::string> data_;
+};
+
+using ParamMap = std::map<std::string, ParamValue>;
+
+/// Typed lookups with defaults; the idiom model constructors use.
+inline double GetDouble(const ParamMap& params, const std::string& key,
+                        double fallback) {
+  auto it = params.find(key);
+  return it == params.end() ? fallback : it->second.AsDouble();
+}
+inline int64_t GetInt(const ParamMap& params, const std::string& key,
+                      int64_t fallback) {
+  auto it = params.find(key);
+  return it == params.end() ? fallback : it->second.AsInt();
+}
+inline bool GetBool(const ParamMap& params, const std::string& key,
+                    bool fallback) {
+  auto it = params.find(key);
+  return it == params.end() ? fallback : it->second.AsBool();
+}
+inline std::string GetString(const ParamMap& params, const std::string& key,
+                             const std::string& fallback) {
+  auto it = params.find(key);
+  return it == params.end() ? fallback : it->second.AsString();
+}
+
+}  // namespace autoem
+
+#endif  // AUTOEM_COMMON_PARAMS_H_

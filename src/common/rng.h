@@ -1,0 +1,101 @@
+#ifndef AUTOEM_COMMON_RNG_H_
+#define AUTOEM_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace autoem {
+
+/// Deterministic random number generator used throughout the library.
+///
+/// All stochastic components (data generation, model training, pipeline
+/// search, active learning) draw exclusively from explicitly seeded Rng
+/// instances so every experiment is bit-reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int UniformInt(int lo, int hi) {
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform 64-bit integer in [0, n).
+  uint64_t UniformIndex(uint64_t n) {
+    std::uniform_int_distribution<uint64_t> dist(0, n - 1);
+    return dist(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Log-uniform real in [lo, hi); requires 0 < lo < hi.
+  double LogUniform(double lo, double hi) {
+    double u = Uniform(std::log(lo), std::log(hi));
+    return std::exp(u);
+  }
+
+  /// Standard normal deviate scaled to (mean, stddev).
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  /// k distinct indices sampled uniformly from [0, n). If k >= n, returns a
+  /// permutation of all n indices.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k) {
+    std::vector<size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), 0);
+    if (k >= n) {
+      Shuffle(&idx);
+      return idx;
+    }
+    // Partial Fisher-Yates: only the first k slots need to be finalized.
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + UniformIndex(n - i);
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+
+  /// k indices sampled uniformly with replacement from [0, n).
+  std::vector<size_t> SampleWithReplacement(size_t n, size_t k) {
+    std::vector<size_t> idx(k);
+    for (size_t i = 0; i < k; ++i) idx[i] = UniformIndex(n);
+    return idx;
+  }
+
+  /// Forks an independent generator; the child stream is a deterministic
+  /// function of this generator's state.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_COMMON_RNG_H_

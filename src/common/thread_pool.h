@@ -1,0 +1,52 @@
+#ifndef AUTOEM_COMMON_THREAD_POOL_H_
+#define AUTOEM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace autoem {
+
+/// Fixed-size worker pool. Tasks are void() closures; Wait() blocks until the
+/// queue drains. With `num_threads == 0` (or 1), Submit() runs tasks inline,
+/// which keeps single-core machines free of thread overhead and makes runs
+/// deterministic there.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task (or runs it inline in single-thread mode).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for i in [0, n). Blocks until all iterations finish. Work is
+  /// chunked to limit queue churn. Callers must make fn thread-safe.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_COMMON_THREAD_POOL_H_

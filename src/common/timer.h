@@ -1,0 +1,28 @@
+#ifndef AUTOEM_COMMON_TIMER_H_
+#define AUTOEM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace autoem {
+
+/// Monotonic wall-clock stopwatch used for search time budgets.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_COMMON_TIMER_H_

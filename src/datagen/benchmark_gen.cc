@@ -1,0 +1,551 @@
+#include "datagen/benchmark_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "datagen/corruptor.h"
+#include "datagen/vocab.h"
+
+namespace autoem {
+
+namespace {
+
+using vocab::Pick;
+using vocab::PickPhrase;
+
+Schema DomainSchema(Domain domain) {
+  switch (domain) {
+    case Domain::kBeer:
+      return Schema({"beer_name", "brew_factory_name", "style", "abv"});
+    case Domain::kRestaurant:
+      return Schema(
+          {"name", "address", "city", "phone", "type", "category_code"});
+    case Domain::kMusic:
+      return Schema({"song_name", "artist_name", "album_name", "genre",
+                     "price", "copyright", "time", "released"});
+    case Domain::kPublication:
+      return Schema({"title", "authors", "venue", "year"});
+    case Domain::kSoftware:
+      return Schema({"title", "manufacturer", "price"});
+    case Domain::kElectronics:
+      return Schema({"name", "category", "brand", "modelno", "price"});
+    case Domain::kProductText:
+      return Schema({"name", "description", "price"});
+  }
+  return Schema(std::vector<std::string>{});
+}
+
+std::string ModelNumber(Rng* rng) {
+  std::string out;
+  int letters = rng->UniformInt(2, 3);
+  for (int i = 0; i < letters; ++i) {
+    out += static_cast<char>('a' + rng->UniformIndex(26));
+  }
+  out += '-';
+  int digits = rng->UniformInt(3, 4);
+  for (int i = 0; i < digits; ++i) {
+    out += static_cast<char>('0' + rng->UniformIndex(10));
+  }
+  return out;
+}
+
+std::string PhoneNumber(Rng* rng) {
+  return StrFormat("%03d-%03d-%04d", rng->UniformInt(200, 999),
+                   rng->UniformInt(200, 999), rng->UniformInt(0, 9999));
+}
+
+std::string AuthorList(Rng* rng, int n) {
+  std::vector<std::string> authors;
+  for (int i = 0; i < n; ++i) {
+    authors.push_back(Pick(vocab::FirstNames(), rng) + " " +
+                      Pick(vocab::LastNames(), rng));
+  }
+  return Join(authors, ", ");
+}
+
+std::string LongDescription(const std::string& name, Rng* rng,
+                            int min_filler = 14, int max_filler = 28) {
+  // Filler words anchored on the product name tokens.
+  std::string out = name;
+  int n = rng->UniformInt(min_filler, max_filler);
+  for (int i = 0; i < n; ++i) {
+    out += ' ';
+    out += Pick(vocab::DescriptionFiller(), rng);
+  }
+  return out;
+}
+
+// Canonical (uncorrupted) entity for a domain.
+Record GenerateEntity(Domain domain, Rng* rng) {
+  std::vector<Value> v;
+  switch (domain) {
+    case Domain::kBeer: {
+      std::string name = Pick(vocab::BeerAdjectives(), rng) + " " +
+                         Pick(vocab::BeerNouns(), rng) + " " +
+                         std::to_string(rng->UniformInt(1, 99));
+      std::string brewery = Pick(vocab::BreweryWords(), rng) + " " +
+                            Pick(vocab::BreweryWords(), rng) + " brewing";
+      v = {Value(name), Value(brewery), Value(Pick(vocab::BeerStyles(), rng)),
+           Value(std::round(rng->Uniform(3.5, 12.5) * 10) / 10)};
+      break;
+    }
+    case Domain::kRestaurant: {
+      std::string name = PickPhrase(vocab::RestaurantNameWords(), 2, rng);
+      std::string address =
+          std::to_string(rng->UniformInt(10, 9999)) + " " +
+          Pick(vocab::StreetNames(), rng) + " " +
+          Pick(vocab::StreetSuffixes(), rng);
+      v = {Value(name), Value(address), Value(Pick(vocab::Cities(), rng)),
+           Value(PhoneNumber(rng)), Value(Pick(vocab::CuisineTypes(), rng)),
+           Value(static_cast<double>(rng->UniformInt(1, 9)))};
+      break;
+    }
+    case Domain::kMusic: {
+      std::string song = PickPhrase(vocab::SongWords(), rng->UniformInt(2, 4),
+                                    rng);
+      std::string artist =
+          PickPhrase(vocab::ArtistWords(), rng->UniformInt(2, 3), rng);
+      std::string album =
+          PickPhrase(vocab::SongWords(), rng->UniformInt(1, 3), rng);
+      int year = rng->UniformInt(1985, 2020);
+      v = {Value(song),
+           Value(artist),
+           Value(album),
+           Value(Pick(vocab::Genres(), rng)),
+           Value(std::round(rng->Uniform(0.69, 14.99) * 100) / 100),
+           Value(StrFormat("(c) %d %s records", year,
+                           Pick(vocab::LastNames(), rng).c_str())),
+           Value(StrFormat("%d:%02d", rng->UniformInt(2, 6),
+                           rng->UniformInt(0, 59))),
+           Value(static_cast<double>(year))};
+      break;
+    }
+    case Domain::kPublication: {
+      std::string title =
+          PickPhrase(vocab::PaperTitleWords(), rng->UniformInt(5, 9), rng);
+      v = {Value(title), Value(AuthorList(rng, rng->UniformInt(1, 4))),
+           Value(Pick(vocab::Venues(), rng)),
+           Value(static_cast<double>(rng->UniformInt(1995, 2020)))};
+      break;
+    }
+    case Domain::kSoftware: {
+      std::string title = Pick(vocab::Brands(), rng) + " " +
+                          Pick(vocab::ProductModifiers(), rng) + " " +
+                          Pick(vocab::ProductNouns(), rng) + " " +
+                          std::to_string(rng->UniformInt(1, 12)) + ".0";
+      v = {Value(title), Value(Pick(vocab::Brands(), rng)),
+           Value(std::round(rng->Uniform(9.99, 499.99) * 100) / 100)};
+      break;
+    }
+    case Domain::kElectronics: {
+      std::string brand = Pick(vocab::Brands(), rng);
+      std::string model = ModelNumber(rng);
+      std::string name = brand + " " + Pick(vocab::ProductModifiers(), rng) +
+                         " " + Pick(vocab::ProductNouns(), rng) + " " + model;
+      v = {Value(name), Value(Pick(vocab::ProductCategories(), rng)),
+           Value(brand), Value(model),
+           Value(std::round(rng->Uniform(19.99, 1999.99) * 100) / 100)};
+      break;
+    }
+    case Domain::kProductText: {
+      std::string name = Pick(vocab::Brands(), rng) + " " +
+                         Pick(vocab::ProductModifiers(), rng) + " " +
+                         Pick(vocab::ProductNouns(), rng) + " " +
+                         ModelNumber(rng);
+      v = {Value(name), Value(LongDescription(name, rng, 8, 12)),
+           Value(std::round(rng->Uniform(19.99, 999.99) * 100) / 100)};
+      break;
+    }
+  }
+  return Record(std::move(v));
+}
+
+// Filler tokens the B-side source sprinkles into its strings (marketing
+// noise, venue qualifiers, ...).
+const std::vector<std::string>& FillerPool(Domain domain) {
+  switch (domain) {
+    case Domain::kBeer:
+      return vocab::BeerAdjectives();
+    case Domain::kRestaurant:
+      return vocab::RestaurantNameWords();
+    case Domain::kMusic:
+      return vocab::SongWords();
+    case Domain::kPublication:
+      return vocab::PaperTitleWords();
+    default:
+      return vocab::DescriptionFiller();
+  }
+}
+
+// Replaces one random word of a phrase with a draw from `pool`.
+std::string ChangeOneWord(const std::string& phrase,
+                          const std::vector<std::string>& pool, Rng* rng) {
+  std::vector<std::string> tokens = SplitWhitespace(phrase);
+  if (tokens.empty()) return Pick(pool, rng);
+  tokens[rng->UniformIndex(tokens.size())] = Pick(pool, rng);
+  return Join(tokens, " ");
+}
+
+// Perturbs 1-2 digits of a model number: "ab-1234" -> "ab-1264". The
+// canonical near-miss in product catalogs (adjacent SKUs of one family).
+std::string NeighborModelNumber(const std::string& model, Rng* rng) {
+  std::string out = model;
+  std::vector<size_t> digit_pos;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out[i] >= '0' && out[i] <= '9') digit_pos.push_back(i);
+  }
+  if (digit_pos.empty()) return out + std::to_string(rng->UniformInt(0, 9));
+  int n = rng->UniformInt(1, 2);
+  for (int k = 0; k < n; ++k) {
+    size_t pos = digit_pos[rng->UniformIndex(digit_pos.size())];
+    char c = static_cast<char>('0' + rng->UniformIndex(10));
+    if (c == out[pos]) c = static_cast<char>('0' + (out[pos] - '0' + 1) % 10);
+    out[pos] = c;
+  }
+  return out;
+}
+
+// Replaces the trailing token (a number / model id) of a phrase.
+std::string ReplaceTrailingToken(const std::string& phrase,
+                                 const std::string& replacement) {
+  std::vector<std::string> tokens = SplitWhitespace(phrase);
+  if (tokens.empty()) return replacement;
+  tokens.back() = replacement;
+  return Join(tokens, " ");
+}
+
+// Attribute indices whose values drift across data sources (the paper's
+// Fig. 1: "american" vs "steakhouses"), plus the pool they re-draw from.
+const std::vector<std::string>* DriftPool(Domain domain, size_t attr) {
+  switch (domain) {
+    case Domain::kBeer:
+      if (attr == 2) return &vocab::BeerStyles();
+      return nullptr;
+    case Domain::kRestaurant:
+      if (attr == 4) return &vocab::CuisineTypes();
+      return nullptr;
+    case Domain::kMusic:
+      if (attr == 3) return &vocab::Genres();
+      return nullptr;
+    case Domain::kElectronics:
+      if (attr == 1) return &vocab::ProductCategories();
+      return nullptr;
+    default:
+      return nullptr;
+  }
+}
+
+// Renders the canonical entity for data source A (near-verbatim).
+Record RenderSourceA(const Record& entity, Domain domain, double severity,
+                     Rng* rng) {
+  (void)domain;
+  Corruptor corruptor(CorruptionProfile::FromSeverity(severity * 0.2), rng);
+  std::vector<Value> v;
+  v.reserve(entity.size());
+  for (size_t i = 0; i < entity.size(); ++i) {
+    v.push_back(corruptor.Corrupt(entity.at(i)));
+  }
+  return Record(std::move(v));
+}
+
+// Renders the entity the way the *other* data source would publish it:
+// corruption plus categorical drift.
+Record RenderSourceB(const Record& entity, Domain domain, double severity,
+                     Rng* rng) {
+  Corruptor corruptor(CorruptionProfile::FromSeverity(severity), rng);
+  corruptor.SetFillerPool(&FillerPool(domain));
+  std::vector<Value> v;
+  v.reserve(entity.size());
+  for (size_t i = 0; i < entity.size(); ++i) {
+    const std::vector<std::string>* drift_pool = DriftPool(domain, i);
+    if (drift_pool != nullptr &&
+        rng->Bernoulli(0.25 + 0.5 * severity)) {
+      v.push_back(Value(Pick(*drift_pool, rng)));
+      continue;
+    }
+    v.push_back(corruptor.Corrupt(entity.at(i)));
+  }
+  // Per-domain source conventions that generic corruption gets wrong.
+  switch (domain) {
+    case Domain::kProductText:
+      // As in the real Abt-Buy: the B catalog truncates the product name
+      // (often dropping the model number) and buries the full title inside
+      // its own long free-text description. The discriminative signal
+      // therefore lives in the *description*, where only alignment-style
+      // similarity functions (Smith-Waterman, Monge-Elkan, ...) recover it
+      // — the mechanism behind the paper's Fig. 9 gap on this dataset.
+      if (v.size() > 1) {
+        std::string full_name = v[0].is_string() ? v[0].AsString()
+                                                 : entity.at(0).ToString();
+        if (rng->Bernoulli(0.5)) {
+          // Format drift: "ab-1234" -> "ab1234" in the B catalog.
+          full_name.erase(
+              std::remove(full_name.begin(), full_name.end(), '-'),
+              full_name.end());
+        }
+        std::vector<std::string> tokens = SplitWhitespace(full_name);
+        size_t keep =
+            std::min<size_t>(tokens.size(), 2 + rng->UniformIndex(2));
+        v[0] = Value(Join(
+            std::vector<std::string>(tokens.begin(), tokens.begin() + keep),
+            " "));
+        v[1] = Value(LongDescription(full_name, rng, 25, 40));
+      }
+      break;
+    case Domain::kPublication:
+      // Publication years agree exactly (or off by one for preprint/final
+      // drift); relative numeric jitter would be decades.
+      if (!v[3].is_null() && entity.at(3).is_number()) {
+        double year = entity.at(3).AsNumber();
+        if (rng->Bernoulli(0.05 + 0.15 * severity)) {
+          year += rng->Bernoulli(0.5) ? 1.0 : -1.0;
+        }
+        v[3] = Value(year);
+      }
+      break;
+    case Domain::kMusic:
+      // Release years behave like publication years.
+      if (!v[7].is_null() && entity.at(7).is_number()) {
+        double year = entity.at(7).AsNumber();
+        if (rng->Bernoulli(0.05 + 0.15 * severity)) {
+          year += rng->Bernoulli(0.5) ? 1.0 : -1.0;
+        }
+        v[7] = Value(year);
+      }
+      break;
+    case Domain::kElectronics:
+      // Catalogs disagree on model-number formatting: the B side often
+      // strips the dash ("ab-1234" -> "ab1234").
+      if (v[3].is_string() && rng->Bernoulli(0.25 + 0.35 * severity)) {
+        std::string model = v[3].AsString();
+        model.erase(std::remove(model.begin(), model.end(), '-'),
+                    model.end());
+        v[3] = Value(model);
+      }
+      break;
+    default:
+      break;
+  }
+  return Record(std::move(v));
+}
+
+// A near-duplicate non-matching sibling: the entity's closest plausible
+// neighbor in the other catalog. Mutations are deliberately minimal so hard
+// negatives overlap the positives' similarity range.
+Record MutateEntity(const Record& entity, Domain domain, Rng* rng) {
+  std::vector<Value> v(entity.values());
+  switch (domain) {
+    case Domain::kBeer:
+      // Same brewery + style family; different batch number and ABV.
+      v[0] = Value(ReplaceTrailingToken(
+          v[0].AsString(), std::to_string(rng->UniformInt(1, 99))));
+      v[3] = Value(std::round(
+          std::clamp(v[3].AsNumber() + rng->Normal(0.0, 1.2), 3.5, 13.0) *
+          10) / 10);
+      break;
+    case Domain::kRestaurant:
+      // A different restaurant that shares one name word; new address/phone.
+      v[0] = Value(ChangeOneWord(v[0].AsString(),
+                                 vocab::RestaurantNameWords(), rng));
+      v[1] = Value(std::to_string(rng->UniformInt(10, 9999)) + " " +
+                   Pick(vocab::StreetNames(), rng) + " " +
+                   Pick(vocab::StreetSuffixes(), rng));
+      v[3] = Value(PhoneNumber(rng));
+      break;
+    case Domain::kMusic:
+      // Same artist/album; a sibling track differing by one word.
+      v[0] = Value(ChangeOneWord(v[0].AsString(), vocab::SongWords(), rng));
+      v[6] = Value(StrFormat("%d:%02d", rng->UniformInt(2, 6),
+                             rng->UniformInt(0, 59)));
+      break;
+    case Domain::kPublication: {
+      // Same authors/venue; a follow-up paper: 1-2 title words + year.
+      std::string title = ChangeOneWord(v[0].AsString(),
+                                        vocab::PaperTitleWords(), rng);
+      if (rng->Bernoulli(0.5)) {
+        title = ChangeOneWord(title, vocab::PaperTitleWords(), rng);
+      }
+      v[0] = Value(title);
+      v[3] = Value(std::clamp(v[3].AsNumber() +
+                                  static_cast<double>(rng->UniformInt(-3, 3)),
+                              1995.0, 2020.0));
+      break;
+    }
+    case Domain::kSoftware: {
+      // Same product line, different version (and sometimes edition).
+      std::string title = ReplaceTrailingToken(
+          v[0].AsString(), std::to_string(rng->UniformInt(1, 12)) + ".0");
+      if (rng->Bernoulli(0.4)) {
+        title = ChangeOneWord(title, vocab::ProductModifiers(), rng);
+      }
+      v[0] = Value(title);
+      v[2] = Value(std::round(
+          std::max(4.99, v[2].AsNumber() * (1.0 + rng->Normal(0.0, 0.3))) *
+          100) / 100);
+      break;
+    }
+    case Domain::kElectronics: {
+      // Identical name words; a sibling SKU one or two digits away.
+      std::string model = NeighborModelNumber(v[3].AsString(), rng);
+      v[0] = Value(ReplaceTrailingToken(v[0].AsString(), model));
+      v[3] = Value(model);
+      v[4] = Value(std::round(
+          std::max(9.99, v[4].AsNumber() * (1.0 + rng->Normal(0.0, 0.15))) *
+          100) / 100);
+      break;
+    }
+    case Domain::kProductText: {
+      // Identical name words, fresh model id (B truncates names, so the
+      // only place the models can disagree is inside the descriptions).
+      std::string name =
+          ReplaceTrailingToken(v[0].AsString(), ModelNumber(rng));
+      v[0] = Value(name);
+      v[1] = Value(LongDescription(name, rng, 8, 12));
+      v[2] = Value(std::round(
+          std::max(9.99, v[2].AsNumber() * (1.0 + rng->Normal(0.0, 0.10))) *
+          100) / 100);
+      break;
+    }
+  }
+  return Record(std::move(v));
+}
+
+}  // namespace
+
+const std::vector<DatasetProfile>& BenchmarkProfiles() {
+  // Pair counts and positives from the paper's Table III; severity /
+  // hard-negative fractions calibrated to the easy/hard dataset families.
+  static const std::vector<DatasetProfile>& kProfiles =
+      *new std::vector<DatasetProfile>{
+          {"BeerAdvo-RateBeer", Domain::kBeer, 359, 91, 68, 0.40, 0.40},
+          {"Fodors-Zagats", Domain::kRestaurant, 757, 189, 110, 0.08, 0.12},
+          {"iTunes-Amazon", Domain::kMusic, 430, 109, 132, 0.25, 0.35},
+          {"DBLP-ACM", Domain::kPublication, 9890, 2473, 2220, 0.05, 0.20},
+          {"DBLP-Scholar", Domain::kPublication, 22965, 5742, 5347, 0.15,
+           0.35},
+          {"Amazon-Google", Domain::kSoftware, 9167, 2293, 1167, 0.58, 0.65},
+          {"Walmart-Amazon", Domain::kElectronics, 8193, 2049, 962, 0.72,
+           0.55},
+          {"Abt-Buy", Domain::kProductText, 7659, 1916, 1028, 0.42, 0.65},
+      };
+  return kProfiles;
+}
+
+Result<DatasetProfile> FindProfile(const std::string& name) {
+  for (const auto& p : BenchmarkProfiles()) {
+    if (p.name == name) return p;
+  }
+  return Status::NotFound("unknown benchmark profile: " + name);
+}
+
+Result<BenchmarkData> GenerateBenchmark(const DatasetProfile& profile,
+                                        uint64_t seed, double scale) {
+  if (scale <= 0.0 || scale > 10.0) {
+    return Status::InvalidArgument("scale must be in (0, 10]");
+  }
+  Rng rng(seed ^ 0xa5a5a5a5u);
+
+  auto scaled = [&](size_t n) {
+    return std::max<size_t>(8, static_cast<size_t>(std::lround(n * scale)));
+  };
+  size_t n_train = scaled(profile.train_pairs);
+  size_t n_test = scaled(profile.test_pairs);
+  size_t n_total = n_train + n_test;
+  size_t n_pos = std::min(
+      n_total > 4 ? n_total / 2 : n_total,
+      std::max<size_t>(4, static_cast<size_t>(
+                              std::lround(profile.total_positives * scale))));
+
+  Schema schema = DomainSchema(profile.domain);
+  BenchmarkData data;
+  data.profile = profile;
+  Table table_a("A_" + profile.name, schema);
+  Table table_b("B_" + profile.name, schema);
+
+  struct RawPair {
+    Record a;
+    Record b;
+    int label;
+  };
+  std::vector<RawPair> raw;
+  raw.reserve(n_total);
+
+  // Positives: one entity rendered by both sources.
+  for (size_t i = 0; i < n_pos; ++i) {
+    Record entity = GenerateEntity(profile.domain, &rng);
+    raw.push_back({RenderSourceA(entity, profile.domain, profile.severity,
+                                 &rng),
+                   RenderSourceB(entity, profile.domain, profile.severity,
+                                 &rng),
+                   1});
+  }
+  // Negatives: hard siblings or independent entities.
+  for (size_t i = n_pos; i < n_total; ++i) {
+    Record entity = GenerateEntity(profile.domain, &rng);
+    if (rng.Bernoulli(profile.hard_negative_fraction)) {
+      Record sibling = MutateEntity(entity, profile.domain, &rng);
+      raw.push_back({RenderSourceA(entity, profile.domain, profile.severity,
+                                   &rng),
+                     RenderSourceB(sibling, profile.domain,
+                                   profile.severity, &rng),
+                     0});
+    } else {
+      Record other = GenerateEntity(profile.domain, &rng);
+      raw.push_back({RenderSourceA(entity, profile.domain, profile.severity,
+                                   &rng),
+                     RenderSourceB(other, profile.domain, profile.severity,
+                                   &rng),
+                     0});
+    }
+  }
+
+  // Stratified shuffle-split into train/test.
+  std::vector<size_t> pos_idx;
+  std::vector<size_t> neg_idx;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    (raw[i].label == 1 ? pos_idx : neg_idx).push_back(i);
+  }
+  rng.Shuffle(&pos_idx);
+  rng.Shuffle(&neg_idx);
+  double test_frac = static_cast<double>(n_test) / n_total;
+  size_t pos_test = static_cast<size_t>(pos_idx.size() * test_frac + 0.5);
+  size_t neg_test = static_cast<size_t>(neg_idx.size() * test_frac + 0.5);
+
+  std::vector<std::pair<size_t, bool>> assignment;  // (raw index, to_test)
+  assignment.reserve(raw.size());
+  for (size_t k = 0; k < pos_idx.size(); ++k) {
+    assignment.push_back({pos_idx[k], k < pos_test});
+  }
+  for (size_t k = 0; k < neg_idx.size(); ++k) {
+    assignment.push_back({neg_idx[k], k < neg_test});
+  }
+  rng.Shuffle(&assignment);
+
+  data.train.left = table_a;
+  data.train.right = table_b;
+  data.test.left = Table("A_" + profile.name, schema);
+  data.test.right = Table("B_" + profile.name, schema);
+
+  for (const auto& [idx, to_test] : assignment) {
+    PairSet& target = to_test ? data.test : data.train;
+    RecordPair pair;
+    pair.left_id = target.left.num_rows();
+    pair.right_id = target.right.num_rows();
+    pair.label = raw[idx].label;
+    AUTOEM_RETURN_IF_ERROR(target.left.Append(raw[idx].a));
+    AUTOEM_RETURN_IF_ERROR(target.right.Append(raw[idx].b));
+    target.pairs.push_back(pair);
+  }
+  return data;
+}
+
+Result<BenchmarkData> GenerateBenchmarkByName(const std::string& name,
+                                              uint64_t seed, double scale) {
+  auto profile = FindProfile(name);
+  if (!profile.ok()) return profile.status();
+  return GenerateBenchmark(*profile, seed, scale);
+}
+
+}  // namespace autoem

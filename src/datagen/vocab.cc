@@ -1,0 +1,238 @@
+#include "datagen/vocab.h"
+
+namespace autoem {
+namespace vocab {
+
+namespace {
+
+const std::vector<std::string>& MakeList(
+    std::initializer_list<const char*> words) {
+  auto* out = new std::vector<std::string>();
+  out->reserve(words.size());
+  for (const char* w : words) out->emplace_back(w);
+  return *out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& RestaurantNameWords() {
+  static const auto& kList = MakeList(
+      {"golden",   "dragon",  "palace",  "villa",   "garden",  "house",
+       "corner",   "blue",    "olive",   "spice",   "royal",   "little",
+       "grand",    "harbor",  "sunset",  "maple",   "cedar",   "copper",
+       "iron",     "silver",  "lotus",   "bamboo",  "tavern",  "bistro",
+       "grill",    "kitchen", "diner",   "cantina", "trattoria", "brasserie",
+       "osteria",  "cafe",    "express", "delight", "fusion",  "terrace",
+       "junction", "market",  "union",   "plaza",   "river",   "lakeside",
+       "old",      "new",     "famous",  "original", "urban",  "rustic"});
+  return kList;
+}
+
+const std::vector<std::string>& CuisineTypes() {
+  static const auto& kList = MakeList(
+      {"american", "italian", "french", "japanese", "chinese", "mexican",
+       "thai", "indian", "greek", "spanish", "korean", "vietnamese",
+       "steakhouses", "delis", "seafood", "barbecue", "pizza", "vegetarian",
+       "mediterranean", "fusion"});
+  return kList;
+}
+
+const std::vector<std::string>& Cities() {
+  static const auto& kList = MakeList(
+      {"los angeles", "new york", "san francisco", "chicago", "boston",
+       "seattle", "austin", "denver", "portland", "atlanta", "miami",
+       "houston", "philadelphia", "phoenix", "dallas", "san diego",
+       "studio city", "west hollywood", "pasadena", "santa monica",
+       "brooklyn", "queens", "oakland", "berkeley", "cambridge"});
+  return kList;
+}
+
+const std::vector<std::string>& StreetNames() {
+  static const auto& kList = MakeList(
+      {"sunset", "ventura", "main", "oak", "pine", "maple", "cedar",
+       "hillhurst", "la cienega", "melrose", "wilshire", "broadway",
+       "lincoln", "washington", "jefferson", "madison", "franklin",
+       "highland", "fairfax", "olympic", "pico", "market", "mission",
+       "valencia", "colorado"});
+  return kList;
+}
+
+const std::vector<std::string>& StreetSuffixes() {
+  static const auto& kList =
+      MakeList({"street", "avenue", "boulevard", "road", "drive", "lane",
+                "way", "place"});
+  return kList;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const auto& kList = MakeList(
+      {"james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+       "linda", "william", "elizabeth", "david", "barbara", "richard",
+       "susan", "joseph", "jessica", "thomas", "sarah", "charles", "karen",
+       "wei", "jun", "li", "yan", "min", "hao", "pierre", "marie", "hans",
+       "anna", "raj", "priya", "kenji", "yuki", "carlos", "sofia"});
+  return kList;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const auto& kList = MakeList(
+      {"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+       "davis", "rodriguez", "martinez", "wang", "li", "zhang", "chen",
+       "liu", "yang", "huang", "kim", "park", "lee", "nguyen", "tran",
+       "patel", "kumar", "singh", "tanaka", "suzuki", "sato", "mueller",
+       "schmidt", "fischer", "rossi", "ferrari", "silva", "santos", "petrov"});
+  return kList;
+}
+
+const std::vector<std::string>& PaperTitleWords() {
+  static const auto& kList = MakeList(
+      {"efficient",    "scalable",   "distributed", "parallel",  "adaptive",
+       "incremental",  "approximate", "robust",     "optimal",   "dynamic",
+       "query",        "index",      "join",        "aggregation", "stream",
+       "graph",        "matrix",     "transaction", "storage",   "memory",
+       "processing",   "optimization", "learning",  "mining",    "clustering",
+       "classification", "estimation", "sampling",  "compression", "caching",
+       "database",     "system",     "algorithm",   "framework", "model",
+       "analysis",     "evaluation", "benchmark",   "architecture", "engine",
+       "relational",   "spatial",    "temporal",    "probabilistic", "secure"});
+  return kList;
+}
+
+const std::vector<std::string>& Venues() {
+  static const auto& kList = MakeList(
+      {"sigmod conference", "vldb", "icde", "kdd", "cikm", "edbt", "icdt",
+       "pods", "www conference", "sigir", "icml", "nips", "aaai", "ijcai",
+       "acm transactions on database systems", "vldb journal",
+       "ieee transactions on knowledge and data engineering",
+       "information systems", "data and knowledge engineering",
+       "journal of machine learning research"});
+  return kList;
+}
+
+const std::vector<std::string>& BeerAdjectives() {
+  static const auto& kList = MakeList(
+      {"hoppy", "golden", "dark", "amber", "imperial", "double", "hazy",
+       "smoked", "barrel aged", "sour", "wild", "old", "midnight", "summer",
+       "winter", "harvest", "mountain", "river", "coastal", "northern"});
+  return kList;
+}
+
+const std::vector<std::string>& BeerNouns() {
+  static const auto& kList = MakeList(
+      {"ale", "lager", "stout", "porter", "pilsner", "ipa", "saison",
+       "wheat", "dubbel", "tripel", "bock", "kolsch", "gose", "lambic",
+       "bitter", "mild", "barleywine", "quad"});
+  return kList;
+}
+
+const std::vector<std::string>& BeerStyles() {
+  static const auto& kList = MakeList(
+      {"american ipa", "imperial stout", "english porter", "belgian tripel",
+       "german pilsner", "american pale ale", "witbier", "hefeweizen",
+       "russian imperial stout", "berliner weisse", "farmhouse ale",
+       "english barleywine", "scotch ale", "vienna lager", "czech pilsner",
+       "fruit lambic", "oatmeal stout", "brown ale"});
+  return kList;
+}
+
+const std::vector<std::string>& BreweryWords() {
+  static const auto& kList = MakeList(
+      {"stone", "anchor", "cascade", "sierra", "ridge", "valley", "summit",
+       "harbor", "ironworks", "mill", "creek", "fork", "prairie", "timber",
+       "granite", "copperhead", "wolf", "bear", "eagle", "raven"});
+  return kList;
+}
+
+const std::vector<std::string>& SongWords() {
+  static const auto& kList = MakeList(
+      {"love", "night", "heart", "fire", "dream", "dance", "summer", "rain",
+       "light", "shadow", "river", "home", "road", "sky", "star", "golden",
+       "broken", "forever", "midnight", "wild", "young", "blue", "crazy",
+       "sweet", "lonely", "electric", "paradise", "thunder", "echo",
+       "gravity"});
+  return kList;
+}
+
+const std::vector<std::string>& ArtistWords() {
+  static const auto& kList = MakeList(
+      {"the", "black", "red", "velvet", "arctic", "neon", "crystal", "lunar",
+       "silver", "wolves", "foxes", "kings", "queens", "rebels", "saints",
+       "ghosts", "tigers", "panthers", "avenue", "brothers", "sisters",
+       "collective", "orchestra", "project", "band"});
+  return kList;
+}
+
+const std::vector<std::string>& Genres() {
+  static const auto& kList = MakeList(
+      {"pop", "rock", "hip-hop/rap", "country", "r&b/soul", "electronic",
+       "jazz", "classical", "folk", "reggae", "blues", "metal", "indie",
+       "alternative", "latin", "soundtrack"});
+  return kList;
+}
+
+const std::vector<std::string>& Brands() {
+  static const auto& kList = MakeList(
+      {"sony", "samsung", "panasonic", "toshiba", "philips", "canon",
+       "nikon", "logitech", "netgear", "linksys", "belkin", "garmin",
+       "hp", "dell", "lenovo", "asus", "acer", "epson", "brother",
+       "sandisk", "kingston", "seagate", "jvc", "pioneer", "kenwood",
+       "yamaha", "bose", "denon", "onkyo", "vizio"});
+  return kList;
+}
+
+const std::vector<std::string>& ProductNouns() {
+  static const auto& kList = MakeList(
+      {"camera", "camcorder", "headphones", "speaker", "router", "monitor",
+       "keyboard", "mouse", "printer", "scanner", "projector", "receiver",
+       "subwoofer", "television", "notebook", "tablet", "drive", "adapter",
+       "charger", "antivirus", "office suite", "photo editor", "firewall",
+       "backup software", "operating system"});
+  return kList;
+}
+
+const std::vector<std::string>& ProductModifiers() {
+  static const auto& kList = MakeList(
+      {"wireless", "portable", "digital", "compact", "professional", "hd",
+       "ultra", "mini", "premium", "gaming", "home", "deluxe", "standard",
+       "pro", "plus", "elite", "advanced", "essential", "classic", "smart"});
+  return kList;
+}
+
+const std::vector<std::string>& ProductCategories() {
+  static const auto& kList = MakeList(
+      {"electronics - general", "tv & video", "audio", "computers",
+       "cameras & photo", "networking", "printers & ink", "software",
+       "accessories", "storage", "home theater", "portable audio"});
+  return kList;
+}
+
+const std::vector<std::string>& DescriptionFiller() {
+  static const auto& kList = MakeList(
+      {"features", "includes", "designed", "for", "with", "high",
+       "performance", "quality", "easy", "setup", "compatible", "supports",
+       "built-in", "technology", "warranty", "energy", "efficient", "sleek",
+       "design", "perfect", "ideal", "superior", "sound", "crystal", "clear",
+       "picture", "fast", "reliable", "connectivity", "advanced", "control",
+       "remote", "included", "lightweight", "durable", "powerful",
+       "long-lasting", "battery", "life", "intuitive", "interface"});
+  return kList;
+}
+
+const std::string& Pick(const std::vector<std::string>& pool, Rng* rng) {
+  return pool[rng->UniformIndex(pool.size())];
+}
+
+std::string PickPhrase(const std::vector<std::string>& pool, size_t n,
+                       Rng* rng) {
+  std::string out;
+  std::vector<size_t> chosen =
+      rng->SampleWithoutReplacement(pool.size(), std::min(n, pool.size()));
+  for (size_t i = 0; i < chosen.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += pool[chosen[i]];
+  }
+  return out;
+}
+
+}  // namespace vocab
+}  // namespace autoem

@@ -1,0 +1,53 @@
+#ifndef AUTOEM_DATAGEN_VOCAB_H_
+#define AUTOEM_DATAGEN_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace autoem {
+
+/// Word pools backing the synthetic benchmark generators. Each accessor
+/// returns a stable list; generators compose entities combinatorially so a
+/// few dozen stems yield thousands of distinct entities.
+namespace vocab {
+
+const std::vector<std::string>& RestaurantNameWords();
+const std::vector<std::string>& CuisineTypes();
+const std::vector<std::string>& Cities();
+const std::vector<std::string>& StreetNames();
+const std::vector<std::string>& StreetSuffixes();
+
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+const std::vector<std::string>& PaperTitleWords();
+const std::vector<std::string>& Venues();
+
+const std::vector<std::string>& BeerAdjectives();
+const std::vector<std::string>& BeerNouns();
+const std::vector<std::string>& BeerStyles();
+const std::vector<std::string>& BreweryWords();
+
+const std::vector<std::string>& SongWords();
+const std::vector<std::string>& ArtistWords();
+const std::vector<std::string>& Genres();
+
+const std::vector<std::string>& Brands();
+const std::vector<std::string>& ProductNouns();
+const std::vector<std::string>& ProductModifiers();
+const std::vector<std::string>& ProductCategories();
+const std::vector<std::string>& DescriptionFiller();
+
+/// Uniformly picks one word from a pool.
+const std::string& Pick(const std::vector<std::string>& pool, Rng* rng);
+
+/// Joins `n` distinct picks from the pool with spaces.
+std::string PickPhrase(const std::vector<std::string>& pool, size_t n,
+                       Rng* rng);
+
+}  // namespace vocab
+
+}  // namespace autoem
+
+#endif  // AUTOEM_DATAGEN_VOCAB_H_

@@ -1,0 +1,61 @@
+#include "em/matcher.h"
+
+#include "ml/metrics.h"
+
+namespace autoem {
+
+Result<EntityMatcher> EntityMatcher::Train(const PairSet& labeled_pairs,
+                                           const Options& options) {
+  if (labeled_pairs.pairs.empty()) {
+    return Status::InvalidArgument("no training pairs");
+  }
+  auto generator = CreateFeatureGenerator(options.feature_generator);
+  if (!generator.ok()) return generator.status();
+  AUTOEM_RETURN_IF_ERROR(
+      (*generator)->Plan(labeled_pairs.left, labeled_pairs.right));
+
+  Dataset train = (*generator)->Generate(labeled_pairs);
+  auto automl = RunAutoMlEm(train, options.automl);
+  if (!automl.ok()) return automl.status();
+  return EntityMatcher(std::move(*generator), std::move(*automl));
+}
+
+Result<std::vector<double>> EntityMatcher::ScorePairs(
+    const PairSet& pairs) const {
+  if (pairs.left.schema().num_attributes() == 0) {
+    return Status::InvalidArgument("empty schema");
+  }
+  Dataset features = generator_->Generate(pairs);
+  return automl_.model.PredictProba(features.X);
+}
+
+Result<std::vector<int>> EntityMatcher::MatchPairs(const PairSet& pairs,
+                                                   double threshold) const {
+  auto scores = ScorePairs(pairs);
+  if (!scores.ok()) return scores.status();
+  std::vector<int> out(scores->size());
+  for (size_t i = 0; i < scores->size(); ++i) {
+    out[i] = (*scores)[i] >= threshold ? 1 : 0;
+  }
+  return out;
+}
+
+Result<MatchReport> EntityMatcher::Evaluate(const PairSet& labeled_pairs,
+                                            double threshold) const {
+  auto predictions = MatchPairs(labeled_pairs, threshold);
+  if (!predictions.ok()) return predictions.status();
+  std::vector<int> truth;
+  truth.reserve(labeled_pairs.pairs.size());
+  for (const auto& p : labeled_pairs.pairs) {
+    truth.push_back(p.label == 1 ? 1 : 0);
+  }
+  MatchReport report;
+  report.precision = Precision(truth, *predictions);
+  report.recall = Recall(truth, *predictions);
+  report.f1 = F1Score(truth, *predictions);
+  report.num_pairs = truth.size();
+  report.num_positives = labeled_pairs.NumPositives();
+  return report;
+}
+
+}  // namespace autoem

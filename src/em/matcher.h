@@ -1,0 +1,66 @@
+#ifndef AUTOEM_EM_MATCHER_H_
+#define AUTOEM_EM_MATCHER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automl/automl_em.h"
+#include "features/feature_gen.h"
+#include "table/table.h"
+
+namespace autoem {
+
+/// Quality report for a fitted matcher on a labeled pair set.
+struct MatchReport {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t num_pairs = 0;
+  size_t num_positives = 0;
+};
+
+/// End-to-end entity matcher: wraps feature generation + an AutoML-EM
+/// searched pipeline behind a train-once / predict-pairs API. This is the
+/// object a downstream application holds.
+class EntityMatcher {
+ public:
+  struct Options {
+    /// "automl_em" (Table II) or "magellan" (Table I).
+    std::string feature_generator = "automl_em";
+    AutoMlEmOptions automl;
+  };
+
+  /// Trains on labeled candidate pairs.
+  static Result<EntityMatcher> Train(const PairSet& labeled_pairs,
+                                     const Options& options);
+
+  /// P(match) for each candidate pair (tables must share the training
+  /// schema).
+  Result<std::vector<double>> ScorePairs(const PairSet& pairs) const;
+
+  /// Hard decisions at `threshold`.
+  Result<std::vector<int>> MatchPairs(const PairSet& pairs,
+                                      double threshold = 0.5) const;
+
+  /// Precision/recall/F1 on labeled pairs.
+  Result<MatchReport> Evaluate(const PairSet& labeled_pairs,
+                               double threshold = 0.5) const;
+
+  /// The searched configuration (Fig. 11-style dump via
+  /// automl_result().BestPipelineString()).
+  const AutoMlEmResult& automl_result() const { return automl_; }
+  const FeatureGenerator& feature_generator() const { return *generator_; }
+
+ private:
+  EntityMatcher(std::unique_ptr<FeatureGenerator> generator,
+                AutoMlEmResult automl)
+      : generator_(std::move(generator)), automl_(std::move(automl)) {}
+
+  std::unique_ptr<FeatureGenerator> generator_;
+  AutoMlEmResult automl_;
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_EM_MATCHER_H_

@@ -1,0 +1,53 @@
+#include "em/pairs_io.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace autoem {
+
+Table PairsToTable(const std::vector<RecordPair>& pairs) {
+  Table t("pairs", Schema({"ltable_id", "rtable_id", "label"}));
+  for (const auto& p : pairs) {
+    Status st = t.Append(Record({Value(static_cast<double>(p.left_id)),
+                                 Value(static_cast<double>(p.right_id)),
+                                 Value(static_cast<double>(p.label))}));
+    AUTOEM_CHECK(st.ok());  // fixed arity; cannot fail
+  }
+  return t;
+}
+
+Result<std::vector<RecordPair>> PairsFromTable(const Table& table,
+                                               size_t left_rows,
+                                               size_t right_rows) {
+  int l = table.schema().IndexOf("ltable_id");
+  int r = table.schema().IndexOf("rtable_id");
+  int lab = table.schema().IndexOf("label");
+  if (l < 0 || r < 0) {
+    return Status::InvalidArgument(
+        "pairs table needs ltable_id and rtable_id columns");
+  }
+  std::vector<RecordPair> pairs;
+  pairs.reserve(table.num_rows());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    const Value& lv = table.cell(i, l);
+    const Value& rv = table.cell(i, r);
+    if (!lv.is_number() || !rv.is_number()) {
+      return Status::InvalidArgument(
+          StrFormat("pairs row %zu: non-numeric id", i));
+    }
+    RecordPair pair;
+    pair.left_id = static_cast<size_t>(lv.AsNumber());
+    pair.right_id = static_cast<size_t>(rv.AsNumber());
+    pair.label = (lab >= 0 && table.cell(i, lab).is_number())
+                     ? static_cast<int>(table.cell(i, lab).AsNumber())
+                     : -1;
+    if (pair.left_id >= left_rows || pair.right_id >= right_rows) {
+      return Status::OutOfRange(
+          StrFormat("pairs row %zu references row outside the tables", i));
+    }
+    pairs.push_back(pair);
+  }
+  return pairs;
+}
+
+}  // namespace autoem

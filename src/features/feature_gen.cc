@@ -1,0 +1,251 @@
+#include "features/feature_gen.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace autoem {
+
+namespace {
+
+std::string TokenizerSuffix(TokenizerKind kind) {
+  switch (kind) {
+    case TokenizerKind::kNone:
+      return "";
+    case TokenizerKind::kWhitespace:
+      return "_space";
+    case TokenizerKind::kQGram3:
+      return "_3gram";
+  }
+  return "";
+}
+
+std::string MeasureSlug(Measure m) {
+  switch (m) {
+    case Measure::kLevenshteinDistance:
+      return "lev_dist";
+    case Measure::kLevenshteinSimilarity:
+      return "lev_sim";
+    case Measure::kJaro:
+      return "jaro";
+    case Measure::kJaroWinkler:
+      return "jaro_winkler";
+    case Measure::kExactMatch:
+      return "exact_match";
+    case Measure::kNeedlemanWunsch:
+      return "needleman_wunsch";
+    case Measure::kSmithWaterman:
+      return "smith_waterman";
+    case Measure::kMongeElkan:
+      return "monge_elkan";
+    case Measure::kOverlapCoefficient:
+      return "overlap";
+    case Measure::kDice:
+      return "dice";
+    case Measure::kCosine:
+      return "cosine";
+    case Measure::kJaccard:
+      return "jaccard";
+    case Measure::kAbsoluteNorm:
+      return "abs_norm";
+  }
+  return "unknown";
+}
+
+FeaturePlan MakePlan(const Schema& schema, size_t attr, SimFunction func) {
+  FeaturePlan plan;
+  plan.attr_index = attr;
+  plan.func = func;
+  plan.name = schema.name(attr) + "_" + MeasureSlug(func.measure) +
+              TokenizerSuffix(func.tokenizer);
+  return plan;
+}
+
+// Magellan's per-band string function lists (paper Table I).
+std::vector<SimFunction> MagellanStringFunctions(AttributeClass cls) {
+  switch (cls) {
+    case AttributeClass::kSingleWordString:
+      return {
+          {Measure::kLevenshteinDistance, TokenizerKind::kNone},
+          {Measure::kLevenshteinSimilarity, TokenizerKind::kNone},
+          {Measure::kJaro, TokenizerKind::kNone},
+          {Measure::kExactMatch, TokenizerKind::kNone},
+          {Measure::kJaroWinkler, TokenizerKind::kNone},
+          {Measure::kJaccard, TokenizerKind::kQGram3},
+      };
+    case AttributeClass::kShortString:
+      return {
+          {Measure::kLevenshteinDistance, TokenizerKind::kNone},
+          {Measure::kLevenshteinSimilarity, TokenizerKind::kNone},
+          {Measure::kNeedlemanWunsch, TokenizerKind::kNone},
+          {Measure::kSmithWaterman, TokenizerKind::kNone},
+          {Measure::kMongeElkan, TokenizerKind::kNone},
+          {Measure::kCosine, TokenizerKind::kWhitespace},
+          {Measure::kJaccard, TokenizerKind::kWhitespace},
+          {Measure::kJaccard, TokenizerKind::kQGram3},
+      };
+    case AttributeClass::kMediumString:
+      return {
+          {Measure::kLevenshteinDistance, TokenizerKind::kNone},
+          {Measure::kLevenshteinSimilarity, TokenizerKind::kNone},
+          {Measure::kMongeElkan, TokenizerKind::kNone},
+          {Measure::kCosine, TokenizerKind::kWhitespace},
+          {Measure::kJaccard, TokenizerKind::kQGram3},
+      };
+    case AttributeClass::kLongString:
+      return {
+          {Measure::kCosine, TokenizerKind::kWhitespace},
+          {Measure::kJaccard, TokenizerKind::kQGram3},
+      };
+    default:
+      return {};
+  }
+}
+
+}  // namespace
+
+Dataset FeatureGenerator::Generate(const PairSet& pair_set) const {
+  Dataset out;
+  out.X = Matrix(pair_set.pairs.size(), num_features());
+  out.y.resize(pair_set.pairs.size());
+  out.feature_names.reserve(num_features());
+  for (const auto& p : plan_) out.feature_names.push_back(p.name);
+  for (const auto& p : tfidf_plans_) out.feature_names.push_back(p.name);
+
+  for (size_t i = 0; i < pair_set.pairs.size(); ++i) {
+    const RecordPair& pair = pair_set.pairs[i];
+    std::vector<double> row = GenerateRow(pair_set.left.row(pair.left_id),
+                                          pair_set.right.row(pair.right_id));
+    for (size_t f = 0; f < row.size(); ++f) out.X.At(i, f) = row[f];
+    out.y[i] = pair.label == 1 ? 1 : 0;
+  }
+  return out;
+}
+
+std::vector<double> FeatureGenerator::GenerateRow(const Record& left,
+                                                  const Record& right) const {
+  std::vector<double> row(num_features());
+  for (size_t f = 0; f < plan_.size(); ++f) {
+    const FeaturePlan& p = plan_[f];
+    const Value& lv = left.at(p.attr_index);
+    const Value& rv = right.at(p.attr_index);
+    if (lv.is_null() || rv.is_null()) {
+      row[f] = std::numeric_limits<double>::quiet_NaN();
+      continue;
+    }
+    row[f] = p.func.Apply(lv.ToString(), rv.ToString());
+  }
+  for (size_t t = 0; t < tfidf_plans_.size(); ++t) {
+    const TfIdfPlan& p = tfidf_plans_[t];
+    const Value& lv = left.at(p.attr_index);
+    const Value& rv = right.at(p.attr_index);
+    row[plan_.size() + t] =
+        (lv.is_null() || rv.is_null())
+            ? std::numeric_limits<double>::quiet_NaN()
+            : p.model.Similarity(lv.ToString(), rv.ToString());
+  }
+  return row;
+}
+
+void FeatureGenerator::PlanTfIdf(const Table& left, const Table& right) {
+  tfidf_plans_.clear();
+  std::vector<AttributeClass> classes = InferAllAttributeClasses(left, right);
+  for (size_t a = 0; a < classes.size(); ++a) {
+    if (classes[a] == AttributeClass::kBoolean ||
+        classes[a] == AttributeClass::kNumeric) {
+      continue;
+    }
+    TfIdfPlan plan;
+    plan.attr_index = a;
+    plan.model = TfIdfModel(TokenizerKind::kWhitespace);
+    for (const Table* t : {&left, &right}) {
+      for (size_t r = 0; r < t->num_rows(); ++r) {
+        const Value& v = t->cell(r, a);
+        if (!v.is_null()) plan.model.AddDocument(v.ToString());
+      }
+    }
+    plan.model.Fit();
+    plan.name = left.schema().name(a) + "_tfidf_cosine_space";
+    tfidf_plans_.push_back(std::move(plan));
+  }
+}
+
+Status MagellanFeatureGenerator::Plan(const Table& left, const Table& right) {
+  if (!(left.schema() == right.schema())) {
+    return Status::InvalidArgument("tables must share a schema");
+  }
+  plan_.clear();
+  std::vector<AttributeClass> classes = InferAllAttributeClasses(left, right);
+  for (size_t a = 0; a < classes.size(); ++a) {
+    std::vector<SimFunction> funcs;
+    switch (classes[a]) {
+      case AttributeClass::kBoolean:
+        funcs = AllBooleanFunctions();
+        break;
+      case AttributeClass::kNumeric:
+        funcs = AllNumericFunctions();
+        break;
+      default:
+        funcs = MagellanStringFunctions(classes[a]);
+        break;
+    }
+    for (const auto& f : funcs) {
+      plan_.push_back(MakePlan(left.schema(), a, f));
+    }
+  }
+  if (plan_.empty()) {
+    return Status::InvalidArgument("no features could be planned");
+  }
+  return Status::OK();
+}
+
+Status AutoMlEmFeatureGenerator::Plan(const Table& left, const Table& right) {
+  if (!(left.schema() == right.schema())) {
+    return Status::InvalidArgument("tables must share a schema");
+  }
+  plan_.clear();
+  tfidf_plans_.clear();
+  std::vector<AttributeClass> classes = InferAllAttributeClasses(left, right);
+  for (size_t a = 0; a < classes.size(); ++a) {
+    const std::vector<SimFunction>* funcs = nullptr;
+    switch (classes[a]) {
+      case AttributeClass::kBoolean:
+        funcs = &AllBooleanFunctions();
+        break;
+      case AttributeClass::kNumeric:
+        funcs = &AllNumericFunctions();
+        break;
+      default:
+        // The AutoML-EM philosophy (paper §III-B): all string functions for
+        // every string attribute, regardless of string length.
+        funcs = &AllStringFunctions();
+        break;
+    }
+    for (const auto& f : *funcs) {
+      plan_.push_back(MakePlan(left.schema(), a, f));
+    }
+  }
+  if (plan_.empty()) {
+    return Status::InvalidArgument("no features could be planned");
+  }
+  if (include_tfidf_) PlanTfIdf(left, right);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FeatureGenerator>> CreateFeatureGenerator(
+    const std::string& name) {
+  if (name == "magellan") {
+    return std::unique_ptr<FeatureGenerator>(new MagellanFeatureGenerator());
+  }
+  if (name == "automl_em") {
+    return std::unique_ptr<FeatureGenerator>(new AutoMlEmFeatureGenerator());
+  }
+  if (name == "automl_em_tfidf") {
+    return std::unique_ptr<FeatureGenerator>(
+        new AutoMlEmFeatureGenerator(/*include_tfidf=*/true));
+  }
+  return Status::NotFound("unknown feature generator: " + name);
+}
+
+}  // namespace autoem

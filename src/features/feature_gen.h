@@ -1,0 +1,104 @@
+#ifndef AUTOEM_FEATURES_FEATURE_GEN_H_
+#define AUTOEM_FEATURES_FEATURE_GEN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "features/type_inference.h"
+#include "ml/dataset.h"
+#include "table/table.h"
+#include "text/similarity_function.h"
+#include "text/tfidf.h"
+
+namespace autoem {
+
+/// A planned feature: apply `func` to attribute `attr_index` of a record
+/// pair. Name is "<attr>_<measure>_<tokenizer>".
+struct FeaturePlan {
+  size_t attr_index;
+  SimFunction func;
+  std::string name;
+};
+
+/// A corpus-fitted TF-IDF feature on one attribute (opt-in extension to the
+/// Table II set; rare tokens like model numbers get high weight).
+struct TfIdfPlan {
+  size_t attr_index;
+  TfIdfModel model;
+  std::string name;
+};
+
+/// Converts raw record pairs into numeric feature vectors — the step that
+/// makes general-purpose AutoML applicable to EM (paper §III-B). Concrete
+/// generators differ only in which similarity functions they assign to each
+/// attribute.
+class FeatureGenerator {
+ public:
+  virtual ~FeatureGenerator() = default;
+
+  /// Chooses the feature plan for the schema shared by `left` and `right`.
+  /// Must be called before Generate.
+  virtual Status Plan(const Table& left, const Table& right) = 0;
+
+  /// Number of planned features (similarity-function + TF-IDF).
+  size_t num_features() const { return plan_.size() + tfidf_plans_.size(); }
+  const std::vector<FeaturePlan>& plan() const { return plan_; }
+  const std::vector<TfIdfPlan>& tfidf_plans() const { return tfidf_plans_; }
+
+  /// Applies the plan to every pair: row i of the result corresponds to
+  /// pairs[i]; labels are copied through (unlabeled pairs keep label -1 out
+  /// of the Dataset; see below). Cells where either side is null become NaN.
+  ///
+  /// Labels: Dataset.y[i] is pairs[i].label clamped to {0, 1}; callers that
+  /// pass unlabeled pairs must track label validity themselves.
+  Dataset Generate(const PairSet& pair_set) const;
+
+  /// Feature vector for a single record pair.
+  std::vector<double> GenerateRow(const Record& left,
+                                  const Record& right) const;
+
+  virtual std::string name() const = 0;
+
+ protected:
+  std::vector<FeaturePlan> plan_;
+  std::vector<TfIdfPlan> tfidf_plans_;
+
+  /// Fits one whitespace-token TF-IDF model per string attribute from all
+  /// non-null cells of both tables. Called by generators that opt in.
+  void PlanTfIdf(const Table& left, const Table& right);
+};
+
+/// Magellan's rule-based generation (paper Table I): similarity functions
+/// chosen by the attribute's inferred data type / string length band.
+class MagellanFeatureGenerator : public FeatureGenerator {
+ public:
+  Status Plan(const Table& left, const Table& right) override;
+  std::string name() const override { return "magellan"; }
+};
+
+/// AutoML-EM generation (paper Table II): *all* sixteen string similarity
+/// functions for every string attribute, delegating feature selection to the
+/// AutoML search instead of hand-written length rules.
+class AutoMlEmFeatureGenerator : public FeatureGenerator {
+ public:
+  /// `include_tfidf` additionally fits corpus-weighted TF-IDF cosine
+  /// features per string attribute (extension beyond Table II).
+  explicit AutoMlEmFeatureGenerator(bool include_tfidf = false)
+      : include_tfidf_(include_tfidf) {}
+
+  Status Plan(const Table& left, const Table& right) override;
+  std::string name() const override { return "automl_em"; }
+
+ private:
+  bool include_tfidf_;
+};
+
+/// Factory: "magellan" or "automl_em".
+Result<std::unique_ptr<FeatureGenerator>> CreateFeatureGenerator(
+    const std::string& name);
+
+}  // namespace autoem
+
+#endif  // AUTOEM_FEATURES_FEATURE_GEN_H_

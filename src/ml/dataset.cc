@@ -1,0 +1,93 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+
+namespace autoem {
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& rows) const {
+  Matrix out(rows.size(), cols_);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double* src = RowPtr(rows[i]);
+    std::copy(src, src + cols_, out.RowPtr(i));
+  }
+  return out;
+}
+
+Matrix Matrix::SelectCols(const std::vector<size_t>& cols) const {
+  Matrix out(rows_, cols.size());
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      out.At(r, i) = At(r, cols[i]);
+    }
+  }
+  return out;
+}
+
+size_t Dataset::NumPositives() const {
+  size_t n = 0;
+  for (int label : y) {
+    if (label == 1) ++n;
+  }
+  return n;
+}
+
+Dataset Dataset::SelectRows(const std::vector<size_t>& rows) const {
+  Dataset out;
+  out.X = X.SelectRows(rows);
+  out.y.reserve(rows.size());
+  for (size_t r : rows) out.y.push_back(y[r]);
+  out.feature_names = feature_names;
+  return out;
+}
+
+namespace {
+
+// Splits index set into (rest, taken) where |taken| ~= fraction * |idx|.
+void SplitIndices(std::vector<size_t> idx, double fraction, Rng* rng,
+                  std::vector<size_t>* rest, std::vector<size_t>* taken) {
+  rng->Shuffle(&idx);
+  size_t n_taken = static_cast<size_t>(idx.size() * fraction + 0.5);
+  n_taken = std::min(n_taken, idx.size());
+  taken->insert(taken->end(), idx.begin(), idx.begin() + n_taken);
+  rest->insert(rest->end(), idx.begin() + n_taken, idx.end());
+}
+
+}  // namespace
+
+SplitResult TrainTestSplit(const Dataset& data, double test_fraction,
+                           Rng* rng, bool stratified) {
+  AUTOEM_CHECK(test_fraction >= 0.0 && test_fraction <= 1.0);
+  std::vector<size_t> train_idx;
+  std::vector<size_t> test_idx;
+  if (stratified) {
+    std::vector<size_t> pos;
+    std::vector<size_t> neg;
+    for (size_t i = 0; i < data.size(); ++i) {
+      (data.y[i] == 1 ? pos : neg).push_back(i);
+    }
+    SplitIndices(std::move(pos), test_fraction, rng, &train_idx, &test_idx);
+    SplitIndices(std::move(neg), test_fraction, rng, &train_idx, &test_idx);
+  } else {
+    std::vector<size_t> idx(data.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    SplitIndices(std::move(idx), test_fraction, rng, &train_idx, &test_idx);
+  }
+  // Shuffle again so downstream mini-batch training sees mixed classes.
+  rng->Shuffle(&train_idx);
+  rng->Shuffle(&test_idx);
+  return {data.SelectRows(train_idx), data.SelectRows(test_idx)};
+}
+
+ThreeWaySplit TrainValidTestSplit(const Dataset& data, double valid_fraction,
+                                  double test_fraction, Rng* rng,
+                                  bool stratified) {
+  SplitResult first = TrainTestSplit(data, test_fraction, rng, stratified);
+  double remaining = 1.0 - test_fraction;
+  double valid_of_remaining = remaining > 0 ? valid_fraction / remaining : 0.0;
+  SplitResult second =
+      TrainTestSplit(first.train, valid_of_remaining, rng, stratified);
+  return {std::move(second.train), std::move(second.test),
+          std::move(first.test)};
+}
+
+}  // namespace autoem

@@ -1,0 +1,93 @@
+#ifndef AUTOEM_ML_DATASET_H_
+#define AUTOEM_ML_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace autoem {
+
+/// Dense row-major matrix of doubles. Missing feature values are encoded as
+/// quiet NaN; transforms and tree models handle NaN explicitly.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+
+  /// Copies one row out as a vector.
+  std::vector<double> RowVector(size_t r) const {
+    return std::vector<double>(RowPtr(r), RowPtr(r) + cols_);
+  }
+
+  /// Copies one column out as a vector.
+  std::vector<double> ColVector(size_t c) const {
+    std::vector<double> out(rows_);
+    for (size_t r = 0; r < rows_; ++r) out[r] = At(r, c);
+    return out;
+  }
+
+  /// New matrix containing the given rows (in order, duplicates allowed).
+  Matrix SelectRows(const std::vector<size_t>& rows) const;
+
+  /// New matrix containing the given columns (in order).
+  Matrix SelectCols(const std::vector<size_t>& cols) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// A supervised dataset: features, binary labels (0/1), and feature names
+/// carried along for pipeline explainability (Fig. 11-style printouts).
+struct Dataset {
+  Matrix X;
+  std::vector<int> y;
+  std::vector<std::string> feature_names;
+
+  size_t size() const { return X.rows(); }
+  size_t num_features() const { return X.cols(); }
+
+  /// Number of positive (label 1) examples.
+  size_t NumPositives() const;
+
+  /// Subset by row indices; feature names are shared.
+  Dataset SelectRows(const std::vector<size_t>& rows) const;
+};
+
+/// Deterministic train/test split. When `stratified`, positive and negative
+/// examples are split separately so both sides keep the class ratio.
+struct SplitResult {
+  Dataset train;
+  Dataset test;
+};
+SplitResult TrainTestSplit(const Dataset& data, double test_fraction,
+                           Rng* rng, bool stratified = true);
+
+/// Three-way split (train/valid/test) used by the AutoML experiments
+/// (paper: 3/5 train, 1/5 validation, 1/5 test).
+struct ThreeWaySplit {
+  Dataset train;
+  Dataset valid;
+  Dataset test;
+};
+ThreeWaySplit TrainValidTestSplit(const Dataset& data, double valid_fraction,
+                                  double test_fraction, Rng* rng,
+                                  bool stratified = true);
+
+}  // namespace autoem
+
+#endif  // AUTOEM_ML_DATASET_H_

@@ -1,0 +1,95 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace autoem {
+
+ConfusionCounts Confusion(const std::vector<int>& y_true,
+                          const std::vector<int>& y_pred) {
+  AUTOEM_CHECK(y_true.size() == y_pred.size());
+  ConfusionCounts c;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == 1) {
+      if (y_pred[i] == 1) ++c.tp;
+      else ++c.fn;
+    } else {
+      if (y_pred[i] == 1) ++c.fp;
+      else ++c.tn;
+    }
+  }
+  return c;
+}
+
+double Precision(const std::vector<int>& y_true,
+                 const std::vector<int>& y_pred) {
+  ConfusionCounts c = Confusion(y_true, y_pred);
+  size_t denom = c.tp + c.fp;
+  return denom == 0 ? 0.0 : static_cast<double>(c.tp) / denom;
+}
+
+double Recall(const std::vector<int>& y_true, const std::vector<int>& y_pred) {
+  ConfusionCounts c = Confusion(y_true, y_pred);
+  size_t denom = c.tp + c.fn;
+  return denom == 0 ? 0.0 : static_cast<double>(c.tp) / denom;
+}
+
+double F1Score(const std::vector<int>& y_true,
+               const std::vector<int>& y_pred) {
+  ConfusionCounts c = Confusion(y_true, y_pred);
+  size_t p_denom = c.tp + c.fp;
+  size_t r_denom = c.tp + c.fn;
+  if (p_denom == 0 || r_denom == 0) return 0.0;
+  double precision = static_cast<double>(c.tp) / p_denom;
+  double recall = static_cast<double>(c.tp) / r_denom;
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double Accuracy(const std::vector<int>& y_true,
+                const std::vector<int>& y_pred) {
+  AUTOEM_CHECK(y_true.size() == y_pred.size());
+  if (y_true.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == y_pred[i]) ++correct;
+  }
+  return static_cast<double>(correct) / y_true.size();
+}
+
+double RocAuc(const std::vector<int>& y_true,
+              const std::vector<double>& scores) {
+  AUTOEM_CHECK(y_true.size() == scores.size());
+  size_t n_pos = 0;
+  for (int label : y_true) n_pos += (label == 1);
+  size_t n_neg = y_true.size() - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+
+  // Midrank-based Mann-Whitney U statistic.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> rank(scores.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    double mid = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+  double rank_sum_pos = 0.0;
+  for (size_t k = 0; k < y_true.size(); ++k) {
+    if (y_true[k] == 1) rank_sum_pos += rank[k];
+  }
+  double u = rank_sum_pos - static_cast<double>(n_pos) * (n_pos + 1) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+}  // namespace autoem

@@ -1,0 +1,40 @@
+#ifndef AUTOEM_ML_METRICS_H_
+#define AUTOEM_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace autoem {
+
+/// Binary confusion counts.
+struct ConfusionCounts {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t tn = 0;
+  size_t fn = 0;
+};
+
+ConfusionCounts Confusion(const std::vector<int>& y_true,
+                          const std::vector<int>& y_pred);
+
+/// Precision = TP / (TP + FP); 0 when no positives were predicted.
+double Precision(const std::vector<int>& y_true,
+                 const std::vector<int>& y_pred);
+
+/// Recall = TP / (TP + FN); 0 when there are no true positives.
+double Recall(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+/// F1 = harmonic mean of precision and recall (the paper's metric, §II-A).
+double F1Score(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+double Accuracy(const std::vector<int>& y_true,
+                const std::vector<int>& y_pred);
+
+/// Area under the ROC curve from positive-class scores (ties handled by
+/// midrank). Returns 0.5 when one class is absent.
+double RocAuc(const std::vector<int>& y_true,
+              const std::vector<double>& scores);
+
+}  // namespace autoem
+
+#endif  // AUTOEM_ML_METRICS_H_

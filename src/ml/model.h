@@ -1,0 +1,66 @@
+#ifndef AUTOEM_ML_MODEL_H_
+#define AUTOEM_ML_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace autoem {
+
+/// Binary classifier interface. Inputs are dense feature matrices; missing
+/// values (NaN) must be imputed upstream except for tree-based models, which
+/// route NaN down the left branch deterministically.
+///
+/// Labels are 0 (non-match) / 1 (match). `sample_weights`, when provided,
+/// scales each example's contribution to the loss (used by class-weight
+/// balancing and boosting).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains the model. Returns InvalidArgument for degenerate inputs (empty
+  /// data, single class where the model cannot handle it, arity mismatch).
+  virtual Status Fit(const Matrix& X, const std::vector<int>& y,
+                     const std::vector<double>* sample_weights = nullptr) = 0;
+
+  /// P(label == 1) per row. Precondition: Fit succeeded.
+  virtual std::vector<double> PredictProba(const Matrix& X) const = 0;
+
+  /// Hard labels at the given probability threshold.
+  std::vector<int> Predict(const Matrix& X, double threshold = 0.5) const {
+    std::vector<double> proba = PredictProba(X);
+    std::vector<int> out(proba.size());
+    for (size_t i = 0; i < proba.size(); ++i) {
+      out[i] = proba[i] >= threshold ? 1 : 0;
+    }
+    return out;
+  }
+
+  /// Deep copy of the *untrained* configuration (hyperparameters only).
+  virtual std::unique_ptr<Classifier> CloneConfig() const = 0;
+
+  /// Stable model name, e.g. "random_forest".
+  virtual std::string name() const = 0;
+};
+
+/// Validates (X, y, weights) agreement; shared by Fit implementations.
+inline Status ValidateFitInputs(const Matrix& X, const std::vector<int>& y,
+                                const std::vector<double>* w) {
+  if (X.rows() == 0 || X.cols() == 0) {
+    return Status::InvalidArgument("empty training matrix");
+  }
+  if (X.rows() != y.size()) {
+    return Status::InvalidArgument("X rows != y size");
+  }
+  if (w != nullptr && w->size() != y.size()) {
+    return Status::InvalidArgument("sample_weights size != y size");
+  }
+  return Status::OK();
+}
+
+}  // namespace autoem
+
+#endif  // AUTOEM_ML_MODEL_H_

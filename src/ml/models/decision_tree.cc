@@ -1,0 +1,400 @@
+#include "ml/models/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace autoem {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// NaN cells sort (and split) as -inf so they always descend left.
+inline double SplitValue(double v) { return std::isnan(v) ? kNegInf : v; }
+
+double GiniImpurity(double w_pos, double w_total) {
+  if (w_total <= 0.0) return 0.0;
+  double p = w_pos / w_total;
+  return 2.0 * p * (1.0 - p);
+}
+
+double EntropyImpurity(double w_pos, double w_total) {
+  if (w_total <= 0.0) return 0.0;
+  double p = w_pos / w_total;
+  double h = 0.0;
+  if (p > 0.0) h -= p * std::log2(p);
+  if (p < 1.0) h -= (1.0 - p) * std::log2(1.0 - p);
+  return h;
+}
+
+size_t NumFeaturesToTry(double max_features, size_t n_features) {
+  double k = max_features * static_cast<double>(n_features);
+  size_t out = static_cast<size_t>(std::lround(k));
+  return std::clamp<size_t>(out, 1, n_features);
+}
+
+}  // namespace
+
+// ---- DecisionTreeClassifier -------------------------------------------------
+
+DecisionTreeClassifier::DecisionTreeClassifier(TreeOptions options)
+    : options_(std::move(options)) {}
+
+std::unique_ptr<Classifier> DecisionTreeClassifier::FromParams(
+    const ParamMap& params) {
+  TreeOptions opt;
+  opt.criterion = GetString(params, "criterion", "gini");
+  opt.max_depth = static_cast<int>(GetInt(params, "max_depth", 0));
+  opt.min_samples_split =
+      static_cast<int>(GetInt(params, "min_samples_split", 2));
+  opt.min_samples_leaf =
+      static_cast<int>(GetInt(params, "min_samples_leaf", 1));
+  opt.max_features = GetDouble(params, "max_features", 1.0);
+  opt.min_impurity_decrease =
+      GetDouble(params, "min_impurity_decrease", 0.0);
+  opt.seed = static_cast<uint64_t>(GetInt(params, "seed", 13));
+  return std::make_unique<DecisionTreeClassifier>(opt);
+}
+
+Status DecisionTreeClassifier::Fit(const Matrix& X, const std::vector<int>& y,
+                                   const std::vector<double>* sample_weights) {
+  AUTOEM_RETURN_IF_ERROR(ValidateFitInputs(X, y, sample_weights));
+  nodes_.clear();
+  std::vector<double> w =
+      sample_weights ? *sample_weights : std::vector<double>(y.size(), 1.0);
+  std::vector<size_t> indices;
+  indices.reserve(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (w[i] > 0.0) indices.push_back(i);
+  }
+  if (indices.empty()) {
+    return Status::InvalidArgument("all sample weights are zero");
+  }
+  Rng rng(options_.seed);
+  BuildNode(X, y, w, &indices, 0, &rng);
+  return Status::OK();
+}
+
+int DecisionTreeClassifier::BuildNode(const Matrix& X,
+                                      const std::vector<int>& y,
+                                      const std::vector<double>& w,
+                                      std::vector<size_t>* indices, int depth,
+                                      Rng* rng) {
+  const auto& idx = *indices;
+  double w_total = 0.0;
+  double w_pos = 0.0;
+  for (size_t i : idx) {
+    w_total += w[i];
+    if (y[i] == 1) w_pos += w[i];
+  }
+
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].prob_positive = w_total > 0.0 ? w_pos / w_total : 0.0;
+
+  const bool is_pure = (w_pos <= 0.0 || w_pos >= w_total);
+  const bool depth_capped =
+      options_.max_depth > 0 && depth >= options_.max_depth;
+  if (is_pure || depth_capped ||
+      idx.size() < static_cast<size_t>(options_.min_samples_split) ||
+      idx.size() < 2 * static_cast<size_t>(options_.min_samples_leaf)) {
+    return node_id;
+  }
+
+  auto impurity = options_.criterion == "entropy" ? &EntropyImpurity
+                                                  : &GiniImpurity;
+  const double parent_impurity = impurity(w_pos, w_total);
+
+  size_t n_try = NumFeaturesToTry(options_.max_features, X.cols());
+  std::vector<size_t> features =
+      rng->SampleWithoutReplacement(X.cols(), n_try);
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_decrease = options_.min_impurity_decrease;
+
+  // Reusable scratch: (split value, original index).
+  std::vector<std::pair<double, size_t>> vals;
+  vals.reserve(idx.size());
+  const size_t min_leaf = static_cast<size_t>(options_.min_samples_leaf);
+
+  for (size_t f : features) {
+    vals.clear();
+    for (size_t i : idx) vals.emplace_back(SplitValue(X.At(i, f)), i);
+
+    if (options_.random_thresholds) {
+      // Extra-Trees split: single uniformly random threshold per feature.
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (const auto& [v, i] : vals) {
+        if (std::isfinite(v)) {
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+      }
+      if (!(lo < hi)) continue;
+      double threshold = rng->Uniform(lo, hi);
+      double wl = 0.0, wl_pos = 0.0;
+      size_t nl = 0;
+      for (const auto& [v, i] : vals) {
+        if (v <= threshold) {
+          wl += w[i];
+          if (y[i] == 1) wl_pos += w[i];
+          ++nl;
+        }
+      }
+      size_t nr = vals.size() - nl;
+      if (nl < min_leaf || nr < min_leaf) continue;
+      double wr = w_total - wl;
+      double wr_pos = w_pos - wl_pos;
+      double decrease = parent_impurity -
+                        (wl / w_total) * impurity(wl_pos, wl) -
+                        (wr / w_total) * impurity(wr_pos, wr);
+      if (decrease > best_decrease) {
+        best_decrease = decrease;
+        best_feature = static_cast<int>(f);
+        best_threshold = threshold;
+      }
+      continue;
+    }
+
+    std::sort(vals.begin(), vals.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    double wl = 0.0, wl_pos = 0.0;
+    for (size_t k = 0; k + 1 < vals.size(); ++k) {
+      size_t i = vals[k].second;
+      wl += w[i];
+      if (y[i] == 1) wl_pos += w[i];
+      if (vals[k].first == vals[k + 1].first) continue;  // no cut between ties
+      size_t nl = k + 1;
+      size_t nr = vals.size() - nl;
+      if (nl < min_leaf || nr < min_leaf) continue;
+      double wr = w_total - wl;
+      double wr_pos = w_pos - wl_pos;
+      double decrease = parent_impurity -
+                        (wl / w_total) * impurity(wl_pos, wl) -
+                        (wr / w_total) * impurity(wr_pos, wr);
+      if (decrease > best_decrease) {
+        best_decrease = decrease;
+        best_feature = static_cast<int>(f);
+        // Midpoint threshold; -inf (NaN) neighbors fall back to the upper
+        // value so finite rows are still separable from missing ones.
+        double lo_v = vals[k].first;
+        double hi_v = vals[k + 1].first;
+        best_threshold = std::isinf(lo_v) ? lo_v : (lo_v + hi_v) / 2.0;
+        if (!std::isfinite(best_threshold)) best_threshold = lo_v;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  std::vector<size_t> left_idx;
+  std::vector<size_t> right_idx;
+  left_idx.reserve(idx.size());
+  right_idx.reserve(idx.size());
+  for (size_t i : idx) {
+    if (SplitValue(X.At(i, static_cast<size_t>(best_feature))) <=
+        best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;  // degenerate
+
+  indices->clear();  // release parent memory before recursing
+  indices->shrink_to_fit();
+
+  int left_id = BuildNode(X, y, w, &left_idx, depth + 1, rng);
+  int right_id = BuildNode(X, y, w, &right_idx, depth + 1, rng);
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  nodes_[node_id].left = left_id;
+  nodes_[node_id].right = right_id;
+  return node_id;
+}
+
+double DecisionTreeClassifier::PredictRowProba(const double* row) const {
+  AUTOEM_CHECK(!nodes_.empty());
+  int cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const Node& n = nodes_[cur];
+    double v = SplitValue(row[n.feature]);
+    cur = v <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[cur].prob_positive;
+}
+
+std::vector<double> DecisionTreeClassifier::PredictProba(
+    const Matrix& X) const {
+  std::vector<double> out(X.rows());
+  for (size_t r = 0; r < X.rows(); ++r) out[r] = PredictRowProba(X.RowPtr(r));
+  return out;
+}
+
+std::unique_ptr<Classifier> DecisionTreeClassifier::CloneConfig() const {
+  return std::make_unique<DecisionTreeClassifier>(options_);
+}
+
+size_t DecisionTreeClassifier::Depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the explicit node array.
+  std::vector<std::pair<int, size_t>> stack = {{0, 0}};
+  size_t max_depth = 0;
+  while (!stack.empty()) {
+    auto [id, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const Node& n = nodes_[id];
+    if (n.feature >= 0) {
+      stack.push_back({n.left, d + 1});
+      stack.push_back({n.right, d + 1});
+    }
+  }
+  return max_depth;
+}
+
+// ---- RegressionTree ----------------------------------------------------------
+
+RegressionTree::RegressionTree(TreeOptions options)
+    : options_(std::move(options)) {}
+
+Status RegressionTree::Fit(const Matrix& X, const std::vector<double>& y,
+                           const std::vector<double>* sample_weights) {
+  if (X.rows() == 0 || X.cols() == 0) {
+    return Status::InvalidArgument("empty training matrix");
+  }
+  if (X.rows() != y.size()) {
+    return Status::InvalidArgument("X rows != y size");
+  }
+  nodes_.clear();
+  std::vector<double> w =
+      sample_weights ? *sample_weights : std::vector<double>(y.size(), 1.0);
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (w[i] > 0.0) indices.push_back(i);
+  }
+  if (indices.empty()) {
+    return Status::InvalidArgument("all sample weights are zero");
+  }
+  Rng rng(options_.seed);
+  BuildNode(X, y, w, &indices, 0, &rng);
+  return Status::OK();
+}
+
+int RegressionTree::BuildNode(const Matrix& X, const std::vector<double>& y,
+                              const std::vector<double>& w,
+                              std::vector<size_t>* indices, int depth,
+                              Rng* rng) {
+  const auto& idx = *indices;
+  double w_total = 0.0, w_sum = 0.0, w_sum_sq = 0.0;
+  for (size_t i : idx) {
+    w_total += w[i];
+    w_sum += w[i] * y[i];
+    w_sum_sq += w[i] * y[i] * y[i];
+  }
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].value = w_total > 0.0 ? w_sum / w_total : 0.0;
+
+  double parent_sse = w_sum_sq - (w_total > 0 ? w_sum * w_sum / w_total : 0.0);
+  const bool depth_capped =
+      options_.max_depth > 0 && depth >= options_.max_depth;
+  if (depth_capped || parent_sse <= 1e-12 ||
+      idx.size() < static_cast<size_t>(options_.min_samples_split) ||
+      idx.size() < 2 * static_cast<size_t>(options_.min_samples_leaf)) {
+    return node_id;
+  }
+
+  size_t n_try = NumFeaturesToTry(options_.max_features, X.cols());
+  std::vector<size_t> features =
+      rng->SampleWithoutReplacement(X.cols(), n_try);
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = std::max(options_.min_impurity_decrease, 1e-12);
+
+  std::vector<std::pair<double, size_t>> vals;
+  vals.reserve(idx.size());
+  const size_t min_leaf = static_cast<size_t>(options_.min_samples_leaf);
+
+  for (size_t f : features) {
+    vals.clear();
+    for (size_t i : idx) vals.emplace_back(SplitValue(X.At(i, f)), i);
+    std::sort(vals.begin(), vals.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    double wl = 0.0, wl_sum = 0.0, wl_sum_sq = 0.0;
+    for (size_t k = 0; k + 1 < vals.size(); ++k) {
+      size_t i = vals[k].second;
+      wl += w[i];
+      wl_sum += w[i] * y[i];
+      wl_sum_sq += w[i] * y[i] * y[i];
+      if (vals[k].first == vals[k + 1].first) continue;
+      size_t nl = k + 1;
+      size_t nr = vals.size() - nl;
+      if (nl < min_leaf || nr < min_leaf) continue;
+      double wr = w_total - wl;
+      double wr_sum = w_sum - wl_sum;
+      double wr_sum_sq = w_sum_sq - wl_sum_sq;
+      if (wl <= 0.0 || wr <= 0.0) continue;
+      double sse_left = wl_sum_sq - wl_sum * wl_sum / wl;
+      double sse_right = wr_sum_sq - wr_sum * wr_sum / wr;
+      double gain = parent_sse - sse_left - sse_right;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        double lo_v = vals[k].first;
+        double hi_v = vals[k + 1].first;
+        best_threshold = std::isinf(lo_v) ? lo_v : (lo_v + hi_v) / 2.0;
+        if (!std::isfinite(best_threshold)) best_threshold = lo_v;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  std::vector<size_t> left_idx;
+  std::vector<size_t> right_idx;
+  for (size_t i : idx) {
+    if (SplitValue(X.At(i, static_cast<size_t>(best_feature))) <=
+        best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  indices->clear();
+  indices->shrink_to_fit();
+
+  int left_id = BuildNode(X, y, w, &left_idx, depth + 1, rng);
+  int right_id = BuildNode(X, y, w, &right_idx, depth + 1, rng);
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  nodes_[node_id].left = left_id;
+  nodes_[node_id].right = right_id;
+  return node_id;
+}
+
+double RegressionTree::PredictRow(const double* row) const {
+  AUTOEM_CHECK(!nodes_.empty());
+  int cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const Node& n = nodes_[cur];
+    double v = SplitValue(row[n.feature]);
+    cur = v <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[cur].value;
+}
+
+std::vector<double> RegressionTree::Predict(const Matrix& X) const {
+  std::vector<double> out(X.rows());
+  for (size_t r = 0; r < X.rows(); ++r) out[r] = PredictRow(X.RowPtr(r));
+  return out;
+}
+
+}  // namespace autoem

@@ -1,0 +1,113 @@
+#ifndef AUTOEM_ML_MODELS_DECISION_TREE_H_
+#define AUTOEM_ML_MODELS_DECISION_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/params.h"
+#include "common/rng.h"
+#include "ml/model.h"
+
+namespace autoem {
+
+/// Options shared by classification and regression trees. Mirrors the
+/// scikit-learn hyperparameters the paper's search space tunes (Fig. 11).
+struct TreeOptions {
+  /// "gini" or "entropy" for classification; regression always uses MSE.
+  std::string criterion = "gini";
+  /// Depth limit; <= 0 means unlimited.
+  int max_depth = 0;
+  int min_samples_split = 2;
+  int min_samples_leaf = 1;
+  /// Fraction of features considered per split in (0, 1]; 1.0 = all.
+  /// (sklearn's float max_features semantics, as in the Fig. 11 pipeline.)
+  double max_features = 1.0;
+  /// Minimum impurity decrease required to accept a split.
+  double min_impurity_decrease = 0.0;
+  /// When true, split thresholds are drawn uniformly at random between the
+  /// feature min and max (Extra-Trees style) instead of exhaustive scan.
+  bool random_thresholds = false;
+  uint64_t seed = 13;
+};
+
+/// CART binary classification tree with sample weights and NaN routing
+/// (missing values always descend to the left child, so the same record is
+/// routed identically at train and inference time).
+class DecisionTreeClassifier : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(TreeOptions options = {});
+
+  /// Builds from an AutoML hyperparameter map (keys: criterion, max_depth,
+  /// min_samples_split, min_samples_leaf, max_features,
+  /// min_impurity_decrease).
+  static std::unique_ptr<Classifier> FromParams(const ParamMap& params);
+
+  Status Fit(const Matrix& X, const std::vector<int>& y,
+             const std::vector<double>* sample_weights = nullptr) override;
+  std::vector<double> PredictProba(const Matrix& X) const override;
+  std::unique_ptr<Classifier> CloneConfig() const override;
+  std::string name() const override { return "decision_tree"; }
+
+  /// P(y=1) for a single feature row.
+  double PredictRowProba(const double* row) const;
+
+  /// Number of nodes in the fitted tree (0 before Fit).
+  size_t NodeCount() const { return nodes_.size(); }
+
+  /// Fitted-tree depth (0 for a single leaf).
+  size_t Depth() const;
+
+  const TreeOptions& options() const { return options_; }
+
+ private:
+  struct Node {
+    int feature = -1;          // -1 for leaf
+    double threshold = 0.0;    // go left when value <= threshold or NaN
+    int left = -1;
+    int right = -1;
+    double prob_positive = 0.0;  // leaf payload
+  };
+
+  int BuildNode(const Matrix& X, const std::vector<int>& y,
+                const std::vector<double>& w, std::vector<size_t>* indices,
+                int depth, Rng* rng);
+
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+};
+
+/// CART regression tree (MSE criterion) with the same NaN routing. Backs
+/// gradient boosting and the SMAC surrogate forest.
+class RegressionTree {
+ public:
+  explicit RegressionTree(TreeOptions options = {});
+
+  Status Fit(const Matrix& X, const std::vector<double>& y,
+             const std::vector<double>* sample_weights = nullptr);
+  double PredictRow(const double* row) const;
+  std::vector<double> Predict(const Matrix& X) const;
+
+  size_t NodeCount() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double value = 0.0;
+  };
+
+  int BuildNode(const Matrix& X, const std::vector<double>& y,
+                const std::vector<double>& w, std::vector<size_t>* indices,
+                int depth, Rng* rng);
+
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_ML_MODELS_DECISION_TREE_H_

@@ -1,0 +1,86 @@
+#include "ml/models/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace autoem {
+
+KnnClassifier::KnnClassifier(KnnOptions options)
+    : options_(std::move(options)) {}
+
+std::unique_ptr<Classifier> KnnClassifier::FromParams(const ParamMap& params) {
+  KnnOptions opt;
+  opt.n_neighbors = static_cast<int>(GetInt(params, "n_neighbors", 5));
+  opt.weights = GetString(params, "weights", "uniform");
+  return std::make_unique<KnnClassifier>(opt);
+}
+
+Status KnnClassifier::Fit(const Matrix& X, const std::vector<int>& y,
+                          const std::vector<double>* sample_weights) {
+  AUTOEM_RETURN_IF_ERROR(ValidateFitInputs(X, y, sample_weights));
+  if (options_.n_neighbors <= 0) {
+    return Status::InvalidArgument("n_neighbors must be positive");
+  }
+  scaler_.Fit(X);
+  const size_t n = X.rows();
+  const size_t d = X.cols();
+  train_z_ = Matrix(n, d);
+  for (size_t r = 0; r < n; ++r) {
+    scaler_.ApplyRow(X.RowPtr(r), d, train_z_.RowPtr(r));
+  }
+  train_y_ = y;
+  train_w_ = sample_weights ? *sample_weights : std::vector<double>(n, 1.0);
+  return Status::OK();
+}
+
+std::vector<double> KnnClassifier::PredictProba(const Matrix& X) const {
+  const size_t n_train = train_z_.rows();
+  const size_t d = train_z_.cols();
+  AUTOEM_CHECK(n_train > 0);
+  AUTOEM_CHECK(X.cols() == d);
+  const size_t k =
+      std::min<size_t>(static_cast<size_t>(options_.n_neighbors), n_train);
+  const bool distance_weighted = options_.weights == "distance";
+
+  std::vector<double> out(X.rows());
+  std::vector<double> z(d);
+  // (distance, train index) max-heap of current k best.
+  std::vector<std::pair<double, size_t>> heap;
+  for (size_t r = 0; r < X.rows(); ++r) {
+    scaler_.ApplyRow(X.RowPtr(r), d, z.data());
+    heap.clear();
+    for (size_t t = 0; t < n_train; ++t) {
+      const double* zt = train_z_.RowPtr(t);
+      double dist_sq = 0.0;
+      for (size_t c = 0; c < d; ++c) {
+        double diff = z[c] - zt[c];
+        dist_sq += diff * diff;
+      }
+      if (heap.size() < k) {
+        heap.emplace_back(dist_sq, t);
+        std::push_heap(heap.begin(), heap.end());
+      } else if (dist_sq < heap.front().first) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = {dist_sq, t};
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+    double vote_pos = 0.0;
+    double vote_total = 0.0;
+    for (const auto& [dist_sq, t] : heap) {
+      double vote = train_w_[t];
+      if (distance_weighted) vote /= std::sqrt(dist_sq) + 1e-9;
+      vote_total += vote;
+      if (train_y_[t] == 1) vote_pos += vote;
+    }
+    out[r] = vote_total > 0.0 ? vote_pos / vote_total : 0.0;
+  }
+  return out;
+}
+
+std::unique_ptr<Classifier> KnnClassifier::CloneConfig() const {
+  return std::make_unique<KnnClassifier>(options_);
+}
+
+}  // namespace autoem

@@ -1,0 +1,44 @@
+#ifndef AUTOEM_ML_MODELS_KNN_H_
+#define AUTOEM_ML_MODELS_KNN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/params.h"
+#include "ml/model.h"
+#include "ml/models/linear_common.h"
+
+namespace autoem {
+
+struct KnnOptions {
+  int n_neighbors = 5;
+  /// "uniform" or "distance" (inverse-distance vote weighting).
+  std::string weights = "uniform";
+};
+
+/// Brute-force k-nearest-neighbors on standardized features (NaN maps to the
+/// column mean, as in the linear models).
+class KnnClassifier : public Classifier {
+ public:
+  explicit KnnClassifier(KnnOptions options = {});
+
+  static std::unique_ptr<Classifier> FromParams(const ParamMap& params);
+
+  Status Fit(const Matrix& X, const std::vector<int>& y,
+             const std::vector<double>* sample_weights = nullptr) override;
+  std::vector<double> PredictProba(const Matrix& X) const override;
+  std::unique_ptr<Classifier> CloneConfig() const override;
+  std::string name() const override { return "k_nearest_neighbors"; }
+
+ private:
+  KnnOptions options_;
+  FeatureScaler scaler_;
+  Matrix train_z_;              // standardized training rows
+  std::vector<int> train_y_;
+  std::vector<double> train_w_;
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_ML_MODELS_KNN_H_

@@ -1,0 +1,64 @@
+#ifndef AUTOEM_ML_MODELS_LINEAR_COMMON_H_
+#define AUTOEM_ML_MODELS_LINEAR_COMMON_H_
+
+#include <cmath>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace autoem {
+
+/// Column standardization state shared by the linear models and the MLP.
+/// These models standardize internally for numeric stability (raw similarity
+/// features mix [0,1] scores with unbounded edit distances) and map NaN to
+/// the column mean, i.e. 0 after standardization.
+struct FeatureScaler {
+  std::vector<double> mean;
+  std::vector<double> inv_std;
+
+  void Fit(const Matrix& X) {
+    size_t cols = X.cols();
+    mean.assign(cols, 0.0);
+    inv_std.assign(cols, 1.0);
+    for (size_t c = 0; c < cols; ++c) {
+      double sum = 0.0, sum_sq = 0.0;
+      size_t n = 0;
+      for (size_t r = 0; r < X.rows(); ++r) {
+        double v = X.At(r, c);
+        if (std::isfinite(v)) {
+          sum += v;
+          sum_sq += v * v;
+          ++n;
+        }
+      }
+      if (n == 0) continue;
+      mean[c] = sum / n;
+      double var = sum_sq / n - mean[c] * mean[c];
+      inv_std[c] = var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0;
+    }
+  }
+
+  /// Standardized value of one cell; NaN becomes 0.
+  double Apply(double v, size_t c) const {
+    if (!std::isfinite(v)) return 0.0;
+    return (v - mean[c]) * inv_std[c];
+  }
+
+  /// Standardizes a full row into `out` (size cols).
+  void ApplyRow(const double* row, size_t cols, double* out) const {
+    for (size_t c = 0; c < cols; ++c) out[c] = Apply(row[c], c);
+  }
+};
+
+inline double Sigmoid(double z) {
+  if (z >= 0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace autoem
+
+#endif  // AUTOEM_ML_MODELS_LINEAR_COMMON_H_

@@ -1,0 +1,99 @@
+#include "ml/models/linear_svm.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace autoem {
+
+LinearSvmClassifier::LinearSvmClassifier(LinearSvmOptions options)
+    : options_(options) {}
+
+std::unique_ptr<Classifier> LinearSvmClassifier::FromParams(
+    const ParamMap& params) {
+  LinearSvmOptions opt;
+  opt.c = GetDouble(params, "c", 1.0);
+  opt.epochs = static_cast<int>(GetInt(params, "epochs", 20));
+  opt.seed = static_cast<uint64_t>(GetInt(params, "seed", 19));
+  return std::make_unique<LinearSvmClassifier>(opt);
+}
+
+Status LinearSvmClassifier::Fit(const Matrix& X, const std::vector<int>& y,
+                                const std::vector<double>* sample_weights) {
+  AUTOEM_RETURN_IF_ERROR(ValidateFitInputs(X, y, sample_weights));
+  const size_t n = X.rows();
+  const size_t d = X.cols();
+  scaler_.Fit(X);
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+
+  std::vector<double> w =
+      sample_weights ? *sample_weights : std::vector<double>(n, 1.0);
+  double w_mean = 0.0;
+  for (double wi : w) w_mean += wi;
+  w_mean /= n;
+  if (w_mean <= 0.0) {
+    return Status::InvalidArgument("all sample weights are zero");
+  }
+
+  Matrix Z(n, d);
+  for (size_t r = 0; r < n; ++r) {
+    scaler_.ApplyRow(X.RowPtr(r), d, Z.RowPtr(r));
+  }
+
+  // Pegasos: lambda = 1 / (C * n); step 1/(lambda * t).
+  const double lambda = 1.0 / (options_.c * static_cast<double>(n));
+  Rng rng(options_.seed);
+  size_t t = 1;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::vector<size_t> order = rng.SampleWithoutReplacement(n, n);
+    for (size_t r : order) {
+      double lr = 1.0 / (lambda * static_cast<double>(t));
+      ++t;
+      const double* z = Z.RowPtr(r);
+      double margin = bias_;
+      for (size_t c = 0; c < d; ++c) margin += weights_[c] * z[c];
+      double label = y[r] == 1 ? 1.0 : -1.0;
+      // Shrink towards zero (regularization), then a hinge subgradient step
+      // weighted by the example's sample weight relative to the mean.
+      double shrink = 1.0 - lr * lambda;
+      for (size_t c = 0; c < d; ++c) weights_[c] *= shrink;
+      if (label * margin < 1.0) {
+        double step = lr * (w[r] / w_mean) * label;
+        for (size_t c = 0; c < d; ++c) weights_[c] += step * z[c];
+        bias_ += step;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> LinearSvmClassifier::DecisionFunction(
+    const Matrix& X) const {
+  const size_t d = weights_.size();
+  AUTOEM_CHECK(X.cols() == d);
+  std::vector<double> out(X.rows());
+  std::vector<double> z(d);
+  for (size_t r = 0; r < X.rows(); ++r) {
+    scaler_.ApplyRow(X.RowPtr(r), d, z.data());
+    double margin = bias_;
+    for (size_t c = 0; c < d; ++c) margin += weights_[c] * z[c];
+    out[r] = margin;
+  }
+  return out;
+}
+
+std::vector<double> LinearSvmClassifier::PredictProba(const Matrix& X) const {
+  std::vector<double> margins = DecisionFunction(X);
+  std::vector<double> out(margins.size());
+  for (size_t i = 0; i < margins.size(); ++i) {
+    out[i] = Sigmoid(2.0 * margins[i]);
+  }
+  return out;
+}
+
+std::unique_ptr<Classifier> LinearSvmClassifier::CloneConfig() const {
+  return std::make_unique<LinearSvmClassifier>(options_);
+}
+
+}  // namespace autoem

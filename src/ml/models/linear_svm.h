@@ -1,0 +1,48 @@
+#ifndef AUTOEM_ML_MODELS_LINEAR_SVM_H_
+#define AUTOEM_ML_MODELS_LINEAR_SVM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/params.h"
+#include "ml/model.h"
+#include "ml/models/linear_common.h"
+
+namespace autoem {
+
+struct LinearSvmOptions {
+  double c = 1.0;       // inverse regularization strength, sklearn-style
+  int epochs = 20;      // passes over the data
+  uint64_t seed = 19;
+};
+
+/// Linear SVM trained with the Pegasos-style SGD on the hinge loss over
+/// standardized features. Probabilities are a sigmoid over the margin
+/// (Platt-style with fixed slope), good enough for thresholding and
+/// confidence ordering.
+class LinearSvmClassifier : public Classifier {
+ public:
+  explicit LinearSvmClassifier(LinearSvmOptions options = {});
+
+  static std::unique_ptr<Classifier> FromParams(const ParamMap& params);
+
+  Status Fit(const Matrix& X, const std::vector<int>& y,
+             const std::vector<double>* sample_weights = nullptr) override;
+  std::vector<double> PredictProba(const Matrix& X) const override;
+  std::unique_ptr<Classifier> CloneConfig() const override;
+  std::string name() const override { return "linear_svm"; }
+
+  /// Signed margin w·x + b per row.
+  std::vector<double> DecisionFunction(const Matrix& X) const;
+
+ private:
+  LinearSvmOptions options_;
+  FeatureScaler scaler_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_ML_MODELS_LINEAR_SVM_H_

@@ -1,0 +1,97 @@
+#include "ml/models/logistic_regression.h"
+
+#include <cmath>
+
+namespace autoem {
+
+LogisticRegressionClassifier::LogisticRegressionClassifier(
+    LogisticRegressionOptions options)
+    : options_(options) {}
+
+std::unique_ptr<Classifier> LogisticRegressionClassifier::FromParams(
+    const ParamMap& params) {
+  LogisticRegressionOptions opt;
+  opt.l2 = GetDouble(params, "l2", 1e-4);
+  opt.learning_rate = GetDouble(params, "learning_rate", 0.1);
+  opt.max_iter = static_cast<int>(GetInt(params, "max_iter", 200));
+  return std::make_unique<LogisticRegressionClassifier>(opt);
+}
+
+Status LogisticRegressionClassifier::Fit(
+    const Matrix& X, const std::vector<int>& y,
+    const std::vector<double>* sample_weights) {
+  AUTOEM_RETURN_IF_ERROR(ValidateFitInputs(X, y, sample_weights));
+  const size_t n = X.rows();
+  const size_t d = X.cols();
+  scaler_.Fit(X);
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+
+  std::vector<double> w =
+      sample_weights ? *sample_weights : std::vector<double>(n, 1.0);
+  double w_total = 0.0;
+  for (double wi : w) w_total += wi;
+  if (w_total <= 0.0) {
+    return Status::InvalidArgument("all sample weights are zero");
+  }
+
+  // Pre-standardize once; n*d doubles is fine at our scales.
+  Matrix Z(n, d);
+  for (size_t r = 0; r < n; ++r) {
+    scaler_.ApplyRow(X.RowPtr(r), d, Z.RowPtr(r));
+  }
+
+  std::vector<double> grad(d);
+  double prev_loss = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options_.max_iter; ++iter) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_bias = 0.0;
+    double loss = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      const double* z = Z.RowPtr(r);
+      double dot = bias_;
+      for (size_t c = 0; c < d; ++c) dot += weights_[c] * z[c];
+      double p = Sigmoid(dot);
+      double err = (p - (y[r] == 1 ? 1.0 : 0.0)) * w[r];
+      for (size_t c = 0; c < d; ++c) grad[c] += err * z[c];
+      grad_bias += err;
+      double target = y[r] == 1 ? p : 1.0 - p;
+      loss -= w[r] * std::log(std::max(target, 1e-15));
+    }
+    loss /= w_total;
+    for (size_t c = 0; c < d; ++c) {
+      grad[c] = grad[c] / w_total + options_.l2 * weights_[c];
+      loss += 0.5 * options_.l2 * weights_[c] * weights_[c];
+    }
+    grad_bias /= w_total;
+
+    double lr = options_.learning_rate;
+    for (size_t c = 0; c < d; ++c) weights_[c] -= lr * grad[c];
+    bias_ -= lr * grad_bias;
+
+    if (std::fabs(prev_loss - loss) < options_.tol) break;
+    prev_loss = loss;
+  }
+  return Status::OK();
+}
+
+std::vector<double> LogisticRegressionClassifier::PredictProba(
+    const Matrix& X) const {
+  const size_t d = weights_.size();
+  AUTOEM_CHECK(X.cols() == d);
+  std::vector<double> out(X.rows());
+  std::vector<double> z(d);
+  for (size_t r = 0; r < X.rows(); ++r) {
+    scaler_.ApplyRow(X.RowPtr(r), d, z.data());
+    double dot = bias_;
+    for (size_t c = 0; c < d; ++c) dot += weights_[c] * z[c];
+    out[r] = Sigmoid(dot);
+  }
+  return out;
+}
+
+std::unique_ptr<Classifier> LogisticRegressionClassifier::CloneConfig() const {
+  return std::make_unique<LogisticRegressionClassifier>(options_);
+}
+
+}  // namespace autoem

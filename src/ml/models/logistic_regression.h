@@ -1,0 +1,47 @@
+#ifndef AUTOEM_ML_MODELS_LOGISTIC_REGRESSION_H_
+#define AUTOEM_ML_MODELS_LOGISTIC_REGRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/params.h"
+#include "ml/model.h"
+#include "ml/models/linear_common.h"
+
+namespace autoem {
+
+struct LogisticRegressionOptions {
+  double l2 = 1e-4;          // L2 regularization strength (lambda)
+  double learning_rate = 0.1;
+  int max_iter = 200;        // full-batch gradient steps
+  double tol = 1e-6;         // stop when loss improvement falls below tol
+};
+
+/// L2-regularized logistic regression trained with full-batch gradient
+/// descent on standardized features.
+class LogisticRegressionClassifier : public Classifier {
+ public:
+  explicit LogisticRegressionClassifier(LogisticRegressionOptions options = {});
+
+  static std::unique_ptr<Classifier> FromParams(const ParamMap& params);
+
+  Status Fit(const Matrix& X, const std::vector<int>& y,
+             const std::vector<double>* sample_weights = nullptr) override;
+  std::vector<double> PredictProba(const Matrix& X) const override;
+  std::unique_ptr<Classifier> CloneConfig() const override;
+  std::string name() const override { return "logistic_regression"; }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  LogisticRegressionOptions options_;
+  FeatureScaler scaler_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_ML_MODELS_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,200 @@
+#include "ml/models/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace autoem {
+
+MlpClassifier::MlpClassifier(MlpOptions options)
+    : options_(std::move(options)) {}
+
+std::unique_ptr<Classifier> MlpClassifier::FromParams(const ParamMap& params) {
+  MlpOptions opt;
+  int h1 = static_cast<int>(GetInt(params, "hidden_size", 64));
+  int n_layers = static_cast<int>(GetInt(params, "n_layers", 1));
+  opt.hidden_sizes.assign(std::max(1, n_layers), h1);
+  opt.learning_rate = GetDouble(params, "learning_rate", 1e-3);
+  opt.l2 = GetDouble(params, "l2", 1e-5);
+  opt.epochs = static_cast<int>(GetInt(params, "epochs", 60));
+  opt.batch_size = static_cast<int>(GetInt(params, "batch_size", 64));
+  opt.seed = static_cast<uint64_t>(GetInt(params, "seed", 37));
+  return std::make_unique<MlpClassifier>(opt);
+}
+
+double MlpClassifier::Forward(
+    const std::vector<double>& input,
+    std::vector<std::vector<double>>* activations) const {
+  activations->clear();
+  activations->push_back(input);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const std::vector<double>& a_in = activations->back();
+    std::vector<double> a_out(layer.out);
+    for (size_t o = 0; o < layer.out; ++o) {
+      double z = layer.b[o];
+      const double* wrow = layer.w.data() + o * layer.in;
+      for (size_t i = 0; i < layer.in; ++i) z += wrow[i] * a_in[i];
+      bool is_output = (l + 1 == layers_.size());
+      a_out[o] = is_output ? Sigmoid(z) : std::max(0.0, z);
+    }
+    activations->push_back(std::move(a_out));
+  }
+  return activations->back()[0];
+}
+
+Status MlpClassifier::Fit(const Matrix& X, const std::vector<int>& y,
+                          const std::vector<double>* sample_weights) {
+  AUTOEM_RETURN_IF_ERROR(ValidateFitInputs(X, y, sample_weights));
+  const size_t n = X.rows();
+  const size_t d = X.cols();
+  const bool resume = options_.warm_start && !layers_.empty() &&
+                      layers_.front().in == d;
+  if (!resume) scaler_.Fit(X);
+
+  std::vector<double> sw =
+      sample_weights ? *sample_weights : std::vector<double>(n, 1.0);
+  double sw_mean = 0.0;
+  for (double wi : sw) sw_mean += wi;
+  sw_mean /= n;
+  if (sw_mean <= 0.0) {
+    return Status::InvalidArgument("all sample weights are zero");
+  }
+
+  // Build layer stack: d -> hidden... -> 1 (unless resuming).
+  Rng rng(options_.seed + (resume ? ++warm_start_round_ : 0));
+  if (!resume) {
+  layers_.clear();
+  std::vector<size_t> sizes = {d};
+  for (int h : options_.hidden_sizes) {
+    sizes.push_back(static_cast<size_t>(std::max(1, h)));
+  }
+  sizes.push_back(1);
+  for (size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Layer layer;
+    layer.in = sizes[l];
+    layer.out = sizes[l + 1];
+    layer.w.resize(layer.in * layer.out);
+    layer.b.assign(layer.out, 0.0);
+    double scale = std::sqrt(2.0 / static_cast<double>(layer.in));  // He init
+    for (double& wv : layer.w) wv = rng.Normal(0.0, scale);
+    layer.mw.assign(layer.w.size(), 0.0);
+    layer.vw.assign(layer.w.size(), 0.0);
+    layer.mb.assign(layer.out, 0.0);
+    layer.vb.assign(layer.out, 0.0);
+    layers_.push_back(std::move(layer));
+  }
+  }  // !resume
+
+  // Pre-standardize inputs.
+  Matrix Z(n, d);
+  for (size_t r = 0; r < n; ++r) scaler_.ApplyRow(X.RowPtr(r), d, Z.RowPtr(r));
+
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  size_t adam_t = 0;
+  const size_t batch = std::max(1, options_.batch_size);
+
+  // Gradient accumulators mirroring layer shapes.
+  std::vector<std::vector<double>> gw(layers_.size());
+  std::vector<std::vector<double>> gb(layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    gw[l].assign(layers_[l].w.size(), 0.0);
+    gb[l].assign(layers_[l].out, 0.0);
+  }
+
+  std::vector<std::vector<double>> acts;
+  std::vector<double> input(d);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::vector<size_t> order = rng.SampleWithoutReplacement(n, n);
+    for (size_t start = 0; start < n; start += batch) {
+      size_t end = std::min(n, start + batch);
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        std::fill(gw[l].begin(), gw[l].end(), 0.0);
+        std::fill(gb[l].begin(), gb[l].end(), 0.0);
+      }
+      double batch_w = 0.0;
+      for (size_t bi = start; bi < end; ++bi) {
+        size_t r = order[bi];
+        const double* zr = Z.RowPtr(r);
+        input.assign(zr, zr + d);
+        double p = Forward(input, &acts);
+        double weight = sw[r] / sw_mean;
+        batch_w += weight;
+        // delta at output: dL/dz = p - y (log-loss + sigmoid).
+        std::vector<double> delta = {weight *
+                                     (p - (y[r] == 1 ? 1.0 : 0.0))};
+        for (size_t li = layers_.size(); li-- > 0;) {
+          Layer& layer = layers_[li];
+          const std::vector<double>& a_in = acts[li];
+          std::vector<double> delta_prev(layer.in, 0.0);
+          for (size_t o = 0; o < layer.out; ++o) {
+            double dz = delta[o];
+            gb[li][o] += dz;
+            double* wrow_grad = gw[li].data() + o * layer.in;
+            const double* wrow = layer.w.data() + o * layer.in;
+            for (size_t i = 0; i < layer.in; ++i) {
+              wrow_grad[i] += dz * a_in[i];
+              delta_prev[i] += dz * wrow[i];
+            }
+          }
+          if (li > 0) {
+            // ReLU derivative w.r.t. the *input* activations of this layer.
+            const std::vector<double>& a = acts[li];
+            for (size_t i = 0; i < layer.in; ++i) {
+              if (a[i] <= 0.0) delta_prev[i] = 0.0;
+            }
+          }
+          delta = std::move(delta_prev);
+        }
+      }
+      if (batch_w <= 0.0) continue;
+      ++adam_t;
+      double bc1 = 1.0 - std::pow(beta1, static_cast<double>(adam_t));
+      double bc2 = 1.0 - std::pow(beta2, static_cast<double>(adam_t));
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        for (size_t k = 0; k < layer.w.size(); ++k) {
+          double g = gw[l][k] / batch_w + options_.l2 * layer.w[k];
+          layer.mw[k] = beta1 * layer.mw[k] + (1 - beta1) * g;
+          layer.vw[k] = beta2 * layer.vw[k] + (1 - beta2) * g * g;
+          double m_hat = layer.mw[k] / bc1;
+          double v_hat = layer.vw[k] / bc2;
+          layer.w[k] -=
+              options_.learning_rate * m_hat / (std::sqrt(v_hat) + eps);
+        }
+        for (size_t k = 0; k < layer.out; ++k) {
+          double g = gb[l][k] / batch_w;
+          layer.mb[k] = beta1 * layer.mb[k] + (1 - beta1) * g;
+          layer.vb[k] = beta2 * layer.vb[k] + (1 - beta2) * g * g;
+          double m_hat = layer.mb[k] / bc1;
+          double v_hat = layer.vb[k] / bc2;
+          layer.b[k] -=
+              options_.learning_rate * m_hat / (std::sqrt(v_hat) + eps);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> MlpClassifier::PredictProba(const Matrix& X) const {
+  AUTOEM_CHECK(!layers_.empty());
+  const size_t d = layers_.front().in;
+  AUTOEM_CHECK(X.cols() == d);
+  std::vector<double> out(X.rows());
+  std::vector<std::vector<double>> acts;
+  std::vector<double> input(d);
+  for (size_t r = 0; r < X.rows(); ++r) {
+    scaler_.ApplyRow(X.RowPtr(r), d, input.data());
+    out[r] = Forward(input, &acts);
+  }
+  return out;
+}
+
+std::unique_ptr<Classifier> MlpClassifier::CloneConfig() const {
+  return std::make_unique<MlpClassifier>(options_);
+}
+
+}  // namespace autoem

@@ -1,0 +1,67 @@
+#ifndef AUTOEM_ML_MODELS_MLP_H_
+#define AUTOEM_ML_MODELS_MLP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/params.h"
+#include "ml/model.h"
+#include "ml/models/linear_common.h"
+
+namespace autoem {
+
+struct MlpOptions {
+  /// Hidden layer widths, e.g. {64, 32}.
+  std::vector<int> hidden_sizes = {64};
+  double learning_rate = 1e-3;  // Adam step size
+  double l2 = 1e-5;
+  int epochs = 60;
+  int batch_size = 64;
+  /// When true and the model was already fitted on data of the same width,
+  /// Fit continues training from the current weights instead of
+  /// reinitializing (used for early-stopping loops).
+  bool warm_start = false;
+  uint64_t seed = 37;
+};
+
+/// Feed-forward network (ReLU hidden layers, sigmoid output) trained with
+/// Adam on log-loss. Backs the "mlp" classifier in the AutoML space and the
+/// DeepMatcher stand-in.
+class MlpClassifier : public Classifier {
+ public:
+  explicit MlpClassifier(MlpOptions options = {});
+
+  static std::unique_ptr<Classifier> FromParams(const ParamMap& params);
+
+  Status Fit(const Matrix& X, const std::vector<int>& y,
+             const std::vector<double>* sample_weights = nullptr) override;
+  std::vector<double> PredictProba(const Matrix& X) const override;
+  std::unique_ptr<Classifier> CloneConfig() const override;
+  std::string name() const override { return "mlp"; }
+
+ private:
+  struct Layer {
+    // Row-major [out][in] weights plus per-output bias.
+    std::vector<double> w;
+    std::vector<double> b;
+    size_t in = 0;
+    size_t out = 0;
+    // Adam moments.
+    std::vector<double> mw, vw, mb, vb;
+  };
+
+  /// Forward pass for one (already standardized) input row; fills
+  /// per-layer activations. Returns the output probability.
+  double Forward(const std::vector<double>& input,
+                 std::vector<std::vector<double>>* activations) const;
+
+  MlpOptions options_;
+  FeatureScaler scaler_;
+  std::vector<Layer> layers_;
+  uint64_t warm_start_round_ = 0;  // varies shuffling across resumed Fits
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_ML_MODELS_MLP_H_

@@ -1,0 +1,54 @@
+#include "ml/models/model_registry.h"
+
+#include "ml/models/adaboost.h"
+#include "ml/models/decision_tree.h"
+#include "ml/models/gradient_boosting.h"
+#include "ml/models/knn.h"
+#include "ml/models/linear_svm.h"
+#include "ml/models/logistic_regression.h"
+#include "ml/models/mlp.h"
+#include "ml/models/naive_bayes.h"
+#include "ml/models/random_forest.h"
+
+namespace autoem {
+
+const std::vector<std::string>& AllModelNames() {
+  static const std::vector<std::string>& kNames =
+      *new std::vector<std::string>{
+          "random_forest",  "extra_trees",        "decision_tree",
+          "adaboost",       "gradient_boosting",  "k_nearest_neighbors",
+          "logistic_regression", "linear_svm",    "gaussian_nb",
+          "mlp",
+      };
+  return kNames;
+}
+
+Result<std::unique_ptr<Classifier>> CreateClassifier(const std::string& name,
+                                                     const ParamMap& params) {
+  if (name == "random_forest") {
+    return RandomForestClassifier::FromParams(params);
+  }
+  if (name == "extra_trees") {
+    ParamMap p = params;
+    p["random_thresholds"] = true;
+    p.insert({"bootstrap", ParamValue(false)});  // keep explicit override
+    return RandomForestClassifier::FromParams(p);
+  }
+  if (name == "decision_tree") {
+    return DecisionTreeClassifier::FromParams(params);
+  }
+  if (name == "adaboost") return AdaBoostClassifier::FromParams(params);
+  if (name == "gradient_boosting") {
+    return GradientBoostingClassifier::FromParams(params);
+  }
+  if (name == "k_nearest_neighbors") return KnnClassifier::FromParams(params);
+  if (name == "logistic_regression") {
+    return LogisticRegressionClassifier::FromParams(params);
+  }
+  if (name == "linear_svm") return LinearSvmClassifier::FromParams(params);
+  if (name == "gaussian_nb") return GaussianNbClassifier::FromParams(params);
+  if (name == "mlp") return MlpClassifier::FromParams(params);
+  return Status::NotFound("unknown classifier: " + name);
+}
+
+}  // namespace autoem

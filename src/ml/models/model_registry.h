@@ -1,0 +1,25 @@
+#ifndef AUTOEM_ML_MODELS_MODEL_REGISTRY_H_
+#define AUTOEM_ML_MODELS_MODEL_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/params.h"
+#include "common/status.h"
+#include "ml/model.h"
+
+namespace autoem {
+
+/// Names of every classifier the registry can instantiate (the "all-model"
+/// repository of Fig. 10).
+const std::vector<std::string>& AllModelNames();
+
+/// Instantiates a classifier by registry name with the given hyperparameter
+/// map. Unknown names yield NotFound.
+Result<std::unique_ptr<Classifier>> CreateClassifier(const std::string& name,
+                                                     const ParamMap& params);
+
+}  // namespace autoem
+
+#endif  // AUTOEM_ML_MODELS_MODEL_REGISTRY_H_

@@ -1,0 +1,101 @@
+#include "ml/models/naive_bayes.h"
+
+#include <cmath>
+
+namespace autoem {
+
+GaussianNbClassifier::GaussianNbClassifier(GaussianNbOptions options)
+    : options_(options) {}
+
+std::unique_ptr<Classifier> GaussianNbClassifier::FromParams(
+    const ParamMap& params) {
+  GaussianNbOptions opt;
+  opt.var_smoothing = GetDouble(params, "var_smoothing", 1e-9);
+  return std::make_unique<GaussianNbClassifier>(opt);
+}
+
+Status GaussianNbClassifier::Fit(const Matrix& X, const std::vector<int>& y,
+                                 const std::vector<double>* sample_weights) {
+  AUTOEM_RETURN_IF_ERROR(ValidateFitInputs(X, y, sample_weights));
+  const size_t n = X.rows();
+  const size_t d = X.cols();
+  std::vector<double> w =
+      sample_weights ? *sample_weights : std::vector<double>(n, 1.0);
+
+  double class_w[2] = {0.0, 0.0};
+  for (size_t r = 0; r < n; ++r) class_w[y[r] == 1 ? 1 : 0] += w[r];
+  if (class_w[0] <= 0.0 || class_w[1] <= 0.0) {
+    return Status::InvalidArgument(
+        "gaussian_nb requires both classes with positive weight");
+  }
+  double total_w = class_w[0] + class_w[1];
+  for (int c = 0; c < 2; ++c) log_prior_[c] = std::log(class_w[c] / total_w);
+
+  for (int c = 0; c < 2; ++c) {
+    mean_[c].assign(d, 0.0);
+    var_[c].assign(d, 0.0);
+  }
+  // Weighted per-class per-feature mean/variance over finite cells.
+  std::vector<double> feat_w[2];
+  feat_w[0].assign(d, 0.0);
+  feat_w[1].assign(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    int c = y[r] == 1 ? 1 : 0;
+    for (size_t f = 0; f < d; ++f) {
+      double v = X.At(r, f);
+      if (!std::isfinite(v)) continue;
+      mean_[c][f] += w[r] * v;
+      var_[c][f] += w[r] * v * v;
+      feat_w[c][f] += w[r];
+    }
+  }
+  double max_var = 0.0;
+  for (int c = 0; c < 2; ++c) {
+    for (size_t f = 0; f < d; ++f) {
+      if (feat_w[c][f] <= 0.0) {
+        mean_[c][f] = 0.0;
+        var_[c][f] = 1.0;
+        continue;
+      }
+      mean_[c][f] /= feat_w[c][f];
+      var_[c][f] = var_[c][f] / feat_w[c][f] - mean_[c][f] * mean_[c][f];
+      var_[c][f] = std::max(var_[c][f], 0.0);
+      max_var = std::max(max_var, var_[c][f]);
+    }
+  }
+  double smoothing = options_.var_smoothing * std::max(max_var, 1.0);
+  for (int c = 0; c < 2; ++c) {
+    for (size_t f = 0; f < d; ++f) var_[c][f] += smoothing + 1e-12;
+  }
+  return Status::OK();
+}
+
+std::vector<double> GaussianNbClassifier::PredictProba(const Matrix& X) const {
+  const size_t d = mean_[0].size();
+  AUTOEM_CHECK(X.cols() == d);
+  std::vector<double> out(X.rows());
+  for (size_t r = 0; r < X.rows(); ++r) {
+    double log_lik[2] = {log_prior_[0], log_prior_[1]};
+    for (int c = 0; c < 2; ++c) {
+      for (size_t f = 0; f < d; ++f) {
+        double v = X.At(r, f);
+        if (!std::isfinite(v)) continue;  // missing: uninformative
+        double diff = v - mean_[c][f];
+        log_lik[c] -= 0.5 * (std::log(2.0 * M_PI * var_[c][f]) +
+                             diff * diff / var_[c][f]);
+      }
+    }
+    // Normalize in log space.
+    double m = std::max(log_lik[0], log_lik[1]);
+    double p0 = std::exp(log_lik[0] - m);
+    double p1 = std::exp(log_lik[1] - m);
+    out[r] = p1 / (p0 + p1);
+  }
+  return out;
+}
+
+std::unique_ptr<Classifier> GaussianNbClassifier::CloneConfig() const {
+  return std::make_unique<GaussianNbClassifier>(options_);
+}
+
+}  // namespace autoem

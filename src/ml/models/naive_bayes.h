@@ -1,0 +1,42 @@
+#ifndef AUTOEM_ML_MODELS_NAIVE_BAYES_H_
+#define AUTOEM_ML_MODELS_NAIVE_BAYES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/params.h"
+#include "ml/model.h"
+
+namespace autoem {
+
+struct GaussianNbOptions {
+  /// Portion of the largest feature variance added to all variances
+  /// (sklearn's var_smoothing).
+  double var_smoothing = 1e-9;
+};
+
+/// Gaussian naive Bayes with weighted sufficient statistics. NaN cells are
+/// skipped per-feature (treated as uninformative).
+class GaussianNbClassifier : public Classifier {
+ public:
+  explicit GaussianNbClassifier(GaussianNbOptions options = {});
+
+  static std::unique_ptr<Classifier> FromParams(const ParamMap& params);
+
+  Status Fit(const Matrix& X, const std::vector<int>& y,
+             const std::vector<double>* sample_weights = nullptr) override;
+  std::vector<double> PredictProba(const Matrix& X) const override;
+  std::unique_ptr<Classifier> CloneConfig() const override;
+  std::string name() const override { return "gaussian_nb"; }
+
+ private:
+  GaussianNbOptions options_;
+  double log_prior_[2] = {0.0, 0.0};
+  std::vector<double> mean_[2];
+  std::vector<double> var_[2];
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_ML_MODELS_NAIVE_BAYES_H_

@@ -1,0 +1,115 @@
+#include "ml/models/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace autoem {
+
+RandomForestClassifier::RandomForestClassifier(RandomForestOptions options)
+    : options_(std::move(options)) {}
+
+std::unique_ptr<Classifier> RandomForestClassifier::FromParams(
+    const ParamMap& params) {
+  RandomForestOptions opt;
+  opt.n_estimators = static_cast<int>(GetInt(params, "n_estimators", 100));
+  opt.criterion = GetString(params, "criterion", "gini");
+  opt.max_depth = static_cast<int>(GetInt(params, "max_depth", 0));
+  opt.min_samples_split =
+      static_cast<int>(GetInt(params, "min_samples_split", 2));
+  opt.min_samples_leaf =
+      static_cast<int>(GetInt(params, "min_samples_leaf", 1));
+  opt.max_features = GetDouble(params, "max_features", -1.0);
+  opt.min_impurity_decrease =
+      GetDouble(params, "min_impurity_decrease", 0.0);
+  opt.bootstrap = GetBool(params, "bootstrap", true);
+  opt.random_thresholds = GetBool(params, "random_thresholds", false);
+  opt.seed = static_cast<uint64_t>(GetInt(params, "seed", 7));
+  return std::make_unique<RandomForestClassifier>(opt);
+}
+
+Status RandomForestClassifier::Fit(const Matrix& X, const std::vector<int>& y,
+                                   const std::vector<double>* sample_weights) {
+  AUTOEM_RETURN_IF_ERROR(ValidateFitInputs(X, y, sample_weights));
+  if (options_.n_estimators <= 0) {
+    return Status::InvalidArgument("n_estimators must be positive");
+  }
+  trees_.clear();
+  trees_.reserve(options_.n_estimators);
+
+  TreeOptions tree_opt;
+  tree_opt.criterion = options_.criterion;
+  tree_opt.max_depth = options_.max_depth;
+  tree_opt.min_samples_split = options_.min_samples_split;
+  tree_opt.min_samples_leaf = options_.min_samples_leaf;
+  tree_opt.max_features =
+      options_.max_features > 0.0
+          ? options_.max_features
+          : std::sqrt(static_cast<double>(X.cols())) / X.cols();
+  tree_opt.min_impurity_decrease = options_.min_impurity_decrease;
+  tree_opt.random_thresholds = options_.random_thresholds;
+
+  Rng rng(options_.seed);
+  const size_t n = X.rows();
+  std::vector<double> base_w =
+      sample_weights ? *sample_weights : std::vector<double>(n, 1.0);
+
+  for (int t = 0; t < options_.n_estimators; ++t) {
+    tree_opt.seed = rng.engine()();
+    trees_.emplace_back(tree_opt);
+    std::vector<double> w(n, 0.0);
+    if (options_.bootstrap) {
+      // Bootstrap resampling expressed as integer weights, scaled by any
+      // caller-provided sample weights.
+      for (size_t k = 0; k < n; ++k) w[rng.UniformIndex(n)] += 1.0;
+      for (size_t k = 0; k < n; ++k) w[k] *= base_w[k];
+    } else {
+      w = base_w;
+    }
+    Status st = trees_.back().Fit(X, y, &w);
+    if (!st.ok()) {
+      // A degenerate bootstrap (all weight on one class w/ zero weights) is
+      // retried once with the unresampled weights.
+      st = trees_.back().Fit(X, y, &base_w);
+      if (!st.ok()) return st;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> RandomForestClassifier::PredictProba(
+    const Matrix& X) const {
+  AUTOEM_CHECK(!trees_.empty());
+  std::vector<double> out(X.rows(), 0.0);
+  for (const auto& tree : trees_) {
+    for (size_t r = 0; r < X.rows(); ++r) {
+      out[r] += tree.PredictRowProba(X.RowPtr(r));
+    }
+  }
+  for (double& v : out) v /= static_cast<double>(trees_.size());
+  return out;
+}
+
+std::vector<double> RandomForestClassifier::VoteConfidence(
+    const Matrix& X) const {
+  AUTOEM_CHECK(!trees_.empty());
+  std::vector<double> votes_pos(X.rows(), 0.0);
+  for (const auto& tree : trees_) {
+    for (size_t r = 0; r < X.rows(); ++r) {
+      if (tree.PredictRowProba(X.RowPtr(r)) >= 0.5) votes_pos[r] += 1.0;
+    }
+  }
+  std::vector<double> out(X.rows());
+  for (size_t r = 0; r < X.rows(); ++r) {
+    double frac_pos = votes_pos[r] / static_cast<double>(trees_.size());
+    out[r] = std::max(frac_pos, 1.0 - frac_pos);
+  }
+  return out;
+}
+
+std::unique_ptr<Classifier> RandomForestClassifier::CloneConfig() const {
+  return std::make_unique<RandomForestClassifier>(options_);
+}
+
+}  // namespace autoem

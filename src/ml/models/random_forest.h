@@ -1,0 +1,63 @@
+#ifndef AUTOEM_ML_MODELS_RANDOM_FOREST_H_
+#define AUTOEM_ML_MODELS_RANDOM_FOREST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/params.h"
+#include "ml/models/decision_tree.h"
+
+namespace autoem {
+
+/// Random forest hyperparameters; names track scikit-learn (Fig. 11).
+struct RandomForestOptions {
+  int n_estimators = 100;
+  std::string criterion = "gini";
+  int max_depth = 0;  // unlimited
+  int min_samples_split = 2;
+  int min_samples_leaf = 1;
+  /// Fraction of features per split; <= 0 selects sqrt(n_features).
+  double max_features = -1.0;
+  double min_impurity_decrease = 0.0;
+  bool bootstrap = true;
+  /// Extra-Trees mode: random split thresholds, no bootstrap by default.
+  bool random_thresholds = false;
+  uint64_t seed = 7;
+};
+
+/// Bagged ensemble of CART trees. Probability = mean of per-tree leaf
+/// probabilities; VoteConfidence exposes the tree-agreement signal that
+/// AutoML-EM-Active uses to pick active-learning vs self-training batches
+/// (paper §IV, Fig. 7).
+class RandomForestClassifier : public Classifier {
+ public:
+  explicit RandomForestClassifier(RandomForestOptions options = {});
+
+  /// Builds from an AutoML hyperparameter map; unknown keys are ignored.
+  static std::unique_ptr<Classifier> FromParams(const ParamMap& params);
+
+  Status Fit(const Matrix& X, const std::vector<int>& y,
+             const std::vector<double>* sample_weights = nullptr) override;
+  std::vector<double> PredictProba(const Matrix& X) const override;
+  std::unique_ptr<Classifier> CloneConfig() const override;
+  std::string name() const override {
+    return options_.random_thresholds ? "extra_trees" : "random_forest";
+  }
+
+  /// Fraction of trees that vote with the ensemble majority for each row, in
+  /// [0.5, 1]. High values = confident (self-training candidates); values
+  /// near 0.5 = uncertain (active-learning candidates).
+  std::vector<double> VoteConfidence(const Matrix& X) const;
+
+  size_t NumTrees() const { return trees_.size(); }
+  const RandomForestOptions& options() const { return options_; }
+
+ private:
+  RandomForestOptions options_;
+  std::vector<DecisionTreeClassifier> trees_;
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_ML_MODELS_RANDOM_FOREST_H_

@@ -1,0 +1,291 @@
+#include "ml/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace autoem {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+}  // namespace
+
+double NanMean(const std::vector<double>& v) {
+  double sum = 0.0;
+  size_t n = 0;
+  for (double x : v) {
+    if (std::isfinite(x)) {
+      sum += x;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double NanVariance(const std::vector<double>& v) {
+  double mean = NanMean(v);
+  double ss = 0.0;
+  size_t n = 0;
+  for (double x : v) {
+    if (std::isfinite(x)) {
+      ss += (x - mean) * (x - mean);
+      ++n;
+    }
+  }
+  return n < 2 ? 0.0 : ss / n;
+}
+
+double NanQuantile(std::vector<double> v, double q) {
+  v.erase(std::remove_if(v.begin(), v.end(),
+                         [](double x) { return !std::isfinite(x); }),
+          v.end());
+  if (v.empty()) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(v.begin(), v.end());
+  double pos = q * (v.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = pos - lo;
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+std::vector<double> AnovaFScores(const Matrix& X, const std::vector<int>& y,
+                                 std::vector<double>* p_values) {
+  const size_t n_features = X.cols();
+  std::vector<double> scores(n_features, 0.0);
+  if (p_values) p_values->assign(n_features, 1.0);
+
+  for (size_t f = 0; f < n_features; ++f) {
+    // Accumulate per-class sums over finite cells.
+    double sum[2] = {0.0, 0.0};
+    double sum_sq[2] = {0.0, 0.0};
+    size_t count[2] = {0, 0};
+    for (size_t r = 0; r < X.rows(); ++r) {
+      double v = X.At(r, f);
+      if (!std::isfinite(v)) continue;
+      int cls = y[r] == 1 ? 1 : 0;
+      sum[cls] += v;
+      sum_sq[cls] += v * v;
+      ++count[cls];
+    }
+    size_t n = count[0] + count[1];
+    if (count[0] == 0 || count[1] == 0 || n < 3) continue;
+
+    double grand_mean = (sum[0] + sum[1]) / n;
+    double ss_between = 0.0;
+    double ss_within = 0.0;
+    for (int cls = 0; cls < 2; ++cls) {
+      double mean_c = sum[cls] / count[cls];
+      ss_between += count[cls] * (mean_c - grand_mean) * (mean_c - grand_mean);
+      ss_within += sum_sq[cls] - count[cls] * mean_c * mean_c;
+    }
+    double df_between = 1.0;  // two classes
+    double df_within = static_cast<double>(n - 2);
+    if (ss_within < kEps) {
+      // Perfectly separating (or constant) feature: score 0 when between-
+      // class spread is also 0, else a large finite statistic.
+      scores[f] = ss_between < kEps ? 0.0 : 1e12;
+      if (p_values) (*p_values)[f] = ss_between < kEps ? 1.0 : 0.0;
+      continue;
+    }
+    double f_stat = (ss_between / df_between) / (ss_within / df_within);
+    scores[f] = f_stat;
+    if (p_values) (*p_values)[f] = FDistSf(f_stat, df_between, df_within);
+  }
+  return scores;
+}
+
+std::vector<double> Chi2Scores(const Matrix& X, const std::vector<int>& y,
+                               std::vector<double>* p_values) {
+  const size_t n_features = X.cols();
+  std::vector<double> scores(n_features, 0.0);
+  if (p_values) p_values->assign(n_features, 1.0);
+
+  size_t n_pos = 0;
+  for (int label : y) n_pos += (label == 1);
+  size_t n_total = y.size();
+  if (n_pos == 0 || n_pos == n_total) return scores;
+  double frac_pos = static_cast<double>(n_pos) / n_total;
+
+  for (size_t f = 0; f < n_features; ++f) {
+    // Shift feature mass to be non-negative (chi2 requires frequencies).
+    double min_v = 0.0;
+    for (size_t r = 0; r < X.rows(); ++r) {
+      double v = X.At(r, f);
+      if (std::isfinite(v)) min_v = std::min(min_v, v);
+    }
+    double observed_pos = 0.0;
+    double total = 0.0;
+    for (size_t r = 0; r < X.rows(); ++r) {
+      double v = X.At(r, f);
+      if (!std::isfinite(v)) continue;
+      double mass = v - min_v;
+      total += mass;
+      if (y[r] == 1) observed_pos += mass;
+    }
+    if (total < kEps) continue;
+    double expected_pos = total * frac_pos;
+    double expected_neg = total - expected_pos;
+    double observed_neg = total - observed_pos;
+    double chi2 = 0.0;
+    if (expected_pos > kEps) {
+      chi2 += (observed_pos - expected_pos) * (observed_pos - expected_pos) /
+              expected_pos;
+    }
+    if (expected_neg > kEps) {
+      chi2 += (observed_neg - expected_neg) * (observed_neg - expected_neg) /
+              expected_neg;
+    }
+    scores[f] = chi2;
+    if (p_values) (*p_values)[f] = ChiSquaredSf(chi2, 1.0);
+  }
+  return scores;
+}
+
+// ---- special functions ------------------------------------------------------
+// Implementations follow the classic series / continued-fraction expansions
+// (Abramowitz & Stegun 6.5, 26.5), accurate to ~1e-10 for the argument
+// ranges feature selection produces.
+
+namespace {
+
+double LogGamma(double x) { return std::lgamma(x); }
+
+// Series expansion of P(a, x), valid for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-14) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+// Continued fraction of Q(a, x) via modified Lentz, valid for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-14) break;
+  }
+  return std::exp(-x + a * std::log(x) - LogGamma(a)) * h;
+}
+
+// Continued fraction for the incomplete beta (Numerical Recipes betacf).
+double BetaContinuedFraction(double a, double b, double x) {
+  const double kTiny = 1e-300;
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= 500; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-14) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  if (x <= 0.0 || a <= 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  if (x <= 0.0 || a <= 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  double ln_front = LogGamma(a + b) - LogGamma(a) - LogGamma(b) +
+                    a * std::log(x) + b * std::log(1.0 - x);
+  double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double ChiSquaredSf(double stat, double df) {
+  if (stat <= 0.0) return 1.0;
+  return RegularizedGammaQ(df / 2.0, stat / 2.0);
+}
+
+double FDistSf(double stat, double d1, double d2) {
+  if (stat <= 0.0) return 1.0;
+  double x = d2 / (d2 + d1 * stat);
+  return RegularizedIncompleteBeta(d2 / 2.0, d1 / 2.0, x);
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  size_t n = std::min(a.size(), b.size());
+  double sum_a = 0.0, sum_b = 0.0;
+  size_t m = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::isfinite(a[i]) && std::isfinite(b[i])) {
+      sum_a += a[i];
+      sum_b += b[i];
+      ++m;
+    }
+  }
+  if (m < 2) return 0.0;
+  double mean_a = sum_a / m;
+  double mean_b = sum_b / m;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::isfinite(a[i]) && std::isfinite(b[i])) {
+      double da = a[i] - mean_a;
+      double db = b[i] - mean_b;
+      cov += da * db;
+      var_a += da * da;
+      var_b += db * db;
+    }
+  }
+  if (var_a < kEps || var_b < kEps) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace autoem

@@ -1,0 +1,58 @@
+#ifndef AUTOEM_ML_STATS_H_
+#define AUTOEM_ML_STATS_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace autoem {
+
+/// Mean of finite entries (NaNs skipped); 0 when all entries are NaN.
+double NanMean(const std::vector<double>& v);
+
+/// Population variance of finite entries; 0 when fewer than two are finite.
+double NanVariance(const std::vector<double>& v);
+
+/// Linear-interpolation quantile of the finite entries, q in [0, 1]
+/// (matches numpy.percentile's default). Returns NaN when no entry is
+/// finite.
+double NanQuantile(std::vector<double> v, double q);
+
+/// Per-feature one-way ANOVA F statistic between the two classes, the score
+/// function behind scikit-learn's f_classif / SelectPercentile (paper
+/// §II-B). NaN cells are skipped; constant features score 0.
+/// Also emits the p-value for each feature when `p_values` is non-null.
+std::vector<double> AnovaFScores(const Matrix& X, const std::vector<int>& y,
+                                 std::vector<double>* p_values = nullptr);
+
+/// Per-feature chi-squared statistic between (non-negative) feature mass and
+/// class membership (scikit-learn's chi2 score function). Features are
+/// shifted to be non-negative first; NaN cells are skipped.
+std::vector<double> Chi2Scores(const Matrix& X, const std::vector<int>& y,
+                               std::vector<double>* p_values = nullptr);
+
+// ---- special functions (for p-values) --------------------------------------
+
+/// Regularized lower incomplete gamma P(a, x).
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Regularized incomplete beta I_x(a, b).
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Upper-tail p-value of a chi-squared statistic with df degrees of freedom.
+double ChiSquaredSf(double stat, double df);
+
+/// Upper-tail p-value of an F statistic with (d1, d2) degrees of freedom.
+double FDistSf(double stat, double d1, double d2);
+
+/// Pearson correlation between two columns (NaN-pairs skipped); 0 if either
+/// side is constant.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace autoem
+
+#endif  // AUTOEM_ML_STATS_H_

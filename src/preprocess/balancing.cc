@@ -1,0 +1,45 @@
+#include "preprocess/balancing.h"
+
+namespace autoem {
+
+Result<std::vector<double>> BalancedClassWeights(const std::vector<int>& y) {
+  size_t n_pos = 0;
+  for (int label : y) n_pos += (label == 1);
+  size_t n_neg = y.size() - n_pos;
+  if (n_pos == 0 || n_neg == 0) {
+    return Status::InvalidArgument(
+        "class weighting requires both classes present");
+  }
+  double n = static_cast<double>(y.size());
+  double w_pos = n / (2.0 * static_cast<double>(n_pos));
+  double w_neg = n / (2.0 * static_cast<double>(n_neg));
+  std::vector<double> w(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    w[i] = y[i] == 1 ? w_pos : w_neg;
+  }
+  return w;
+}
+
+Result<std::vector<size_t>> RandomOversampleIndices(const std::vector<int>& y,
+                                                    Rng* rng) {
+  std::vector<size_t> pos;
+  std::vector<size_t> neg;
+  for (size_t i = 0; i < y.size(); ++i) {
+    (y[i] == 1 ? pos : neg).push_back(i);
+  }
+  if (pos.empty() || neg.empty()) {
+    return Status::InvalidArgument(
+        "oversampling requires both classes present");
+  }
+  std::vector<size_t> out(y.size());
+  for (size_t i = 0; i < y.size(); ++i) out[i] = i;
+  const auto& minority = pos.size() < neg.size() ? pos : neg;
+  const auto& majority = pos.size() < neg.size() ? neg : pos;
+  size_t deficit = majority.size() - minority.size();
+  for (size_t k = 0; k < deficit; ++k) {
+    out.push_back(minority[rng->UniformIndex(minority.size())]);
+  }
+  return out;
+}
+
+}  // namespace autoem

@@ -1,0 +1,28 @@
+#ifndef AUTOEM_PREPROCESS_BALANCING_H_
+#define AUTOEM_PREPROCESS_BALANCING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace autoem {
+
+/// Class-imbalance handling (the "balancing:strategy" knob of the paper's
+/// Fig. 5/11 pipelines). EM candidate sets are heavily negative-skewed, so
+/// this knob matters on the hard datasets.
+
+/// Per-example weights that equalize total class mass
+/// (sklearn compute_class_weight("balanced")): w_c = n / (2 * n_c).
+Result<std::vector<double>> BalancedClassWeights(const std::vector<int>& y);
+
+/// Row indices implementing random oversampling of the minority class up to
+/// parity. The returned index list contains every original row at least
+/// once plus resampled minority rows.
+Result<std::vector<size_t>> RandomOversampleIndices(const std::vector<int>& y,
+                                                    Rng* rng);
+
+}  // namespace autoem
+
+#endif  // AUTOEM_PREPROCESS_BALANCING_H_

@@ -1,0 +1,123 @@
+#include "preprocess/feature_agglomeration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ml/stats.h"
+
+namespace autoem {
+
+FeatureAgglomeration::FeatureAgglomeration(int n_clusters)
+    : requested_clusters_(n_clusters) {}
+
+Status FeatureAgglomeration::Fit(const Matrix& X, const std::vector<int>& y) {
+  (void)y;
+  const size_t d = X.cols();
+  if (d == 0) return Status::InvalidArgument("empty matrix");
+  if (requested_clusters_ <= 0) {
+    return Status::InvalidArgument("n_clusters must be positive");
+  }
+  size_t target = std::min<size_t>(static_cast<size_t>(requested_clusters_), d);
+
+  // Pairwise correlation distance between feature columns.
+  std::vector<std::vector<double>> cols(d);
+  for (size_t c = 0; c < d; ++c) cols[c] = X.ColVector(c);
+  std::vector<double> dist(d * d, 0.0);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i + 1; j < d; ++j) {
+      double corr = PearsonCorrelation(cols[i], cols[j]);
+      double dij = 1.0 - std::fabs(corr);
+      dist[i * d + j] = dij;
+      dist[j * d + i] = dij;
+    }
+  }
+
+  // Average-linkage agglomeration over an active-cluster list. O(d^3) worst
+  // case, fine for feature counts in the low hundreds.
+  struct Cluster {
+    std::vector<size_t> members;
+    bool active = true;
+  };
+  std::vector<Cluster> clusters(d);
+  for (size_t i = 0; i < d; ++i) clusters[i].members = {i};
+  size_t active_count = d;
+
+  auto linkage = [&](const Cluster& a, const Cluster& b) {
+    double sum = 0.0;
+    for (size_t i : a.members) {
+      for (size_t j : b.members) sum += dist[i * d + j];
+    }
+    return sum / static_cast<double>(a.members.size() * b.members.size());
+  };
+
+  while (active_count > target) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t bi = 0, bj = 0;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      if (!clusters[i].active) continue;
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        if (!clusters[j].active) continue;
+        double l = linkage(clusters[i], clusters[j]);
+        if (l < best) {
+          best = l;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    clusters[bi].members.insert(clusters[bi].members.end(),
+                                clusters[bj].members.begin(),
+                                clusters[bj].members.end());
+    clusters[bj].active = false;
+    --active_count;
+  }
+
+  cluster_of_.assign(d, 0);
+  size_t next_id = 0;
+  for (const auto& cl : clusters) {
+    if (!cl.active) continue;
+    for (size_t f : cl.members) cluster_of_[f] = next_id;
+    ++next_id;
+  }
+  num_clusters_ = next_id;
+  return Status::OK();
+}
+
+Matrix FeatureAgglomeration::Apply(const Matrix& X) const {
+  AUTOEM_CHECK(X.cols() == cluster_of_.size());
+  Matrix out(X.rows(), num_clusters_, 0.0);
+  std::vector<double> counts(num_clusters_, 0.0);
+  for (size_t f = 0; f < cluster_of_.size(); ++f) counts[cluster_of_[f]] += 1.0;
+  for (size_t r = 0; r < X.rows(); ++r) {
+    // Per-row NaN-aware mean pooling within each cluster.
+    std::vector<double> sums(num_clusters_, 0.0);
+    std::vector<double> finite(num_clusters_, 0.0);
+    for (size_t f = 0; f < cluster_of_.size(); ++f) {
+      double v = X.At(r, f);
+      if (std::isfinite(v)) {
+        sums[cluster_of_[f]] += v;
+        finite[cluster_of_[f]] += 1.0;
+      }
+    }
+    for (size_t k = 0; k < num_clusters_; ++k) {
+      out.At(r, k) = finite[k] > 0.0
+                         ? sums[k] / finite[k]
+                         : std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> FeatureAgglomeration::OutputNames(
+    const std::vector<std::string>& input_names) const {
+  (void)input_names;
+  std::vector<std::string> out;
+  out.reserve(num_clusters_);
+  for (size_t k = 0; k < num_clusters_; ++k) {
+    out.push_back("agglo" + std::to_string(k));
+  }
+  return out;
+}
+
+}  // namespace autoem

@@ -1,0 +1,61 @@
+#include "preprocess/imputer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "ml/stats.h"
+
+namespace autoem {
+
+SimpleImputer::SimpleImputer(std::string strategy, double fill_value)
+    : strategy_(std::move(strategy)), constant_fill_(fill_value) {}
+
+Status SimpleImputer::Fit(const Matrix& X, const std::vector<int>& y) {
+  (void)y;
+  if (X.cols() == 0) return Status::InvalidArgument("empty matrix");
+  if (strategy_ != "mean" && strategy_ != "median" &&
+      strategy_ != "most_frequent" && strategy_ != "constant") {
+    return Status::InvalidArgument("unknown imputation strategy: " +
+                                   strategy_);
+  }
+  fill_.assign(X.cols(), constant_fill_);
+  if (strategy_ == "constant") return Status::OK();
+
+  for (size_t c = 0; c < X.cols(); ++c) {
+    std::vector<double> col = X.ColVector(c);
+    if (strategy_ == "mean") {
+      fill_[c] = NanMean(col);
+    } else if (strategy_ == "median") {
+      double q = NanQuantile(col, 0.5);
+      fill_[c] = std::isfinite(q) ? q : 0.0;
+    } else {  // most_frequent
+      std::map<double, size_t> counts;
+      for (double v : col) {
+        if (std::isfinite(v)) ++counts[v];
+      }
+      double best = 0.0;
+      size_t best_count = 0;
+      for (const auto& [v, n] : counts) {
+        if (n > best_count) {
+          best = v;
+          best_count = n;
+        }
+      }
+      fill_[c] = best;
+    }
+  }
+  return Status::OK();
+}
+
+Matrix SimpleImputer::Apply(const Matrix& X) const {
+  Matrix out = X;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t c = 0; c < out.cols(); ++c) {
+      if (!std::isfinite(out.At(r, c))) out.At(r, c) = fill_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace autoem

@@ -1,0 +1,41 @@
+#ifndef AUTOEM_PREPROCESS_TRANSFORM_H_
+#define AUTOEM_PREPROCESS_TRANSFORM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace autoem {
+
+/// A fit-then-apply feature transform (scikit-learn transformer semantics).
+/// Fit learns statistics from training data only; Apply re-applies them to
+/// any matrix with the same width, which keeps validation/test leakage-free.
+class Transform {
+ public:
+  virtual ~Transform() = default;
+
+  /// Learns transform state. `y` is available for supervised transforms
+  /// (feature selection); unsupervised transforms ignore it.
+  virtual Status Fit(const Matrix& X, const std::vector<int>& y) = 0;
+
+  /// Applies the fitted transform. Output may change the column count
+  /// (selection, PCA, agglomeration).
+  virtual Matrix Apply(const Matrix& X) const = 0;
+
+  /// Maps input feature names to output feature names (identity size unless
+  /// the transform changes the column count).
+  virtual std::vector<std::string> OutputNames(
+      const std::vector<std::string>& input_names) const {
+    return input_names;
+  }
+
+  /// Stable component name, e.g. "robust_scaler".
+  virtual std::string name() const = 0;
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_PREPROCESS_TRANSFORM_H_

@@ -1,0 +1,32 @@
+#include "table/table.h"
+
+#include "common/string_util.h"
+
+namespace autoem {
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Table::Append(Record record) {
+  if (record.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(StrFormat(
+        "record arity %zu does not match schema arity %zu", record.size(),
+        schema_.num_attributes()));
+  }
+  rows_.push_back(std::move(record));
+  return Status::OK();
+}
+
+size_t PairSet::NumPositives() const {
+  size_t n = 0;
+  for (const auto& p : pairs) {
+    if (p.label == 1) ++n;
+  }
+  return n;
+}
+
+}  // namespace autoem

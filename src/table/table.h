@@ -1,0 +1,93 @@
+#ifndef AUTOEM_TABLE_TABLE_H_
+#define AUTOEM_TABLE_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/value.h"
+
+namespace autoem {
+
+/// Ordered list of attribute names shared by all records of a Table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> attribute_names)
+      : names_(std::move(attribute_names)) {}
+
+  size_t num_attributes() const { return names_.size(); }
+  const std::string& name(size_t i) const { return names_[i]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Index of the attribute or -1 when absent.
+  int IndexOf(const std::string& name) const;
+
+  bool operator==(const Schema& other) const { return names_ == other.names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// One row: a vector of Values positionally aligned with a Schema.
+class Record {
+ public:
+  Record() = default;
+  explicit Record(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// A named, schema-ed collection of records (one data source in EM terms).
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  const Record& row(size_t i) const { return rows_[i]; }
+
+  /// Appends a record; fails if its arity differs from the schema.
+  Status Append(Record record);
+
+  /// Cell accessor; no bounds checking beyond AUTOEM_CHECK in debug use.
+  const Value& cell(size_t row, size_t col) const { return rows_[row].at(col); }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Record> rows_;
+};
+
+/// A candidate record pair plus (optional) ground-truth match label.
+/// `label < 0` means unlabeled.
+struct RecordPair {
+  size_t left_id = 0;   // row index into the left table
+  size_t right_id = 0;  // row index into the right table
+  int label = -1;       // 1 match, 0 non-match, -1 unknown
+};
+
+/// The candidate set the matching phase consumes: two source tables plus the
+/// pair list produced by blocking (with labels when ground truth is known).
+struct PairSet {
+  Table left;
+  Table right;
+  std::vector<RecordPair> pairs;
+
+  size_t NumPositives() const;
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_TABLE_TABLE_H_

@@ -1,0 +1,37 @@
+#include "table/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace autoem {
+
+std::string Value::ToString() const {
+  if (is_null()) return "";
+  if (is_bool()) return AsBool() ? "true" : "false";
+  if (is_number()) {
+    double d = AsNumber();
+    if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+      return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", d);
+    return buf;
+  }
+  return AsString();
+}
+
+Value Value::Parse(std::string_view raw) {
+  if (raw.empty()) return Value::Null();
+  if (raw == "true" || raw == "True" || raw == "TRUE") return Value(true);
+  if (raw == "false" || raw == "False" || raw == "FALSE") return Value(false);
+  std::string buf(raw);
+  char* end = nullptr;
+  double d = std::strtod(buf.c_str(), &end);
+  if (end != nullptr && *end == '\0' && end != buf.c_str()) return Value(d);
+  return Value(std::move(buf));
+}
+
+}  // namespace autoem

@@ -1,0 +1,49 @@
+#ifndef AUTOEM_TABLE_VALUE_H_
+#define AUTOEM_TABLE_VALUE_H_
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace autoem {
+
+/// A nullable table cell: missing, boolean, number, or string.
+class Value {
+ public:
+  /// Constructs a missing (null) value.
+  Value() : data_(std::monostate{}) {}
+  explicit Value(bool b) : data_(b) {}
+  explicit Value(double d) : data_(d) {}
+  explicit Value(std::string s) : data_(std::move(s)) {}
+  explicit Value(const char* s) : data_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  /// Preconditions: the corresponding is_*() holds.
+  bool AsBool() const { return std::get<bool>(data_); }
+  double AsNumber() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Canonical string rendering: "" for null, "true"/"false" for booleans,
+  /// shortest round-trip decimal for numbers, the string itself otherwise.
+  /// This is the form similarity functions consume.
+  std::string ToString() const;
+
+  /// Parses a raw cell into a typed value: empty -> null, "true"/"false" ->
+  /// bool, a full numeric parse -> number, anything else -> string.
+  static Value Parse(std::string_view raw);
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+ private:
+  std::variant<std::monostate, bool, double, std::string> data_;
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_TABLE_VALUE_H_

@@ -1,0 +1,227 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace autoem {
+
+namespace {
+
+// Intersection size of two token multiset-collapsed sets.
+size_t SetIntersectionSize(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b) {
+  std::unordered_set<std::string_view> set_a(a.begin(), a.end());
+  std::unordered_set<std::string_view> seen;
+  size_t count = 0;
+  for (const auto& tok : b) {
+    if (set_a.count(tok) && seen.insert(tok).second) ++count;
+  }
+  return count;
+}
+
+size_t SetSize(const std::vector<std::string>& v) {
+  std::unordered_set<std::string_view> s(v.begin(), v.end());
+  return s.size();
+}
+
+}  // namespace
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  // One-row dynamic program over the shorter string.
+  std::vector<int> row(n + 1);
+  for (size_t j = 0; j <= n; ++j) row[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= m; ++i) {
+    int prev_diag = row[0];
+    row[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= n; ++j) {
+      int insert_cost = row[j] + 1;
+      int delete_cost = row[j - 1] + 1;
+      int subst_cost = prev_diag + (a[j - 1] == b[i - 1] ? 0 : 1);
+      prev_diag = row[j];
+      row[j] = std::min({insert_cost, delete_cost, subst_cost});
+    }
+  }
+  return row[n];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(max_len);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  const size_t match_window =
+      std::max<size_t>(1, std::max(la, lb) / 2) - 1;
+
+  std::vector<bool> a_matched(la, false);
+  std::vector<bool> b_matched(lb, false);
+  size_t matches = 0;
+  for (size_t i = 0; i < la; ++i) {
+    size_t lo = i > match_window ? i - match_window : 0;
+    size_t hi = std::min(lb, i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions among matched characters.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < la; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double m = static_cast<double>(matches);
+  return (m / la + m / lb + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  double jaro = JaroSimilarity(a, b);
+  const double kPrefixScale = 0.1;
+  size_t prefix = 0;
+  size_t limit = std::min({a.size(), b.size(), static_cast<size_t>(4)});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + prefix * kPrefixScale * (1.0 - jaro);
+}
+
+double ExactMatch(std::string_view a, std::string_view b) {
+  return a == b ? 1.0 : 0.0;
+}
+
+namespace {
+
+constexpr int kMatchScore = 1;
+constexpr int kMismatchScore = -1;
+constexpr int kGapScore = -1;
+
+}  // namespace
+
+double NeedlemanWunsch(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  std::vector<int> row(m + 1);
+  for (size_t j = 0; j <= m; ++j) row[j] = static_cast<int>(j) * kGapScore;
+  for (size_t i = 1; i <= n; ++i) {
+    int prev_diag = row[0];
+    row[0] = static_cast<int>(i) * kGapScore;
+    for (size_t j = 1; j <= m; ++j) {
+      int diag = prev_diag +
+                 (a[i - 1] == b[j - 1] ? kMatchScore : kMismatchScore);
+      int up = row[j] + kGapScore;
+      int left = row[j - 1] + kGapScore;
+      prev_diag = row[j];
+      row[j] = std::max({diag, up, left});
+    }
+  }
+  return static_cast<double>(row[m]) / static_cast<double>(std::max(n, m));
+}
+
+double SmithWaterman(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) return (n == 0 && m == 0) ? 1.0 : 0.0;
+  std::vector<int> row(m + 1, 0);
+  int best = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    int prev_diag = row[0];
+    row[0] = 0;
+    for (size_t j = 1; j <= m; ++j) {
+      int diag = prev_diag +
+                 (a[i - 1] == b[j - 1] ? kMatchScore : kMismatchScore);
+      int up = row[j] + kGapScore;
+      int left = row[j - 1] + kGapScore;
+      prev_diag = row[j];
+      row[j] = std::max({0, diag, up, left});
+      best = std::max(best, row[j]);
+    }
+  }
+  return static_cast<double>(best) / static_cast<double>(std::min(n, m));
+}
+
+double MongeElkan(std::string_view a, std::string_view b) {
+  std::vector<std::string> tokens_a = WhitespaceTokenize(a);
+  std::vector<std::string> tokens_b = WhitespaceTokenize(b);
+  if (tokens_a.empty() && tokens_b.empty()) return 1.0;
+  if (tokens_a.empty() || tokens_b.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& ta : tokens_a) {
+    double best = 0.0;
+    for (const auto& tb : tokens_b) {
+      best = std::max(best, JaroWinklerSimilarity(ta, tb));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(tokens_a.size());
+}
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  size_t sa = SetSize(a);
+  size_t sb = SetSize(b);
+  if (sa == 0 && sb == 0) return 1.0;
+  size_t inter = SetIntersectionSize(a, b);
+  size_t uni = sa + sb - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+}
+
+double CosineSimilarity(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  size_t sa = SetSize(a);
+  size_t sb = SetSize(b);
+  if (sa == 0 && sb == 0) return 1.0;
+  if (sa == 0 || sb == 0) return 0.0;
+  size_t inter = SetIntersectionSize(a, b);
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(sa) * static_cast<double>(sb));
+}
+
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  size_t sa = SetSize(a);
+  size_t sb = SetSize(b);
+  if (sa == 0 && sb == 0) return 1.0;
+  size_t inter = SetIntersectionSize(a, b);
+  return 2.0 * inter / static_cast<double>(sa + sb);
+}
+
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  size_t sa = SetSize(a);
+  size_t sb = SetSize(b);
+  if (sa == 0 && sb == 0) return 1.0;
+  if (sa == 0 || sb == 0) return 0.0;
+  size_t inter = SetIntersectionSize(a, b);
+  return static_cast<double>(inter) / std::min(sa, sb);
+}
+
+double AbsoluteNorm(double a, double b) {
+  double max_abs = std::max(std::fabs(a), std::fabs(b));
+  if (max_abs == 0.0) return 1.0;
+  double sim = 1.0 - std::fabs(a - b) / max_abs;
+  return std::clamp(sim, 0.0, 1.0);
+}
+
+}  // namespace autoem

@@ -1,0 +1,70 @@
+#ifndef AUTOEM_TEXT_SIMILARITY_H_
+#define AUTOEM_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autoem {
+
+// String similarity primitives backing the feature-generation tables
+// (Table I / Table II of the paper). Sequence measures follow the
+// py_stringmatching definitions Magellan uses; token measures operate on
+// token *sets*.
+
+/// Levenshtein (edit) distance: minimum number of single-character
+/// insertions, deletions, and substitutions.
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Normalized Levenshtein similarity: 1 - dist / max(|a|, |b|); 1.0 for two
+/// empty strings.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0, 1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity with common-prefix boost (p = 0.1, max prefix 4).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// 1.0 iff the strings are identical, else 0.0.
+double ExactMatch(std::string_view a, std::string_view b);
+
+/// Needleman-Wunsch global alignment score (match +1, mismatch -1, gap -1)
+/// normalized by max(|a|, |b|) so values land in [-1, 1].
+double NeedlemanWunsch(std::string_view a, std::string_view b);
+
+/// Smith-Waterman local alignment score (match +1, mismatch -1, gap -1)
+/// normalized by min(|a|, |b|), in [0, 1].
+double SmithWaterman(std::string_view a, std::string_view b);
+
+/// Monge-Elkan: mean over tokens of `a` of the best Jaro-Winkler match in
+/// `b`'s tokens (whitespace tokenization), the standard hybrid measure.
+double MongeElkan(std::string_view a, std::string_view b);
+
+// ---- token-set measures ----------------------------------------------------
+
+/// |A ∩ B| / |A ∪ B|; 1.0 when both sets are empty.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// |A ∩ B| / sqrt(|A| * |B|) (set cosine, a.k.a. Ochiai coefficient).
+double CosineSimilarity(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b);
+
+/// 2|A ∩ B| / (|A| + |B|).
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+/// |A ∩ B| / min(|A|, |B|).
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+// ---- numeric measures -------------------------------------------------------
+
+/// Absolute norm similarity for numbers: 1 - |a-b| / max(|a|, |b|), clamped
+/// to [0, 1]; 1.0 when both are zero.
+double AbsoluteNorm(double a, double b);
+
+}  // namespace autoem
+
+#endif  // AUTOEM_TEXT_SIMILARITY_H_

@@ -1,0 +1,150 @@
+#include "text/similarity_function.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "text/similarity.h"
+
+namespace autoem {
+
+namespace {
+
+double ParseNumber(std::string_view s, bool* ok) {
+  if (s.empty()) {
+    *ok = false;
+    return 0.0;
+  }
+  char* end = nullptr;
+  std::string buf(s);
+  double v = std::strtod(buf.c_str(), &end);
+  *ok = (end != nullptr && *end == '\0');
+  return v;
+}
+
+}  // namespace
+
+const char* MeasureName(Measure m) {
+  switch (m) {
+    case Measure::kLevenshteinDistance:
+      return "Levenshtein Distance";
+    case Measure::kLevenshteinSimilarity:
+      return "Levenshtein Similarity";
+    case Measure::kJaro:
+      return "Jaro Distance";
+    case Measure::kJaroWinkler:
+      return "Jaro-Winkler Distance";
+    case Measure::kExactMatch:
+      return "Exact Match";
+    case Measure::kNeedlemanWunsch:
+      return "Needleman-Wunsch Algorithm";
+    case Measure::kSmithWaterman:
+      return "Smith-Waterman Algorithm";
+    case Measure::kMongeElkan:
+      return "Monge-Elkan Algorithm";
+    case Measure::kOverlapCoefficient:
+      return "Overlap Coefficient";
+    case Measure::kDice:
+      return "Dice Similarity";
+    case Measure::kCosine:
+      return "Cosine Similarity";
+    case Measure::kJaccard:
+      return "Jaccard Similarity";
+    case Measure::kAbsoluteNorm:
+      return "Absolute Norm";
+  }
+  return "?";
+}
+
+std::string SimFunction::Name() const {
+  std::string out = "(";
+  out += MeasureName(measure);
+  out += ", ";
+  out += TokenizerName(tokenizer);
+  out += ")";
+  return out;
+}
+
+double SimFunction::Apply(std::string_view a, std::string_view b) const {
+  switch (measure) {
+    case Measure::kLevenshteinDistance:
+      return static_cast<double>(LevenshteinDistance(a, b));
+    case Measure::kLevenshteinSimilarity:
+      return LevenshteinSimilarity(a, b);
+    case Measure::kJaro:
+      return JaroSimilarity(a, b);
+    case Measure::kJaroWinkler:
+      return JaroWinklerSimilarity(a, b);
+    case Measure::kExactMatch:
+      return ExactMatch(a, b);
+    case Measure::kNeedlemanWunsch:
+      return NeedlemanWunsch(a, b);
+    case Measure::kSmithWaterman:
+      return SmithWaterman(a, b);
+    case Measure::kMongeElkan:
+      return MongeElkan(a, b);
+    case Measure::kOverlapCoefficient:
+      return OverlapCoefficient(Tokenize(tokenizer, a), Tokenize(tokenizer, b));
+    case Measure::kDice:
+      return DiceSimilarity(Tokenize(tokenizer, a), Tokenize(tokenizer, b));
+    case Measure::kCosine:
+      return CosineSimilarity(Tokenize(tokenizer, a), Tokenize(tokenizer, b));
+    case Measure::kJaccard:
+      return JaccardSimilarity(Tokenize(tokenizer, a), Tokenize(tokenizer, b));
+    case Measure::kAbsoluteNorm: {
+      bool ok_a = false;
+      bool ok_b = false;
+      double va = ParseNumber(a, &ok_a);
+      double vb = ParseNumber(b, &ok_b);
+      if (!ok_a || !ok_b) return std::numeric_limits<double>::quiet_NaN();
+      return AbsoluteNorm(va, vb);
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+const std::vector<SimFunction>& AllStringFunctions() {
+  // Table II, rows 1-16.
+  static const std::vector<SimFunction>& kFuncs =
+      *new std::vector<SimFunction>{
+          {Measure::kLevenshteinDistance, TokenizerKind::kNone},
+          {Measure::kLevenshteinSimilarity, TokenizerKind::kNone},
+          {Measure::kJaro, TokenizerKind::kNone},
+          {Measure::kExactMatch, TokenizerKind::kNone},
+          {Measure::kJaroWinkler, TokenizerKind::kNone},
+          {Measure::kNeedlemanWunsch, TokenizerKind::kNone},
+          {Measure::kSmithWaterman, TokenizerKind::kNone},
+          {Measure::kMongeElkan, TokenizerKind::kNone},
+          {Measure::kOverlapCoefficient, TokenizerKind::kWhitespace},
+          {Measure::kDice, TokenizerKind::kWhitespace},
+          {Measure::kCosine, TokenizerKind::kWhitespace},
+          {Measure::kJaccard, TokenizerKind::kWhitespace},
+          {Measure::kOverlapCoefficient, TokenizerKind::kQGram3},
+          {Measure::kDice, TokenizerKind::kQGram3},
+          {Measure::kCosine, TokenizerKind::kQGram3},
+          {Measure::kJaccard, TokenizerKind::kQGram3},
+      };
+  return kFuncs;
+}
+
+const std::vector<SimFunction>& AllNumericFunctions() {
+  // Table II, rows 17-20 (identical to Table I rows 22-25).
+  static const std::vector<SimFunction>& kFuncs =
+      *new std::vector<SimFunction>{
+          {Measure::kLevenshteinDistance, TokenizerKind::kNone},
+          {Measure::kLevenshteinSimilarity, TokenizerKind::kNone},
+          {Measure::kExactMatch, TokenizerKind::kNone},
+          {Measure::kAbsoluteNorm, TokenizerKind::kNone},
+      };
+  return kFuncs;
+}
+
+const std::vector<SimFunction>& AllBooleanFunctions() {
+  static const std::vector<SimFunction>& kFuncs =
+      *new std::vector<SimFunction>{
+          {Measure::kExactMatch, TokenizerKind::kNone},
+      };
+  return kFuncs;
+}
+
+}  // namespace autoem

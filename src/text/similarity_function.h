@@ -1,0 +1,60 @@
+#ifndef AUTOEM_TEXT_SIMILARITY_FUNCTION_H_
+#define AUTOEM_TEXT_SIMILARITY_FUNCTION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace autoem {
+
+/// The similarity measures used in the paper's Table I / Table II.
+enum class Measure {
+  kLevenshteinDistance,
+  kLevenshteinSimilarity,
+  kJaro,
+  kJaroWinkler,
+  kExactMatch,
+  kNeedlemanWunsch,
+  kSmithWaterman,
+  kMongeElkan,
+  kOverlapCoefficient,
+  kDice,
+  kCosine,
+  kJaccard,
+  kAbsoluteNorm,
+};
+
+/// A (measure, tokenizer) pair — one row of Table I / Table II. Sequence
+/// measures use TokenizerKind::kNone; set measures use Space or 3-gram.
+struct SimFunction {
+  Measure measure;
+  TokenizerKind tokenizer = TokenizerKind::kNone;
+
+  /// "(Jaccard Similarity, Space)"-style name matching the paper's tables.
+  std::string Name() const;
+
+  /// Computes the similarity between two attribute values rendered as
+  /// strings. kAbsoluteNorm parses both sides as numbers and returns NaN if
+  /// either fails to parse; all other measures operate on the raw strings.
+  double Apply(std::string_view a, std::string_view b) const;
+};
+
+/// Short display name of a measure, e.g. "Jaccard Similarity".
+const char* MeasureName(Measure m);
+
+/// All sixteen string similarity functions of Table II (8 sequence measures
+/// plus {Overlap, Dice, Cosine, Jaccard} × {Space, 3-gram}).
+const std::vector<SimFunction>& AllStringFunctions();
+
+/// The four numeric functions shared by Table I and Table II: Levenshtein
+/// distance/similarity on the digit strings, exact match, absolute norm.
+const std::vector<SimFunction>& AllNumericFunctions();
+
+/// The single boolean function: exact match.
+const std::vector<SimFunction>& AllBooleanFunctions();
+
+}  // namespace autoem
+
+#endif  // AUTOEM_TEXT_SIMILARITY_FUNCTION_H_

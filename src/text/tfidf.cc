@@ -1,0 +1,67 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace autoem {
+
+TfIdfModel::TfIdfModel(TokenizerKind tokenizer) : tokenizer_(tokenizer) {}
+
+void TfIdfModel::AddDocument(std::string_view text) {
+  ++num_documents_;
+  fitted_ = false;
+  std::unordered_set<std::string> seen;
+  for (auto& tok : Tokenize(tokenizer_, text)) {
+    if (seen.insert(tok).second) ++document_frequency_[tok];
+  }
+}
+
+void TfIdfModel::Fit() {
+  idf_.clear();
+  double n = static_cast<double>(std::max<size_t>(num_documents_, 1));
+  double max_idf = 0.0;
+  for (const auto& [token, df] : document_frequency_) {
+    // Smoothed IDF (sklearn's formulation): log((1+n)/(1+df)) + 1.
+    double idf = std::log((1.0 + n) / (1.0 + static_cast<double>(df))) + 1.0;
+    idf_[token] = idf;
+    max_idf = std::max(max_idf, idf);
+  }
+  oov_idf_ = max_idf > 0.0 ? max_idf : 1.0;
+  fitted_ = true;
+}
+
+double TfIdfModel::Idf(const std::string& token) const {
+  auto it = idf_.find(token);
+  return it == idf_.end() ? oov_idf_ : it->second;
+}
+
+double TfIdfModel::Similarity(std::string_view a, std::string_view b) const {
+  std::vector<std::string> tokens_a = Tokenize(tokenizer_, a);
+  std::vector<std::string> tokens_b = Tokenize(tokenizer_, b);
+  if (tokens_a.empty() && tokens_b.empty()) return 1.0;
+  if (tokens_a.empty() || tokens_b.empty()) return 0.0;
+
+  // Term-frequency maps.
+  std::unordered_map<std::string, double> tf_a;
+  std::unordered_map<std::string, double> tf_b;
+  for (auto& tok : tokens_a) tf_a[tok] += 1.0;
+  for (auto& tok : tokens_b) tf_b[tok] += 1.0;
+
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (const auto& [token, tf] : tf_a) {
+    double w = tf * Idf(token);
+    norm_a += w * w;
+    auto it = tf_b.find(token);
+    if (it != tf_b.end()) dot += w * (it->second * Idf(token));
+  }
+  for (const auto& [token, tf] : tf_b) {
+    double w = tf * Idf(token);
+    norm_b += w * w;
+  }
+  if (norm_a <= 0.0 || norm_b <= 0.0) return 0.0;
+  return dot / std::sqrt(norm_a * norm_b);
+}
+
+}  // namespace autoem

@@ -1,0 +1,52 @@
+#ifndef AUTOEM_TEXT_TFIDF_H_
+#define AUTOEM_TEXT_TFIDF_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace autoem {
+
+/// Corpus-fitted TF-IDF similarity — the weighted token measure Magellan's
+/// py_stringmatching library offers next to the unweighted set measures.
+/// Unlike those, TF-IDF must be *fitted*: token weights come from document
+/// frequencies over the two tables' attribute values, so rare tokens (model
+/// numbers, street names) dominate ubiquitous ones ("the", "inc").
+class TfIdfModel {
+ public:
+  explicit TfIdfModel(TokenizerKind tokenizer = TokenizerKind::kWhitespace);
+
+  /// Accumulates document frequencies; call once per attribute value.
+  void AddDocument(std::string_view text);
+
+  /// Finalizes IDF weights. Call after all AddDocument calls; Fit again to
+  /// refit after more documents.
+  void Fit();
+
+  /// TF-IDF weighted cosine similarity of two strings in [0, 1]. Unknown
+  /// tokens get the out-of-vocabulary IDF (the maximum observed). 1.0 when
+  /// both strings are empty.
+  double Similarity(std::string_view a, std::string_view b) const;
+
+  size_t vocabulary_size() const { return idf_.size(); }
+  size_t num_documents() const { return num_documents_; }
+  bool fitted() const { return fitted_; }
+
+  /// IDF of one token (for tests/inspection); OOV tokens get max IDF.
+  double Idf(const std::string& token) const;
+
+ private:
+  TokenizerKind tokenizer_;
+  std::unordered_map<std::string, size_t> document_frequency_;
+  std::unordered_map<std::string, double> idf_;
+  double oov_idf_ = 1.0;
+  size_t num_documents_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_TEXT_TFIDF_H_

@@ -1,0 +1,51 @@
+#include "text/tokenizer.h"
+
+#include "common/string_util.h"
+
+namespace autoem {
+
+std::vector<std::string> WhitespaceTokenize(std::string_view s) {
+  return SplitWhitespace(s);
+}
+
+std::vector<std::string> QGramTokenize(std::string_view s, size_t q) {
+  std::vector<std::string> grams;
+  if (s.empty() || q == 0) return grams;
+  std::string padded;
+  padded.reserve(s.size() + 2 * (q - 1));
+  padded.append(q - 1, '#');
+  padded.append(s);
+  padded.append(q - 1, '#');
+  if (padded.size() < q) return grams;
+  grams.reserve(padded.size() - q + 1);
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    grams.push_back(padded.substr(i, q));
+  }
+  return grams;
+}
+
+std::vector<std::string> Tokenize(TokenizerKind kind, std::string_view s) {
+  switch (kind) {
+    case TokenizerKind::kNone:
+      return {std::string(s)};
+    case TokenizerKind::kWhitespace:
+      return WhitespaceTokenize(s);
+    case TokenizerKind::kQGram3:
+      return QGramTokenize(s, 3);
+  }
+  return {};
+}
+
+const char* TokenizerName(TokenizerKind kind) {
+  switch (kind) {
+    case TokenizerKind::kNone:
+      return "N/A";
+    case TokenizerKind::kWhitespace:
+      return "Space";
+    case TokenizerKind::kQGram3:
+      return "3-gram";
+  }
+  return "?";
+}
+
+}  // namespace autoem

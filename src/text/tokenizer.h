@@ -1,0 +1,35 @@
+#ifndef AUTOEM_TEXT_TOKENIZER_H_
+#define AUTOEM_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autoem {
+
+/// Tokenizer kinds used by the feature-generation tables (Table I / II of the
+/// paper): "Space" (whitespace word tokens) and "3-gram" (character q-grams).
+enum class TokenizerKind {
+  kNone,        // similarity function works on whole strings
+  kWhitespace,  // "Space" in the paper
+  kQGram3,      // "3-gram" in the paper
+};
+
+/// Splits on runs of whitespace. "new york" -> {"new", "york"}.
+std::vector<std::string> WhitespaceTokenize(std::string_view s);
+
+/// Character q-grams with q-1 padding characters ('#') on both ends, the
+/// standard construction for q-gram string joins. "ab" with q=3 ->
+/// {"##a", "#ab", "ab#", "b##"}. Empty input yields an empty set.
+std::vector<std::string> QGramTokenize(std::string_view s, size_t q = 3);
+
+/// Dispatches to the tokenizer selected by `kind`. kNone yields the whole
+/// string as a single token (useful for uniform treatment in tests).
+std::vector<std::string> Tokenize(TokenizerKind kind, std::string_view s);
+
+/// Human-readable tokenizer name matching the paper's tables.
+const char* TokenizerName(TokenizerKind kind);
+
+}  // namespace autoem
+
+#endif  // AUTOEM_TEXT_TOKENIZER_H_

@@ -1,0 +1,147 @@
+// Tests for configuration persistence (save/load winning pipelines) and the
+// k-fold cross-validation evaluator.
+#include <gtest/gtest.h>
+
+#include "automl/config_io.h"
+#include "automl/evaluator.h"
+#include "automl/search_space.h"
+#include "common/rng.h"
+
+namespace autoem {
+namespace {
+
+// ---- serialization -------------------------------------------------------------
+
+TEST(ConfigIoTest, RoundTripsTypedValues) {
+  Configuration config;
+  config["classifier:__choice__"] = "random_forest";
+  config["classifier:random_forest:max_features"] = 0.375;
+  config["classifier:random_forest:n_estimators"] = 100;
+  config["classifier:random_forest:bootstrap"] = true;
+  std::string text = SerializeConfiguration(config);
+  auto back = ParseConfiguration(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, config);
+}
+
+TEST(ConfigIoTest, RoundTripsEverySampledConfiguration) {
+  ConfigurationSpace space = BuildEmSearchSpace(ModelSpace::kAllModels);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    Configuration config = space.Sample(&rng);
+    auto back = ParseConfiguration(SerializeConfiguration(config));
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(back->size(), config.size());
+    for (const auto& [key, value] : config) {
+      ASSERT_TRUE(back->count(key)) << key;
+      if (value.is_double()) {
+        EXPECT_DOUBLE_EQ(back->at(key).AsDouble(), value.AsDouble()) << key;
+      } else {
+        EXPECT_EQ(back->at(key), value) << key;
+      }
+    }
+  }
+}
+
+TEST(ConfigIoTest, QuotedStringsWithEmbeddedQuotes) {
+  Configuration config;
+  config["note"] = "it's 'quoted'";
+  auto back = ParseConfiguration(SerializeConfiguration(config));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->at("note").AsString(), "it's 'quoted'");
+}
+
+TEST(ConfigIoTest, CommentsAndBlankLinesIgnored) {
+  auto config = ParseConfiguration(
+      "# header comment\n\nkey = 'value'\n\n# trailing\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->size(), 1u);
+  EXPECT_EQ(config->at("key").AsString(), "value");
+}
+
+TEST(ConfigIoTest, MalformedLinesRejected) {
+  EXPECT_FALSE(ParseConfiguration("just some text\n").ok());
+  EXPECT_FALSE(ParseConfiguration("key = \n").ok());
+  EXPECT_FALSE(ParseConfiguration("key = 'unterminated\n").ok());
+  EXPECT_FALSE(ParseConfiguration("key = not@a@value\n").ok());
+  EXPECT_FALSE(ParseConfiguration(" = 'value'\n").ok());
+}
+
+TEST(ConfigIoTest, FileRoundTrip) {
+  Configuration config = DefaultEmConfiguration(ModelSpace::kAllModels);
+  std::string path = ::testing::TempDir() + "/autoem_config_test.txt";
+  ASSERT_TRUE(SaveConfiguration(config, path).ok());
+  auto back = LoadConfiguration(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->at("classifier:__choice__").AsString(), "random_forest");
+}
+
+TEST(ConfigIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadConfiguration("/nonexistent/config.txt").ok());
+}
+
+// ---- cross-validation ------------------------------------------------------------
+
+Dataset MakeLearnable(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  d.X = Matrix(n, 4);
+  d.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    d.y[i] = rng.Bernoulli(0.3) ? 1 : 0;
+    for (size_t c = 0; c < 4; ++c) {
+      d.X.At(i, c) = (d.y[i] == 1 ? 1.5 : 0.0) + rng.Normal(0, 0.8);
+    }
+  }
+  d.feature_names = {"a", "b", "c", "d"};
+  return d;
+}
+
+TEST(CrossValidationTest, LearnableDataScoresHigh) {
+  Dataset d = MakeLearnable(300, 2);
+  auto f1 = CrossValidatedF1(DefaultEmConfiguration(ModelSpace::kAllModels),
+                             d, /*folds=*/4, /*seed=*/3);
+  ASSERT_TRUE(f1.ok()) << f1.status().ToString();
+  EXPECT_GT(*f1, 0.7);
+  EXPECT_LE(*f1, 1.0);
+}
+
+TEST(CrossValidationTest, AgreesRoughlyWithHoldout) {
+  Dataset d = MakeLearnable(400, 4);
+  Configuration config = DefaultEmConfiguration(ModelSpace::kAllModels);
+  auto cv = CrossValidatedF1(config, d, 5, 5);
+  ASSERT_TRUE(cv.ok());
+  Rng rng(6);
+  SplitResult split = TrainTestSplit(d, 0.25, &rng);
+  HoldoutEvaluator evaluator(split.train, split.test);
+  double holdout = evaluator.Evaluate(config).valid_f1;
+  EXPECT_NEAR(*cv, holdout, 0.15);
+}
+
+TEST(CrossValidationTest, InvalidInputsRejected) {
+  Dataset d = MakeLearnable(20, 7);
+  Configuration config = DefaultEmConfiguration(ModelSpace::kAllModels);
+  EXPECT_FALSE(CrossValidatedF1(config, d, 1, 1).ok());
+  Dataset tiny = MakeLearnable(3, 8);
+  EXPECT_FALSE(CrossValidatedF1(config, tiny, 5, 1).ok());
+}
+
+TEST(CrossValidationTest, DeterministicGivenSeed) {
+  Dataset d = MakeLearnable(200, 9);
+  Configuration config = DefaultEmConfiguration(ModelSpace::kAllModels);
+  auto a = CrossValidatedF1(config, d, 3, 11);
+  auto b = CrossValidatedF1(config, d, 3, 11);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(*a, *b);
+}
+
+TEST(CrossValidationTest, BadConfigPropagatesError) {
+  Dataset d = MakeLearnable(50, 10);
+  Configuration config;
+  config["classifier:__choice__"] = "bogus";
+  EXPECT_FALSE(CrossValidatedF1(config, d, 3, 1).ok());
+}
+
+}  // namespace
+}  // namespace autoem

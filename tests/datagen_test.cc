@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "datagen/benchmark_gen.h"
+#include "datagen/corruptor.h"
+#include "datagen/vocab.h"
+#include "features/feature_gen.h"
+#include "text/similarity.h"
+
+namespace autoem {
+namespace {
+
+// ---- vocab --------------------------------------------------------------------
+
+TEST(VocabTest, PoolsAreNonEmptyAndStable) {
+  EXPECT_FALSE(vocab::RestaurantNameWords().empty());
+  EXPECT_FALSE(vocab::Cities().empty());
+  EXPECT_FALSE(vocab::Brands().empty());
+  EXPECT_FALSE(vocab::PaperTitleWords().empty());
+  EXPECT_FALSE(vocab::BeerStyles().empty());
+  EXPECT_FALSE(vocab::Genres().empty());
+  // Stable addresses: repeated calls return the same list.
+  EXPECT_EQ(&vocab::Brands(), &vocab::Brands());
+}
+
+TEST(VocabTest, PickPhraseHasRequestedWords) {
+  Rng rng(1);
+  std::string phrase = vocab::PickPhrase(vocab::PaperTitleWords(), 4, &rng);
+  EXPECT_EQ(SplitWhitespace(phrase).size(), 4u);
+}
+
+// ---- corruptor -----------------------------------------------------------------
+
+TEST(CorruptorTest, CleanProfileBarelyChangesStrings) {
+  Rng rng(2);
+  Corruptor corruptor(CorruptionProfile::Clean(), &rng);
+  int unchanged = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (corruptor.CorruptString("golden dragon palace") ==
+        "golden dragon palace") {
+      ++unchanged;
+    }
+  }
+  EXPECT_GT(unchanged, 60);
+}
+
+TEST(CorruptorTest, HeavyProfileChangesMostStrings) {
+  Rng rng(3);
+  Corruptor corruptor(CorruptionProfile::Heavy(), &rng);
+  int changed = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (corruptor.CorruptString("golden dragon palace restaurant group") !=
+        "golden dragon palace restaurant group") {
+      ++changed;
+    }
+  }
+  EXPECT_GT(changed, 80);
+}
+
+TEST(CorruptorTest, CorruptedStringStaysSimilar) {
+  // Even heavy corruption must leave recognizable signal (the generator's
+  // positives would be unlearnable otherwise).
+  Rng rng(4);
+  Corruptor corruptor(CorruptionProfile::Heavy(), &rng);
+  double total_sim = 0.0;
+  const std::string base = "sony professional camera kit deluxe";
+  for (int i = 0; i < 50; ++i) {
+    total_sim += JaroWinklerSimilarity(base, corruptor.CorruptString(base));
+  }
+  EXPECT_GT(total_sim / 50, 0.55);
+}
+
+TEST(CorruptorTest, TypoEditCountScalesWithLength) {
+  CorruptionProfile profile;
+  profile.typo_rate = 0.1;
+  Rng rng(5);
+  Corruptor corruptor(profile, &rng);
+  double short_edits = 0.0, long_edits = 0.0;
+  std::string short_s(10, 'a');
+  std::string long_s(60, 'a');
+  for (int i = 0; i < 60; ++i) {
+    short_edits += LevenshteinDistance(short_s, corruptor.Typo(short_s));
+    long_edits += LevenshteinDistance(long_s, corruptor.Typo(long_s));
+  }
+  EXPECT_GT(long_edits, short_edits * 2);
+}
+
+TEST(CorruptorTest, DropTokensKeepsHead) {
+  CorruptionProfile profile;
+  profile.token_drop_rate = 0.9;
+  Rng rng(6);
+  Corruptor corruptor(profile, &rng);
+  for (int i = 0; i < 30; ++i) {
+    std::string out = corruptor.DropTokens("alpha beta gamma delta");
+    EXPECT_EQ(SplitWhitespace(out)[0], "alpha");
+  }
+}
+
+TEST(CorruptorTest, AbbreviateRewritesKnownWords) {
+  CorruptionProfile profile;
+  profile.abbreviate_rate = 1.0;
+  Rng rng(7);
+  Corruptor corruptor(profile, &rng);
+  std::string out = corruptor.Abbreviate("sunset boulevard");
+  EXPECT_EQ(out, "sunset blvd.");
+}
+
+TEST(CorruptorTest, NullRateNullsValues) {
+  CorruptionProfile profile;
+  profile.null_rate = 1.0;
+  Rng rng(8);
+  Corruptor corruptor(profile, &rng);
+  EXPECT_TRUE(corruptor.Corrupt(Value("x")).is_null());
+  EXPECT_TRUE(corruptor.Corrupt(Value(3.0)).is_null());
+  EXPECT_TRUE(corruptor.Corrupt(Value::Null()).is_null());
+}
+
+TEST(CorruptorTest, NumericJitterIsRelative) {
+  CorruptionProfile profile;
+  profile.numeric_jitter = 0.1;
+  Rng rng(9);
+  Corruptor corruptor(profile, &rng);
+  double total_rel = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    total_rel += std::fabs(corruptor.CorruptNumber(100.0) - 100.0) / 100.0;
+  }
+  EXPECT_NEAR(total_rel / 200, 0.08, 0.04);  // E|N(0,0.1)| ~ 0.0798
+}
+
+TEST(CorruptorTest, SeverityInterpolationIsMonotone) {
+  CorruptionProfile lo = CorruptionProfile::FromSeverity(0.2);
+  CorruptionProfile hi = CorruptionProfile::FromSeverity(0.8);
+  EXPECT_LT(lo.typo_rate, hi.typo_rate);
+  EXPECT_LT(lo.token_drop_rate, hi.token_drop_rate);
+  EXPECT_LT(lo.null_rate, hi.null_rate);
+}
+
+// ---- benchmark generator ----------------------------------------------------------
+
+TEST(BenchmarkGenTest, EightProfilesWithPaperNames) {
+  const auto& profiles = BenchmarkProfiles();
+  ASSERT_EQ(profiles.size(), 8u);
+  EXPECT_EQ(profiles[0].name, "BeerAdvo-RateBeer");
+  EXPECT_EQ(profiles[7].name, "Abt-Buy");
+  EXPECT_TRUE(FindProfile("DBLP-ACM").ok());
+  EXPECT_FALSE(FindProfile("Nonexistent").ok());
+}
+
+TEST(BenchmarkGenTest, TableIIIPairCounts) {
+  // Full-scale counts must match the paper's Table III.
+  auto p = FindProfile("Walmart-Amazon");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->train_pairs, 8193u);
+  EXPECT_EQ(p->test_pairs, 2049u);
+  EXPECT_EQ(p->total_positives, 962u);
+}
+
+TEST(BenchmarkGenTest, GeneratedSizesMatchScaledProfile) {
+  auto data = GenerateBenchmarkByName("Fodors-Zagats", 1, 0.5);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_NEAR(static_cast<double>(data->train.pairs.size()), 757 * 0.5, 2.0);
+  EXPECT_NEAR(static_cast<double>(data->test.pairs.size()), 189 * 0.5, 2.0);
+  size_t pos =
+      data->train.NumPositives() + data->test.NumPositives();
+  EXPECT_NEAR(static_cast<double>(pos), 110 * 0.5, 3.0);
+}
+
+TEST(BenchmarkGenTest, DeterministicGivenSeed) {
+  auto d1 = GenerateBenchmarkByName("iTunes-Amazon", 77, 0.3);
+  auto d2 = GenerateBenchmarkByName("iTunes-Amazon", 77, 0.3);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  ASSERT_EQ(d1->train.pairs.size(), d2->train.pairs.size());
+  for (size_t i = 0; i < d1->train.pairs.size(); ++i) {
+    EXPECT_EQ(d1->train.pairs[i].label, d2->train.pairs[i].label);
+    for (size_t c = 0; c < d1->train.left.schema().num_attributes(); ++c) {
+      EXPECT_EQ(d1->train.left.cell(i, c), d2->train.left.cell(i, c));
+    }
+  }
+}
+
+TEST(BenchmarkGenTest, DifferentSeedsDiffer) {
+  auto d1 = GenerateBenchmarkByName("Abt-Buy", 1, 0.1);
+  auto d2 = GenerateBenchmarkByName("Abt-Buy", 2, 0.1);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < std::min(d1->train.left.num_rows(),
+                                  d2->train.left.num_rows());
+       ++i) {
+    if (!(d1->train.left.cell(i, 0) == d2->train.left.cell(i, 0))) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BenchmarkGenTest, SchemasMatchTableIII) {
+  struct Expect {
+    const char* name;
+    size_t attrs;
+  };
+  // Attribute counts from the paper's Table III.
+  const Expect kExpected[] = {
+      {"BeerAdvo-RateBeer", 4}, {"Fodors-Zagats", 6}, {"iTunes-Amazon", 8},
+      {"DBLP-ACM", 4},          {"DBLP-Scholar", 4},  {"Amazon-Google", 3},
+      {"Walmart-Amazon", 5},    {"Abt-Buy", 3},
+  };
+  for (const auto& e : kExpected) {
+    auto data = GenerateBenchmarkByName(e.name, 3, 0.05);
+    ASSERT_TRUE(data.ok()) << e.name;
+    EXPECT_EQ(data->train.left.schema().num_attributes(), e.attrs) << e.name;
+    EXPECT_TRUE(data->train.left.schema() == data->train.right.schema());
+  }
+}
+
+TEST(BenchmarkGenTest, PositivesAreMoreSimilarThanNegatives) {
+  auto data = GenerateBenchmarkByName("Fodors-Zagats", 5, 0.5);
+  ASSERT_TRUE(data.ok());
+  double pos_sim = 0.0, neg_sim = 0.0;
+  size_t n_pos = 0, n_neg = 0;
+  for (const auto& pair : data->train.pairs) {
+    const Value& l = data->train.left.cell(pair.left_id, 0);
+    const Value& r = data->train.right.cell(pair.right_id, 0);
+    if (l.is_null() || r.is_null()) continue;
+    double sim = JaroWinklerSimilarity(l.ToString(), r.ToString());
+    if (pair.label == 1) {
+      pos_sim += sim;
+      ++n_pos;
+    } else {
+      neg_sim += sim;
+      ++n_neg;
+    }
+  }
+  ASSERT_GT(n_pos, 0u);
+  ASSERT_GT(n_neg, 0u);
+  EXPECT_GT(pos_sim / n_pos, neg_sim / n_neg + 0.1);
+}
+
+TEST(BenchmarkGenTest, HardDatasetsOverlapMoreThanEasyOnes) {
+  // The calibrated difficulty ordering: name similarity separates
+  // Fodors-Zagats pairs far better than Abt-Buy pairs.
+  auto gap = [](const BenchmarkData& data) {
+    double pos = 0.0, neg = 0.0;
+    size_t n_pos = 0, n_neg = 0;
+    for (const auto& pair : data.train.pairs) {
+      const Value& l = data.train.left.cell(pair.left_id, 0);
+      const Value& r = data.train.right.cell(pair.right_id, 0);
+      if (l.is_null() || r.is_null()) continue;
+      double sim = LevenshteinSimilarity(l.ToString(), r.ToString());
+      if (pair.label == 1) {
+        pos += sim;
+        ++n_pos;
+      } else {
+        neg += sim;
+        ++n_neg;
+      }
+    }
+    return pos / n_pos - neg / n_neg;
+  };
+  auto easy = GenerateBenchmarkByName("Fodors-Zagats", 6, 0.5);
+  auto hard = GenerateBenchmarkByName("Abt-Buy", 6, 0.1);
+  ASSERT_TRUE(easy.ok());
+  ASSERT_TRUE(hard.ok());
+  EXPECT_GT(gap(*easy), gap(*hard));
+}
+
+TEST(BenchmarkGenTest, LongStringAttributeInAbtBuy) {
+  auto data = GenerateBenchmarkByName("Abt-Buy", 7, 0.1);
+  ASSERT_TRUE(data.ok());
+  AutoMlEmFeatureGenerator gen;
+  ASSERT_TRUE(gen.Plan(data->train.left, data->train.right).ok());
+  // description must classify as a long string: AutoML-EM still assigns all
+  // 16 string functions while Magellan would only give 2.
+  EXPECT_EQ(InferAttributeClass(data->train.left, data->train.right, 1),
+            AttributeClass::kLongString);
+}
+
+TEST(BenchmarkGenTest, InvalidScaleRejected) {
+  auto p = FindProfile("DBLP-ACM");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(GenerateBenchmark(*p, 1, 0.0).ok());
+  EXPECT_FALSE(GenerateBenchmark(*p, 1, -1.0).ok());
+  EXPECT_FALSE(GenerateBenchmark(*p, 1, 11.0).ok());
+}
+
+TEST(BenchmarkGenTest, PairIdsAreInRange) {
+  auto data = GenerateBenchmarkByName("DBLP-ACM", 8, 0.05);
+  ASSERT_TRUE(data.ok());
+  for (const PairSet* ps : {&data->train, &data->test}) {
+    for (const auto& pair : ps->pairs) {
+      EXPECT_LT(pair.left_id, ps->left.num_rows());
+      EXPECT_LT(pair.right_id, ps->right.num_rows());
+      EXPECT_TRUE(pair.label == 0 || pair.label == 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace autoem

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "datagen/benchmark_gen.h"
+#include "em/blocking.h"
+#include "em/matcher.h"
+#include "em/pairs_io.h"
+
+namespace autoem {
+namespace {
+
+Table MakeRestaurants(const std::string& name,
+                      const std::vector<std::vector<const char*>>& rows) {
+  Table t(name, Schema({"name", "city"}));
+  for (const auto& row : rows) {
+    EXPECT_TRUE(t.Append(Record({Value(row[0]), Value(row[1])})).ok());
+  }
+  return t;
+}
+
+// ---- blocking -------------------------------------------------------------------
+
+TEST(BlockingTest, AttributeEquivalenceGroupsByKey) {
+  Table left = MakeRestaurants(
+      "A", {{"arnie mortons", "los angeles"}, {"arts deli", "studio city"}});
+  Table right = MakeRestaurants(
+      "B",
+      {{"arnie mortons of chicago", "Los Angeles"},  // case-insensitive
+       {"arts delicatessen", "studio city"},
+       {"fenix", "west hollywood"}});
+  AttributeEquivalenceBlocker blocker("city");
+  auto pairs = blocker.Block(left, right);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 2u);
+  for (const auto& p : *pairs) EXPECT_EQ(p.label, -1);
+}
+
+TEST(BlockingTest, AttributeEquivalenceSkipsNulls) {
+  Table left("A", Schema({"k"}));
+  ASSERT_TRUE(left.Append(Record({Value::Null()})).ok());
+  Table right("B", Schema({"k"}));
+  ASSERT_TRUE(right.Append(Record({Value::Null()})).ok());
+  AttributeEquivalenceBlocker blocker("k");
+  auto pairs = blocker.Block(left, right);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());  // null keys never pair
+}
+
+TEST(BlockingTest, MissingAttributeRejected) {
+  Table left = MakeRestaurants("A", {{"x", "y"}});
+  Table right = MakeRestaurants("B", {{"x", "y"}});
+  AttributeEquivalenceBlocker blocker("bogus");
+  EXPECT_FALSE(blocker.Block(left, right).ok());
+  QGramBlocker qblocker("bogus");
+  EXPECT_FALSE(qblocker.Block(left, right).ok());
+}
+
+TEST(BlockingTest, QGramSurvivesTypos) {
+  Table left = MakeRestaurants("A", {{"arnie mortons", "la"}});
+  Table right = MakeRestaurants("B", {{"arnie mortns", "la"},  // typo
+                                      {"zzzz qqqq", "la"}});
+  QGramBlocker blocker("name", /*min_shared=*/4);
+  auto pairs = blocker.Block(left, right);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ((*pairs)[0].right_id, 0u);
+}
+
+TEST(BlockingTest, QGramRecallOnGeneratedData) {
+  // On the easy restaurant benchmark, q-gram blocking on name should keep
+  // nearly all true matches.
+  auto data = GenerateBenchmarkByName("Fodors-Zagats", 3, 0.3);
+  ASSERT_TRUE(data.ok());
+  QGramBlocker blocker("name", 3);
+  auto candidates = blocker.Block(data->train.left, data->train.right);
+  ASSERT_TRUE(candidates.ok());
+  double recall = BlockingRecall(*candidates, data->train.pairs);
+  EXPECT_GT(recall, 0.85);
+}
+
+TEST(BlockingTest, RecallComputation) {
+  std::vector<RecordPair> truth = {{0, 0, 1}, {1, 1, 1}, {2, 2, 0}};
+  std::vector<RecordPair> candidates = {{0, 0, -1}, {5, 5, -1}};
+  EXPECT_DOUBLE_EQ(BlockingRecall(candidates, truth), 0.5);
+  EXPECT_DOUBLE_EQ(BlockingRecall({}, {{0, 0, 0}}), 1.0);  // no true matches
+}
+
+// ---- EntityMatcher end-to-end -----------------------------------------------------
+
+TEST(EntityMatcherTest, TrainsAndEvaluatesOnBenchmark) {
+  auto data = GenerateBenchmarkByName("Fodors-Zagats", 4, 0.4);
+  ASSERT_TRUE(data.ok());
+  EntityMatcher::Options options;
+  options.automl.max_evaluations = 6;
+  auto matcher = EntityMatcher::Train(data->train, options);
+  ASSERT_TRUE(matcher.ok()) << matcher.status().ToString();
+  auto report = matcher->Evaluate(data->test);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->f1, 0.7);
+  EXPECT_EQ(report->num_pairs, data->test.pairs.size());
+  EXPECT_EQ(report->num_positives, data->test.NumPositives());
+}
+
+TEST(EntityMatcherTest, ScoresAreProbabilities) {
+  auto data = GenerateBenchmarkByName("iTunes-Amazon", 5, 0.4);
+  ASSERT_TRUE(data.ok());
+  EntityMatcher::Options options;
+  options.automl.max_evaluations = 4;
+  auto matcher = EntityMatcher::Train(data->train, options);
+  ASSERT_TRUE(matcher.ok());
+  auto scores = matcher->ScorePairs(data->test);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), data->test.pairs.size());
+  for (double s : *scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(EntityMatcherTest, MagellanFeatureModeWorks) {
+  auto data = GenerateBenchmarkByName("Fodors-Zagats", 6, 0.3);
+  ASSERT_TRUE(data.ok());
+  EntityMatcher::Options options;
+  options.feature_generator = "magellan";
+  options.automl.max_evaluations = 4;
+  auto matcher = EntityMatcher::Train(data->train, options);
+  ASSERT_TRUE(matcher.ok());
+  EXPECT_EQ(matcher->feature_generator().name(), "magellan");
+}
+
+TEST(EntityMatcherTest, ThresholdTradesPrecisionForRecall) {
+  auto data = GenerateBenchmarkByName("Amazon-Google", 7, 0.2);
+  ASSERT_TRUE(data.ok());
+  EntityMatcher::Options options;
+  options.automl.max_evaluations = 5;
+  auto matcher = EntityMatcher::Train(data->train, options);
+  ASSERT_TRUE(matcher.ok());
+  auto strict = matcher->Evaluate(data->test, 0.9);
+  auto lenient = matcher->Evaluate(data->test, 0.1);
+  ASSERT_TRUE(strict.ok());
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_GE(lenient->recall, strict->recall);
+}
+
+TEST(EntityMatcherTest, EmptyTrainingRejected) {
+  PairSet empty;
+  EntityMatcher::Options options;
+  EXPECT_FALSE(EntityMatcher::Train(empty, options).ok());
+}
+
+TEST(EntityMatcherTest, UnknownFeatureGeneratorRejected) {
+  auto data = GenerateBenchmarkByName("Fodors-Zagats", 8, 0.1);
+  ASSERT_TRUE(data.ok());
+  EntityMatcher::Options options;
+  options.feature_generator = "bogus";
+  EXPECT_FALSE(EntityMatcher::Train(data->train, options).ok());
+}
+
+// ---- pairs interchange format ------------------------------------------------
+
+TEST(PairsIoTest, RoundTripsThroughTable) {
+  std::vector<RecordPair> pairs = {{0, 2, 1}, {1, 0, 0}, {3, 1, -1}};
+  Table t = PairsToTable(pairs);
+  EXPECT_EQ(t.num_rows(), 3u);
+  auto back = PairsFromTable(t, /*left_rows=*/4, /*right_rows=*/3);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), 3u);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ((*back)[i].left_id, pairs[i].left_id);
+    EXPECT_EQ((*back)[i].right_id, pairs[i].right_id);
+    EXPECT_EQ((*back)[i].label, pairs[i].label);
+  }
+}
+
+TEST(PairsIoTest, OutOfRangeIdsRejected) {
+  std::vector<RecordPair> pairs = {{5, 0, 1}};
+  Table t = PairsToTable(pairs);
+  auto back = PairsFromTable(t, /*left_rows=*/3, /*right_rows=*/3);
+  EXPECT_EQ(back.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(PairsIoTest, MissingColumnsRejected) {
+  Table t("bad", Schema({"x", "y"}));
+  ASSERT_TRUE(t.Append(Record({Value(0.0), Value(0.0)})).ok());
+  EXPECT_FALSE(PairsFromTable(t, 1, 1).ok());
+}
+
+TEST(PairsIoTest, MissingLabelColumnMeansUnlabeled) {
+  Table t("p", Schema({"ltable_id", "rtable_id"}));
+  ASSERT_TRUE(t.Append(Record({Value(0.0), Value(0.0)})).ok());
+  auto pairs = PairsFromTable(t, 1, 1);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ((*pairs)[0].label, -1);
+}
+
+TEST(PairsIoTest, NonNumericIdRejected) {
+  Table t("p", Schema({"ltable_id", "rtable_id", "label"}));
+  ASSERT_TRUE(t.Append(Record({Value("x"), Value(0.0), Value(1.0)})).ok());
+  EXPECT_FALSE(PairsFromTable(t, 1, 1).ok());
+}
+
+}  // namespace
+}  // namespace autoem

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/feature_gen.h"
+#include "features/type_inference.h"
+
+namespace autoem {
+namespace {
+
+Table MakeTable(const std::string& name, const Schema& schema,
+                const std::vector<std::vector<Value>>& rows) {
+  Table t(name, schema);
+  for (const auto& row : rows) {
+    EXPECT_TRUE(t.Append(Record(row)).ok());
+  }
+  return t;
+}
+
+// ---- type inference -----------------------------------------------------------
+
+TEST(TypeInferenceTest, NumericAndBoolean) {
+  Schema schema({"num", "flag"});
+  Table a = MakeTable("a", schema, {{Value(1.0), Value(true)},
+                                    {Value(2.5), Value(false)}});
+  Table b = MakeTable("b", schema, {{Value(3.0), Value(true)}});
+  EXPECT_EQ(InferAttributeClass(a, b, 0), AttributeClass::kNumeric);
+  EXPECT_EQ(InferAttributeClass(a, b, 1), AttributeClass::kBoolean);
+}
+
+TEST(TypeInferenceTest, StringLengthBands) {
+  Schema schema({"s"});
+  auto str_row = [](const char* s) {
+    return std::vector<Value>{Value(s)};
+  };
+  // single word
+  Table a1 = MakeTable("a", schema, {str_row("chicago")});
+  Table b1 = MakeTable("b", schema, {str_row("boston")});
+  EXPECT_EQ(InferAttributeClass(a1, b1, 0),
+            AttributeClass::kSingleWordString);
+  // 1-5 words
+  Table a2 = MakeTable("a", schema, {str_row("new york city")});
+  Table b2 = MakeTable("b", schema, {str_row("los angeles")});
+  EXPECT_EQ(InferAttributeClass(a2, b2, 0), AttributeClass::kShortString);
+  // 5-10 words
+  Table a3 = MakeTable("a", schema, {str_row("a b c d e f g")});
+  Table b3 = MakeTable("b", schema, {str_row("h i j k l m n o")});
+  EXPECT_EQ(InferAttributeClass(a3, b3, 0), AttributeClass::kMediumString);
+  // > 10 words
+  Table a4 =
+      MakeTable("a", schema, {str_row("a b c d e f g h i j k l m n")});
+  Table b4 = MakeTable("b", schema, {str_row("a b c d e f g h i j k l")});
+  EXPECT_EQ(InferAttributeClass(a4, b4, 0), AttributeClass::kLongString);
+}
+
+TEST(TypeInferenceTest, AllNullDefaultsToSingleWord) {
+  Schema schema({"s"});
+  Table a = MakeTable("a", schema, {{Value::Null()}});
+  Table b = MakeTable("b", schema, {{Value::Null()}});
+  EXPECT_EQ(InferAttributeClass(a, b, 0),
+            AttributeClass::kSingleWordString);
+}
+
+TEST(TypeInferenceTest, MixedTypeMajorityWins) {
+  Schema schema({"mostly_num"});
+  Table a = MakeTable("a", schema,
+                      {{Value(1.0)}, {Value(2.0)}, {Value("n/a")}});
+  Table b = MakeTable("b", schema, {{Value(3.0)}, {Value(4.0)}});
+  EXPECT_EQ(InferAttributeClass(a, b, 0), AttributeClass::kNumeric);
+}
+
+// ---- feature generation ----------------------------------------------------------
+
+struct RestaurantFixture {
+  Schema schema{{"name", "city", "rating"}};
+  Table a;
+  Table b;
+  PairSet pairs;
+
+  RestaurantFixture() {
+    a = MakeTable("A", schema,
+                  {{Value("arnie mortons of chicago"), Value("los angeles"),
+                    Value(4.5)},
+                   {Value("arts delicatessen"), Value("studio city"),
+                    Value(4.0)}});
+    b = MakeTable("B", schema,
+                  {{Value("arnie mortons"), Value("los angeles"), Value(4.4)},
+                   {Value("arts deli"), Value("studio city"), Value(3.9)}});
+    pairs.left = a;
+    pairs.right = b;
+    pairs.pairs = {{0, 0, 1}, {1, 1, 1}, {0, 1, 0}, {1, 0, 0}};
+  }
+};
+
+TEST(FeatureGenTest, AutoMlEmCountsAllStringFunctions) {
+  RestaurantFixture fx;
+  AutoMlEmFeatureGenerator gen;
+  ASSERT_TRUE(gen.Plan(fx.a, fx.b).ok());
+  // name: 1-5 word string -> 16; city: 1-5 word -> 16; rating numeric -> 4.
+  EXPECT_EQ(gen.num_features(), 16u + 16u + 4u);
+}
+
+TEST(FeatureGenTest, MagellanUsesLengthRules) {
+  RestaurantFixture fx;
+  MagellanFeatureGenerator gen;
+  ASSERT_TRUE(gen.Plan(fx.a, fx.b).ok());
+  // name/city are 1-5 word strings -> 8 features each; rating numeric -> 4.
+  EXPECT_EQ(gen.num_features(), 8u + 8u + 4u);
+}
+
+TEST(FeatureGenTest, AutoMlEmGeneratesMoreFeaturesThanMagellan) {
+  // The paper's Fig. 9 premise, as a structural property.
+  RestaurantFixture fx;
+  MagellanFeatureGenerator magellan;
+  AutoMlEmFeatureGenerator automl;
+  ASSERT_TRUE(magellan.Plan(fx.a, fx.b).ok());
+  ASSERT_TRUE(automl.Plan(fx.a, fx.b).ok());
+  EXPECT_GT(automl.num_features(), magellan.num_features());
+}
+
+TEST(FeatureGenTest, LongStringGapIsLargest) {
+  // Magellan gives long strings only 2 features; AutoML-EM gives 16.
+  Schema schema({"description"});
+  Table a = MakeTable(
+      "a", schema, {{Value("one two three four five six seven eight nine "
+                           "ten eleven twelve")}});
+  Table b = MakeTable(
+      "b", schema, {{Value("one two three four five six seven eight nine "
+                           "ten eleven thirteen")}});
+  MagellanFeatureGenerator magellan;
+  AutoMlEmFeatureGenerator automl;
+  ASSERT_TRUE(magellan.Plan(a, b).ok());
+  ASSERT_TRUE(automl.Plan(a, b).ok());
+  EXPECT_EQ(magellan.num_features(), 2u);
+  EXPECT_EQ(automl.num_features(), 16u);
+}
+
+TEST(FeatureGenTest, GenerateShapesAndLabels) {
+  RestaurantFixture fx;
+  AutoMlEmFeatureGenerator gen;
+  ASSERT_TRUE(gen.Plan(fx.a, fx.b).ok());
+  Dataset d = gen.Generate(fx.pairs);
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.num_features(), gen.num_features());
+  EXPECT_EQ(d.feature_names.size(), gen.num_features());
+  EXPECT_EQ(d.y, (std::vector<int>{1, 1, 0, 0}));
+}
+
+TEST(FeatureGenTest, MatchingPairScoresHigherThanNonMatching) {
+  RestaurantFixture fx;
+  AutoMlEmFeatureGenerator gen;
+  ASSERT_TRUE(gen.Plan(fx.a, fx.b).ok());
+  Dataset d = gen.Generate(fx.pairs);
+  // Find the name jaccard-space feature and compare match vs non-match.
+  int col = -1;
+  for (size_t f = 0; f < d.feature_names.size(); ++f) {
+    if (d.feature_names[f] == "name_jaccard_space") col = static_cast<int>(f);
+  }
+  ASSERT_GE(col, 0);
+  EXPECT_GT(d.X.At(0, col), d.X.At(2, col));
+}
+
+TEST(FeatureGenTest, NullValuesProduceNaN) {
+  Schema schema({"name"});
+  Table a = MakeTable("a", schema, {{Value("x")}, {Value::Null()}});
+  Table b = MakeTable("b", schema, {{Value("x")}, {Value("y")}});
+  PairSet pairs;
+  pairs.left = a;
+  pairs.right = b;
+  pairs.pairs = {{0, 0, 1}, {1, 1, 0}};
+  AutoMlEmFeatureGenerator gen;
+  ASSERT_TRUE(gen.Plan(a, b).ok());
+  Dataset d = gen.Generate(pairs);
+  for (size_t f = 0; f < d.num_features(); ++f) {
+    EXPECT_FALSE(std::isnan(d.X.At(0, f))) << d.feature_names[f];
+    EXPECT_TRUE(std::isnan(d.X.At(1, f))) << d.feature_names[f];
+  }
+}
+
+TEST(FeatureGenTest, FeatureNamesAreUnique) {
+  RestaurantFixture fx;
+  AutoMlEmFeatureGenerator gen;
+  ASSERT_TRUE(gen.Plan(fx.a, fx.b).ok());
+  std::set<std::string> names;
+  for (const auto& p : gen.plan()) names.insert(p.name);
+  EXPECT_EQ(names.size(), gen.num_features());
+}
+
+TEST(FeatureGenTest, SchemaMismatchRejected) {
+  Table a("a", Schema({"x"}));
+  Table b("b", Schema({"x", "y"}));
+  AutoMlEmFeatureGenerator gen;
+  EXPECT_FALSE(gen.Plan(a, b).ok());
+  MagellanFeatureGenerator mg;
+  EXPECT_FALSE(mg.Plan(a, b).ok());
+}
+
+TEST(FeatureGenTest, FactoryByName) {
+  EXPECT_TRUE(CreateFeatureGenerator("magellan").ok());
+  EXPECT_TRUE(CreateFeatureGenerator("automl_em").ok());
+  EXPECT_FALSE(CreateFeatureGenerator("bogus").ok());
+}
+
+TEST(FeatureGenTest, BooleanAttributesGetExactMatchOnly) {
+  Schema schema({"flag"});
+  Table a = MakeTable("a", schema, {{Value(true)}});
+  Table b = MakeTable("b", schema, {{Value(false)}});
+  AutoMlEmFeatureGenerator gen;
+  ASSERT_TRUE(gen.Plan(a, b).ok());
+  EXPECT_EQ(gen.num_features(), 1u);
+  PairSet pairs{a, b, {{0, 0, 0}}};
+  Dataset d = gen.Generate(pairs);
+  EXPECT_DOUBLE_EQ(d.X.At(0, 0), 0.0);  // true vs false
+}
+
+}  // namespace
+}  // namespace autoem

@@ -1,0 +1,192 @@
+// End-to-end integration tests reproducing the paper's qualitative claims in
+// miniature (small scale + small search budgets so the suite stays fast).
+#include <gtest/gtest.h>
+
+#include "active/active_learner.h"
+#include "automl/automl_em.h"
+#include "baselines/magellan_matcher.h"
+#include "datagen/benchmark_gen.h"
+#include "features/feature_gen.h"
+#include "ml/metrics.h"
+
+namespace autoem {
+namespace {
+
+struct FeaturizedBenchmark {
+  Dataset train;
+  Dataset test;
+};
+
+FeaturizedBenchmark Featurize(const BenchmarkData& data,
+                              FeatureGenerator* gen) {
+  EXPECT_TRUE(gen->Plan(data.train.left, data.train.right).ok());
+  return {gen->Generate(data.train), gen->Generate(data.test)};
+}
+
+TEST(IntegrationTest, AutoMlEmBeatsMagellanOnHardDataset) {
+  // Paper Finding 1 in miniature: automated pipeline search beats the
+  // human-workflow baseline on a hard textual dataset.
+  auto data = GenerateBenchmarkByName("Amazon-Google", 42, 0.25);
+  ASSERT_TRUE(data.ok());
+
+  MagellanMatcher::Options magellan_options;
+  auto magellan = MagellanMatcher::Train(data->train, magellan_options);
+  ASSERT_TRUE(magellan.ok());
+  double magellan_f1 = magellan->Evaluate(data->test)->f1;
+
+  AutoMlEmFeatureGenerator gen;
+  FeaturizedBenchmark fb = Featurize(*data, &gen);
+  AutoMlEmOptions options;
+  options.max_evaluations = 15;
+  options.seed = 7;
+  auto automl = RunAutoMlEm(fb.train, options);
+  ASSERT_TRUE(automl.ok());
+  double automl_f1 = F1Score(fb.test.y, automl->model.Predict(fb.test.X));
+
+  EXPECT_GT(automl_f1, magellan_f1 - 0.02)
+      << "automl=" << automl_f1 << " magellan=" << magellan_f1;
+}
+
+TEST(IntegrationTest, TableIIFeaturesBeatTableIFeaturesUnderSameSearch) {
+  // Paper Fig. 9 in miniature: with the search held fixed, the all-function
+  // feature generation wins (or ties) on a long-text dataset.
+  auto data = GenerateBenchmarkByName("Abt-Buy", 11, 0.2);
+  ASSERT_TRUE(data.ok());
+
+  AutoMlEmOptions options;
+  options.max_evaluations = 10;
+  options.seed = 3;
+
+  MagellanFeatureGenerator magellan_gen;
+  FeaturizedBenchmark magellan_fb = Featurize(*data, &magellan_gen);
+  auto magellan_run = RunAutoMlEm(magellan_fb.train, options);
+  ASSERT_TRUE(magellan_run.ok());
+  double magellan_f1 =
+      F1Score(magellan_fb.test.y,
+              magellan_run->model.Predict(magellan_fb.test.X));
+
+  AutoMlEmFeatureGenerator automl_gen;
+  FeaturizedBenchmark automl_fb = Featurize(*data, &automl_gen);
+  auto automl_run = RunAutoMlEm(automl_fb.train, options);
+  ASSERT_TRUE(automl_run.ok());
+  double automl_f1 = F1Score(automl_fb.test.y,
+                             automl_run->model.Predict(automl_fb.test.X));
+
+  EXPECT_GT(automl_gen.num_features(), magellan_gen.num_features());
+  EXPECT_GT(automl_f1, magellan_f1 - 0.05)
+      << "tableII=" << automl_f1 << " tableI=" << magellan_f1;
+}
+
+TEST(IntegrationTest, SearchTrajectoryImprovesWithBudget) {
+  // Paper Fig. 10 property: more evaluations never hurt the best-so-far
+  // validation score.
+  auto data = GenerateBenchmarkByName("Walmart-Amazon", 13, 0.15);
+  ASSERT_TRUE(data.ok());
+  AutoMlEmFeatureGenerator gen;
+  FeaturizedBenchmark fb = Featurize(*data, &gen);
+  AutoMlEmOptions options;
+  options.max_evaluations = 14;
+  options.seed = 5;
+  auto run = RunAutoMlEm(fb.train, options);
+  ASSERT_TRUE(run.ok());
+  double best = 0.0;
+  std::vector<double> incumbent;
+  for (const auto& record : run->trajectory) {
+    best = std::max(best, record.valid_f1);
+    incumbent.push_back(best);
+  }
+  for (size_t i = 1; i < incumbent.size(); ++i) {
+    EXPECT_GE(incumbent[i], incumbent[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(incumbent.back(), run->best_valid_f1);
+}
+
+TEST(IntegrationTest, AblationDisablingModulesNeverHelpsMuch) {
+  // Paper Fig. 12 property: removing data/feature preprocessing from the
+  // winning pipeline does not improve validation F1 (beyond noise).
+  auto data = GenerateBenchmarkByName("Amazon-Google", 17, 0.2);
+  ASSERT_TRUE(data.ok());
+  AutoMlEmFeatureGenerator gen;
+  FeaturizedBenchmark fb = Featurize(*data, &gen);
+
+  Rng rng(9);
+  SplitResult split = TrainTestSplit(fb.train, 0.25, &rng);
+  HoldoutEvaluator evaluator(split.train, split.test);
+  AutoMlEmOptions options;
+  options.max_evaluations = 12;
+  auto run = RunAutoMlEm(split.train, split.test, options);
+  ASSERT_TRUE(run.ok());
+
+  EvalRecord full = evaluator.Evaluate(run->best_config);
+  EvalRecord no_dp = evaluator.Evaluate(
+      EmPipeline::DisableDataPreprocessing(run->best_config));
+  EvalRecord no_both = evaluator.Evaluate(EmPipeline::DisableDataPreprocessing(
+      EmPipeline::DisableFeaturePreprocessing(run->best_config)));
+  EXPECT_GE(full.valid_f1, no_dp.valid_f1 - 0.08);
+  EXPECT_GE(full.valid_f1, no_both.valid_f1 - 0.08);
+}
+
+TEST(IntegrationTest, ActiveLearningPipelineOnRealFeatures) {
+  // Paper §V-D in miniature: AutoML-EM-Active runs end-to-end on a real
+  // featurized benchmark and produces a usable model.
+  auto data = GenerateBenchmarkByName("Amazon-Google", 23, 0.15);
+  ASSERT_TRUE(data.ok());
+  AutoMlEmFeatureGenerator gen;
+  FeaturizedBenchmark fb = Featurize(*data, &gen);
+
+  GroundTruthOracle oracle(fb.train.y);
+  ActiveLearningOptions options;
+  options.init_size = 100;
+  options.ac_batch = 20;
+  options.st_batch = 50;
+  options.label_budget = 220;
+  options.max_iterations = 6;
+  options.model.n_estimators = 20;
+  options.automl.max_evaluations = 5;
+  auto result = RunAutoMlEmActive(fb.train, &oracle, options, &fb.test);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->automl.has_value());
+  double f1 = F1Score(fb.test.y, result->automl->model.Predict(fb.test.X));
+  EXPECT_GT(f1, 0.15);  // far better than the ~0 random-guess baseline
+  EXPECT_LE(result->human_labels_used, 220u);
+}
+
+TEST(IntegrationTest, DeterministicEndToEnd) {
+  // Same seed, same data, same budget => identical result. The property
+  // every experiment in EXPERIMENTS.md relies on.
+  auto data = GenerateBenchmarkByName("iTunes-Amazon", 31, 0.3);
+  ASSERT_TRUE(data.ok());
+  AutoMlEmFeatureGenerator gen;
+  FeaturizedBenchmark fb = Featurize(*data, &gen);
+  AutoMlEmOptions options;
+  options.max_evaluations = 6;
+  options.seed = 123;
+  auto r1 = RunAutoMlEm(fb.train, options);
+  auto r2 = RunAutoMlEm(fb.train, options);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(r1->best_valid_f1, r2->best_valid_f1);
+  EXPECT_EQ(r1->best_config, r2->best_config);
+  std::vector<double> p1 = r1->model.PredictProba(fb.test.X);
+  std::vector<double> p2 = r2->model.PredictProba(fb.test.X);
+  for (size_t i = 0; i < p1.size(); ++i) EXPECT_DOUBLE_EQ(p1[i], p2[i]);
+}
+
+TEST(IntegrationTest, PipelinePrintoutLooksLikeFig11) {
+  auto data = GenerateBenchmarkByName("Fodors-Zagats", 37, 0.2);
+  ASSERT_TRUE(data.ok());
+  AutoMlEmFeatureGenerator gen;
+  FeaturizedBenchmark fb = Featurize(*data, &gen);
+  AutoMlEmOptions options;
+  options.max_evaluations = 5;
+  auto run = RunAutoMlEm(fb.train, options);
+  ASSERT_TRUE(run.ok());
+  std::string s = run->BestPipelineString();
+  EXPECT_NE(s.find("Pipeline{"), std::string::npos);
+  EXPECT_NE(s.find("balancing:strategy"), std::string::npos);
+  EXPECT_NE(s.find("classifier:__choice__"), std::string::npos);
+  EXPECT_NE(s.find("imputation:strategy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autoem

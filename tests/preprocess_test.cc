@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/rng.h"
+#include "preprocess/balancing.h"
+#include "preprocess/feature_agglomeration.h"
+#include "preprocess/feature_selection.h"
+#include "preprocess/imputer.h"
+#include "preprocess/pca.h"
+#include "preprocess/scalers.h"
+
+namespace autoem {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Matrix MakeMatrix(const std::vector<std::vector<double>>& rows) {
+  Matrix m(rows.size(), rows.empty() ? 0 : rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+// ---- imputer ----------------------------------------------------------------
+
+TEST(ImputerTest, MeanStrategy) {
+  Matrix X = MakeMatrix({{1.0}, {kNaN}, {3.0}});
+  SimpleImputer imp("mean");
+  ASSERT_TRUE(imp.Fit(X, {1, 0, 1}).ok());
+  Matrix out = imp.Apply(X);
+  EXPECT_DOUBLE_EQ(out.At(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(out.At(0, 0), 1.0);  // non-missing untouched
+}
+
+TEST(ImputerTest, MedianStrategy) {
+  Matrix X = MakeMatrix({{1.0}, {kNaN}, {3.0}, {100.0}});
+  SimpleImputer imp("median");
+  ASSERT_TRUE(imp.Fit(X, {}).ok());
+  EXPECT_DOUBLE_EQ(imp.Apply(X).At(1, 0), 3.0);
+}
+
+TEST(ImputerTest, MostFrequentStrategy) {
+  Matrix X = MakeMatrix({{2.0}, {2.0}, {5.0}, {kNaN}});
+  SimpleImputer imp("most_frequent");
+  ASSERT_TRUE(imp.Fit(X, {}).ok());
+  EXPECT_DOUBLE_EQ(imp.Apply(X).At(3, 0), 2.0);
+}
+
+TEST(ImputerTest, ConstantStrategy) {
+  Matrix X = MakeMatrix({{kNaN}});
+  SimpleImputer imp("constant", -1.0);
+  ASSERT_TRUE(imp.Fit(X, {}).ok());
+  EXPECT_DOUBLE_EQ(imp.Apply(X).At(0, 0), -1.0);
+}
+
+TEST(ImputerTest, AllNaNColumnFillsZeroForMean) {
+  Matrix X = MakeMatrix({{kNaN}, {kNaN}});
+  SimpleImputer imp("mean");
+  ASSERT_TRUE(imp.Fit(X, {}).ok());
+  EXPECT_DOUBLE_EQ(imp.Apply(X).At(0, 0), 0.0);
+}
+
+TEST(ImputerTest, UnknownStrategyRejected) {
+  SimpleImputer imp("magic");
+  Matrix X = MakeMatrix({{1.0}});
+  EXPECT_FALSE(imp.Fit(X, {}).ok());
+}
+
+TEST(ImputerTest, ApplyOnNewDataUsesTrainStatistics) {
+  Matrix train = MakeMatrix({{10.0}, {20.0}});
+  Matrix test = MakeMatrix({{kNaN}});
+  SimpleImputer imp("mean");
+  ASSERT_TRUE(imp.Fit(train, {}).ok());
+  EXPECT_DOUBLE_EQ(imp.Apply(test).At(0, 0), 15.0);
+}
+
+// ---- scalers -----------------------------------------------------------------
+
+TEST(StandardScalerTest, ZeroMeanUnitVariance) {
+  Matrix X = MakeMatrix({{1.0}, {2.0}, {3.0}, {4.0}});
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(X, {}).ok());
+  Matrix out = scaler.Apply(X);
+  double mean = 0.0;
+  for (size_t r = 0; r < 4; ++r) mean += out.At(r, 0);
+  EXPECT_NEAR(mean / 4, 0.0, 1e-12);
+  double var = 0.0;
+  for (size_t r = 0; r < 4; ++r) var += out.At(r, 0) * out.At(r, 0);
+  EXPECT_NEAR(var / 4, 1.0, 1e-12);
+}
+
+TEST(StandardScalerTest, NaNPassesThrough) {
+  Matrix X = MakeMatrix({{1.0}, {kNaN}, {3.0}});
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(X, {}).ok());
+  EXPECT_TRUE(std::isnan(scaler.Apply(X).At(1, 0)));
+}
+
+TEST(MinMaxScalerTest, MapsToUnitInterval) {
+  Matrix X = MakeMatrix({{-2.0}, {0.0}, {6.0}});
+  MinMaxScaler scaler;
+  ASSERT_TRUE(scaler.Fit(X, {}).ok());
+  Matrix out = scaler.Apply(X);
+  EXPECT_DOUBLE_EQ(out.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.At(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(out.At(1, 0), 0.25);
+}
+
+TEST(MinMaxScalerTest, ConstantColumnSafe) {
+  Matrix X = MakeMatrix({{3.0}, {3.0}});
+  MinMaxScaler scaler;
+  ASSERT_TRUE(scaler.Fit(X, {}).ok());
+  EXPECT_DOUBLE_EQ(scaler.Apply(X).At(0, 0), 0.0);
+}
+
+TEST(RobustScalerTest, CentersOnMedian) {
+  Matrix X = MakeMatrix({{1.0}, {2.0}, {3.0}, {4.0}, {100.0}});
+  RobustScaler scaler(25.0, 75.0);
+  ASSERT_TRUE(scaler.Fit(X, {}).ok());
+  Matrix out = scaler.Apply(X);
+  EXPECT_DOUBLE_EQ(out.At(2, 0), 0.0);  // median row maps to 0
+}
+
+TEST(RobustScalerTest, RobustToOutliers) {
+  // The outlier should not blow up the scale of the bulk.
+  Matrix X = MakeMatrix(
+      {{1.0}, {2.0}, {3.0}, {4.0}, {5.0}, {6.0}, {7.0}, {1000.0}});
+  RobustScaler robust(25.0, 75.0);
+  StandardScaler standard;
+  ASSERT_TRUE(robust.Fit(X, {}).ok());
+  ASSERT_TRUE(standard.Fit(X, {}).ok());
+  // Spread of the non-outlier bulk under each scaling:
+  double robust_spread =
+      robust.Apply(X).At(6, 0) - robust.Apply(X).At(0, 0);
+  double standard_spread =
+      standard.Apply(X).At(6, 0) - standard.Apply(X).At(0, 0);
+  EXPECT_GT(robust_spread, standard_spread);
+}
+
+TEST(RobustScalerTest, QuantileRangeValidation) {
+  Matrix X = MakeMatrix({{1.0}});
+  EXPECT_FALSE(RobustScaler(80.0, 20.0).Fit(X, {}).ok());
+  EXPECT_FALSE(RobustScaler(-5.0, 75.0).Fit(X, {}).ok());
+  EXPECT_FALSE(RobustScaler(25.0, 101.0).Fit(X, {}).ok());
+}
+
+TEST(RobustScalerTest, DifferentQuantilesChangeScaling) {
+  // The paper's Fig. 3c knob: q_min changes the rescaled distribution.
+  Rng rng(3);
+  Matrix X(200, 1);
+  for (size_t i = 0; i < 200; ++i) X.At(i, 0) = rng.Normal(0, 1);
+  RobustScaler narrow(40.0, 60.0);
+  RobustScaler wide(5.0, 95.0);
+  ASSERT_TRUE(narrow.Fit(X, {}).ok());
+  ASSERT_TRUE(wide.Fit(X, {}).ok());
+  // Narrow quantile range -> larger scaled magnitudes.
+  EXPECT_GT(std::fabs(narrow.Apply(X).At(0, 0)),
+            std::fabs(wide.Apply(X).At(0, 0)));
+}
+
+// ---- balancing ----------------------------------------------------------------
+
+TEST(BalancingTest, WeightsEqualizeClassMass) {
+  std::vector<int> y = {1, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  auto w = BalancedClassWeights(y);
+  ASSERT_TRUE(w.ok());
+  double pos_mass = 0.0, neg_mass = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    (y[i] == 1 ? pos_mass : neg_mass) += (*w)[i];
+  }
+  EXPECT_NEAR(pos_mass, neg_mass, 1e-9);
+}
+
+TEST(BalancingTest, SingleClassRejected) {
+  EXPECT_FALSE(BalancedClassWeights({1, 1, 1}).ok());
+  Rng rng(1);
+  EXPECT_FALSE(RandomOversampleIndices({0, 0}, &rng).ok());
+}
+
+TEST(BalancingTest, OversamplingReachesParity) {
+  std::vector<int> y = {1, 1, 0, 0, 0, 0, 0, 0};
+  Rng rng(2);
+  auto idx = RandomOversampleIndices(y, &rng);
+  ASSERT_TRUE(idx.ok());
+  size_t pos = 0, neg = 0;
+  for (size_t i : *idx) (y[i] == 1 ? pos : neg) += 1;
+  EXPECT_EQ(pos, neg);
+  // Every original row appears at least once.
+  std::set<size_t> seen(idx->begin(), idx->end());
+  EXPECT_EQ(seen.size(), y.size());
+}
+
+// ---- feature selection -----------------------------------------------------------
+
+Matrix MakeSupervised(std::vector<int>* y) {
+  // col 0: strong signal; col 1: weak signal; col 2: noise.
+  Rng rng(4);
+  Matrix X(120, 3);
+  y->resize(120);
+  for (size_t i = 0; i < 120; ++i) {
+    int label = i % 2;
+    (*y)[i] = label;
+    X.At(i, 0) = label * 3.0 + rng.Normal(0, 0.3);
+    X.At(i, 1) = label * 0.5 + rng.Normal(0, 1.0);
+    X.At(i, 2) = rng.Normal(0, 1.0);
+  }
+  return X;
+}
+
+TEST(SelectPercentileTest, KeepsTopFeatures) {
+  std::vector<int> y;
+  Matrix X = MakeSupervised(&y);
+  SelectPercentile sel(33.0, "f_classif");  // top 1 of 3 (ceil(0.99))
+  ASSERT_TRUE(sel.Fit(X, y).ok());
+  ASSERT_EQ(sel.selected().size(), 1u);
+  EXPECT_EQ(sel.selected()[0], 0u);
+  EXPECT_EQ(sel.Apply(X).cols(), 1u);
+}
+
+TEST(SelectPercentileTest, HundredPercentKeepsAll) {
+  std::vector<int> y;
+  Matrix X = MakeSupervised(&y);
+  SelectPercentile sel(100.0);
+  ASSERT_TRUE(sel.Fit(X, y).ok());
+  EXPECT_EQ(sel.selected().size(), 3u);
+}
+
+TEST(SelectPercentileTest, OutputNamesTrackSelection) {
+  std::vector<int> y;
+  Matrix X = MakeSupervised(&y);
+  SelectPercentile sel(33.0);
+  ASSERT_TRUE(sel.Fit(X, y).ok());
+  auto names = sel.OutputNames({"a", "b", "c"});
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "a");
+}
+
+TEST(SelectPercentileTest, InvalidPercentileRejected) {
+  std::vector<int> y;
+  Matrix X = MakeSupervised(&y);
+  EXPECT_FALSE(SelectPercentile(0.0).Fit(X, y).ok());
+  EXPECT_FALSE(SelectPercentile(150.0).Fit(X, y).ok());
+}
+
+TEST(SelectPercentileTest, Chi2ScoreFunctionWorks) {
+  std::vector<int> y;
+  Matrix X = MakeSupervised(&y);
+  SelectPercentile sel(33.0, "chi2");
+  ASSERT_TRUE(sel.Fit(X, y).ok());
+  EXPECT_EQ(sel.selected().size(), 1u);
+}
+
+TEST(SelectRatesTest, FprKeepsSignificantFeatures) {
+  std::vector<int> y;
+  Matrix X = MakeSupervised(&y);
+  SelectRates sel(0.05, "fpr", "f_classif");
+  ASSERT_TRUE(sel.Fit(X, y).ok());
+  // The strong feature must survive; pure noise should usually be dropped.
+  EXPECT_NE(std::find(sel.selected().begin(), sel.selected().end(), 0u),
+            sel.selected().end());
+  EXPECT_LT(sel.selected().size(), 3u);
+}
+
+TEST(SelectRatesTest, ModesAreOrderedByStrictness) {
+  std::vector<int> y;
+  Matrix X = MakeSupervised(&y);
+  SelectRates fpr(0.10, "fpr", "f_classif");
+  SelectRates fwe(0.10, "fwe", "f_classif");
+  ASSERT_TRUE(fpr.Fit(X, y).ok());
+  ASSERT_TRUE(fwe.Fit(X, y).ok());
+  EXPECT_GE(fpr.selected().size(), fwe.selected().size());
+}
+
+TEST(SelectRatesTest, NeverReturnsZeroFeatures) {
+  // All-noise data with a strict threshold: still keeps one feature.
+  Rng rng(5);
+  Matrix X(50, 4);
+  std::vector<int> y(50);
+  for (size_t i = 0; i < 50; ++i) {
+    y[i] = i % 2;
+    for (size_t c = 0; c < 4; ++c) X.At(i, c) = rng.Normal(0, 1);
+  }
+  SelectRates sel(0.01, "fwe", "f_classif");
+  ASSERT_TRUE(sel.Fit(X, y).ok());
+  EXPECT_GE(sel.selected().size(), 1u);
+}
+
+TEST(SelectRatesTest, BadParamsRejected) {
+  std::vector<int> y;
+  Matrix X = MakeSupervised(&y);
+  EXPECT_FALSE(SelectRates(0.0, "fpr").Fit(X, y).ok());
+  EXPECT_FALSE(SelectRates(0.05, "bogus").Fit(X, y).ok());
+}
+
+TEST(VarianceThresholdTest, DropsConstantFeatures) {
+  Matrix X = MakeMatrix({{1.0, 5.0}, {2.0, 5.0}, {3.0, 5.0}});
+  VarianceThreshold sel(1e-9);
+  ASSERT_TRUE(sel.Fit(X, {}).ok());
+  ASSERT_EQ(sel.selected().size(), 1u);
+  EXPECT_EQ(sel.selected()[0], 0u);
+}
+
+// ---- PCA --------------------------------------------------------------------------
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  std::vector<double> a = {3.0, 0.0, 0.0, 1.0};
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  JacobiEigenSymmetric(a, 2, &values, &vectors);
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 1.0, 1e-10);
+}
+
+TEST(JacobiEigenTest, KnownSymmetricMatrix) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  std::vector<double> a = {2.0, 1.0, 1.0, 2.0};
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  JacobiEigenSymmetric(a, 2, &values, &vectors);
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(vectors[0][0]), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(std::fabs(vectors[0][1]), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(PcaTest, RecoversLowRankStructure) {
+  // Data lives on a 1-D line in 3-D space (plus tiny noise).
+  Rng rng(6);
+  Matrix X(100, 3);
+  for (size_t i = 0; i < 100; ++i) {
+    double t = rng.Normal(0, 2);
+    X.At(i, 0) = t + rng.Normal(0, 0.01);
+    X.At(i, 1) = 2 * t + rng.Normal(0, 0.01);
+    X.At(i, 2) = -t + rng.Normal(0, 0.01);
+  }
+  Pca pca(0.99);
+  ASSERT_TRUE(pca.Fit(X, {}).ok());
+  EXPECT_EQ(pca.num_components(), 1u);
+  EXPECT_EQ(pca.Apply(X).cols(), 1u);
+}
+
+TEST(PcaTest, KeepVarianceControlsComponents) {
+  Rng rng(7);
+  Matrix X(80, 4);
+  for (size_t i = 0; i < 80; ++i) {
+    for (size_t c = 0; c < 4; ++c) X.At(i, c) = rng.Normal(0, 1.0 + c);
+  }
+  Pca low(0.5);
+  Pca high(0.9999);
+  ASSERT_TRUE(low.Fit(X, {}).ok());
+  ASSERT_TRUE(high.Fit(X, {}).ok());
+  EXPECT_LE(low.num_components(), high.num_components());
+  EXPECT_EQ(high.num_components(), 4u);
+}
+
+TEST(PcaTest, RejectsNaN) {
+  Matrix X = MakeMatrix({{1.0, kNaN}, {2.0, 3.0}});
+  Pca pca(0.9);
+  EXPECT_EQ(pca.Fit(X, {}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PcaTest, ProjectionPreservesPairwiseStructure) {
+  // Full-variance PCA is a rotation: distances are preserved.
+  Rng rng(8);
+  Matrix X(40, 3);
+  for (size_t i = 0; i < 40; ++i) {
+    for (size_t c = 0; c < 3; ++c) X.At(i, c) = rng.Normal(0, 1);
+  }
+  Pca pca(1.0);
+  ASSERT_TRUE(pca.Fit(X, {}).ok());
+  Matrix Z = pca.Apply(X);
+  ASSERT_EQ(Z.cols(), 3u);
+  auto dist = [](const Matrix& m, size_t a, size_t b) {
+    double d = 0;
+    for (size_t c = 0; c < m.cols(); ++c) {
+      double diff = m.At(a, c) - m.At(b, c);
+      d += diff * diff;
+    }
+    return std::sqrt(d);
+  };
+  for (size_t i = 1; i < 5; ++i) {
+    EXPECT_NEAR(dist(X, 0, i), dist(Z, 0, i), 1e-8);
+  }
+}
+
+// ---- feature agglomeration -----------------------------------------------------------
+
+TEST(FeatureAgglomerationTest, MergesCorrelatedFeatures) {
+  Rng rng(9);
+  Matrix X(100, 4);
+  for (size_t i = 0; i < 100; ++i) {
+    double a = rng.Normal(0, 1);
+    double b = rng.Normal(0, 1);
+    X.At(i, 0) = a;
+    X.At(i, 1) = a * 2.0 + rng.Normal(0, 0.01);  // ~ duplicate of col 0
+    X.At(i, 2) = b;
+    X.At(i, 3) = -b + rng.Normal(0, 0.01);       // ~ anti-duplicate of col 2
+  }
+  FeatureAgglomeration agg(2);
+  ASSERT_TRUE(agg.Fit(X, {}).ok());
+  EXPECT_EQ(agg.num_clusters(), 2u);
+  EXPECT_EQ(agg.cluster_of()[0], agg.cluster_of()[1]);
+  EXPECT_EQ(agg.cluster_of()[2], agg.cluster_of()[3]);
+  EXPECT_NE(agg.cluster_of()[0], agg.cluster_of()[2]);
+  EXPECT_EQ(agg.Apply(X).cols(), 2u);
+}
+
+TEST(FeatureAgglomerationTest, MoreClustersThanFeaturesClamps) {
+  Matrix X = MakeMatrix({{1.0, 2.0}, {2.0, 1.0}, {0.5, 0.2}});
+  FeatureAgglomeration agg(10);
+  ASSERT_TRUE(agg.Fit(X, {}).ok());
+  EXPECT_EQ(agg.num_clusters(), 2u);
+}
+
+TEST(FeatureAgglomerationTest, PooledValueIsClusterMean) {
+  Matrix X = MakeMatrix({{2.0, 4.0}});
+  FeatureAgglomeration agg(1);
+  Matrix train = MakeMatrix({{1.0, 1.1}, {2.0, 2.1}, {-1.0, -0.9}});
+  ASSERT_TRUE(agg.Fit(train, {}).ok());
+  ASSERT_EQ(agg.num_clusters(), 1u);
+  EXPECT_DOUBLE_EQ(agg.Apply(X).At(0, 0), 3.0);
+}
+
+TEST(FeatureAgglomerationTest, InvalidClusterCountRejected) {
+  Matrix X = MakeMatrix({{1.0}});
+  EXPECT_FALSE(FeatureAgglomeration(0).Fit(X, {}).ok());
+}
+
+}  // namespace
+}  // namespace autoem

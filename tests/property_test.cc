@@ -1,0 +1,305 @@
+// Randomized property tests over the core substrate: metric axioms for the
+// string measures, invariances of the tree models, and shape invariants of
+// every preprocessing transform under the pipeline contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "automl/pipeline.h"
+#include "automl/search_space.h"
+#include "common/rng.h"
+#include "ml/models/decision_tree.h"
+#include "ml/models/random_forest.h"
+#include "preprocess/feature_agglomeration.h"
+#include "preprocess/feature_selection.h"
+#include "preprocess/imputer.h"
+#include "preprocess/pca.h"
+#include "preprocess/scalers.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+namespace autoem {
+namespace {
+
+std::string RandomString(Rng* rng, size_t max_len) {
+  size_t len = rng->UniformIndex(max_len + 1);
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    // Small alphabet raises collision probability, stressing edge cases.
+    out += static_cast<char>('a' + rng->UniformIndex(4));
+  }
+  return out;
+}
+
+// ---- metric axioms -------------------------------------------------------------
+
+TEST(MetricPropertyTest, LevenshteinIsAMetric) {
+  Rng rng(1);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a = RandomString(&rng, 10);
+    std::string b = RandomString(&rng, 10);
+    std::string c = RandomString(&rng, 10);
+    int ab = LevenshteinDistance(a, b);
+    int ba = LevenshteinDistance(b, a);
+    int ac = LevenshteinDistance(a, c);
+    int cb = LevenshteinDistance(c, b);
+    EXPECT_EQ(ab, ba);                       // symmetry
+    EXPECT_EQ(LevenshteinDistance(a, a), 0); // identity
+    EXPECT_LE(ab, ac + cb);                  // triangle inequality
+    // Bounded by the longer string's length.
+    EXPECT_LE(static_cast<size_t>(ab), std::max(a.size(), b.size()));
+  }
+}
+
+TEST(MetricPropertyTest, JaccardDistanceTriangleInequality) {
+  // 1 - Jaccard is a metric on sets.
+  Rng rng(2);
+  auto random_tokens = [&](size_t n) {
+    std::vector<std::string> out;
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(std::string(1, static_cast<char>('a' + rng.UniformIndex(6))));
+    }
+    return out;
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    auto a = random_tokens(1 + rng.UniformIndex(5));
+    auto b = random_tokens(1 + rng.UniformIndex(5));
+    auto c = random_tokens(1 + rng.UniformIndex(5));
+    double dab = 1.0 - JaccardSimilarity(a, b);
+    double dac = 1.0 - JaccardSimilarity(a, c);
+    double dcb = 1.0 - JaccardSimilarity(c, b);
+    EXPECT_LE(dab, dac + dcb + 1e-12);
+  }
+}
+
+TEST(MetricPropertyTest, JaroWinklerDominatesJaro) {
+  Rng rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a = RandomString(&rng, 12);
+    std::string b = RandomString(&rng, 12);
+    EXPECT_GE(JaroWinklerSimilarity(a, b) + 1e-12, JaroSimilarity(a, b));
+  }
+}
+
+TEST(MetricPropertyTest, SetMeasureOrdering) {
+  // overlap >= dice and cosine >= jaccard on every input (standard
+  // inequalities between the normalizations).
+  Rng rng(4);
+  auto random_tokens = [&](size_t n) {
+    std::vector<std::string> out;
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(std::string(1, static_cast<char>('a' + rng.UniformIndex(8))));
+    }
+    return out;
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    auto a = random_tokens(1 + rng.UniformIndex(6));
+    auto b = random_tokens(1 + rng.UniformIndex(6));
+    double jaccard = JaccardSimilarity(a, b);
+    double dice = DiceSimilarity(a, b);
+    double cosine = CosineSimilarity(a, b);
+    double overlap = OverlapCoefficient(a, b);
+    EXPECT_GE(overlap + 1e-12, cosine);
+    EXPECT_GE(cosine + 1e-12, dice);
+    EXPECT_GE(dice + 1e-12, jaccard);
+  }
+}
+
+// ---- tree invariances -------------------------------------------------------------
+
+TEST(TreePropertyTest, InvariantToMonotoneFeatureTransforms) {
+  // CART splits depend only on feature order, so exp-transforming a column
+  // must not change any prediction (threshold values differ, leaves match).
+  Rng rng(5);
+  Matrix X(200, 3);
+  std::vector<int> y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    y[i] = rng.Bernoulli(0.4) ? 1 : 0;
+    for (size_t c = 0; c < 3; ++c) {
+      X.At(i, c) = (y[i] == 1 ? 0.8 : 0.0) + rng.Normal(0, 1.0);
+    }
+  }
+  Matrix X_mono = X;
+  for (size_t i = 0; i < 200; ++i) {
+    X_mono.At(i, 0) = std::exp(X.At(i, 0));          // strictly increasing
+    X_mono.At(i, 1) = 3.0 * X.At(i, 1) - 7.0;         // affine increasing
+  }
+  TreeOptions opt;
+  opt.seed = 99;
+  DecisionTreeClassifier t1(opt);
+  DecisionTreeClassifier t2(opt);
+  ASSERT_TRUE(t1.Fit(X, y).ok());
+  ASSERT_TRUE(t2.Fit(X_mono, y).ok());
+  std::vector<double> p1 = t1.PredictProba(X);
+  std::vector<double> p2 = t2.PredictProba(X_mono);
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_NEAR(p1[i], p2[i], 1e-12);
+  }
+}
+
+TEST(TreePropertyTest, ForestProbabilityIsMeanOfTreeLeaves) {
+  Rng rng(6);
+  Matrix X(100, 2);
+  std::vector<int> y(100);
+  for (size_t i = 0; i < 100; ++i) {
+    y[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    X.At(i, 0) = y[i] + rng.Normal(0, 1.0);
+    X.At(i, 1) = rng.Normal(0, 1.0);
+  }
+  RandomForestOptions opt;
+  opt.n_estimators = 9;
+  RandomForestClassifier rf(opt);
+  ASSERT_TRUE(rf.Fit(X, y).ok());
+  // Probabilities are averages of 9 leaf probabilities, each in [0,1].
+  for (double p : rf.PredictProba(X)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(TreePropertyTest, DuplicatedRowsActLikeDoubledWeights) {
+  Matrix X(4, 1);
+  X.At(0, 0) = 1.0;
+  X.At(1, 0) = 2.0;
+  X.At(2, 0) = 3.0;
+  X.At(3, 0) = 4.0;
+  std::vector<int> y = {0, 0, 1, 1};
+
+  // Duplicate row 3 twice vs weight 3 on it.
+  Matrix X_dup(6, 1);
+  std::vector<int> y_dup;
+  for (size_t i = 0; i < 4; ++i) {
+    X_dup.At(i, 0) = X.At(i, 0);
+    y_dup.push_back(y[i]);
+  }
+  X_dup.At(4, 0) = X.At(3, 0);
+  X_dup.At(5, 0) = X.At(3, 0);
+  y_dup.push_back(y[3]);
+  y_dup.push_back(y[3]);
+
+  std::vector<double> w = {1, 1, 1, 3};
+  TreeOptions opt;
+  opt.seed = 7;
+  DecisionTreeClassifier weighted(opt);
+  DecisionTreeClassifier duplicated(opt);
+  ASSERT_TRUE(weighted.Fit(X, y, &w).ok());
+  ASSERT_TRUE(duplicated.Fit(X_dup, y_dup).ok());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(weighted.PredictProba(X)[i],
+                duplicated.PredictProba(X)[i], 1e-12);
+  }
+}
+
+// ---- transform shape contracts -------------------------------------------------------
+
+class TransformShapeTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  static std::unique_ptr<Transform> Make(const std::string& name) {
+    if (name == "imputer") return std::make_unique<SimpleImputer>("mean");
+    if (name == "standard") return std::make_unique<StandardScaler>();
+    if (name == "minmax") return std::make_unique<MinMaxScaler>();
+    if (name == "robust") return std::make_unique<RobustScaler>(25.0, 75.0);
+    if (name == "select_percentile") {
+      return std::make_unique<SelectPercentile>(60.0);
+    }
+    if (name == "select_rates") return std::make_unique<SelectRates>(0.2);
+    if (name == "variance") return std::make_unique<VarianceThreshold>(1e-9);
+    if (name == "pca") return std::make_unique<Pca>(0.9);
+    if (name == "agglomeration") {
+      return std::make_unique<FeatureAgglomeration>(4);
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(TransformShapeTest, TrainAndTestWidthsAgree) {
+  Rng rng(8);
+  const size_t d = 10;
+  Matrix train(120, d);
+  Matrix test(40, d);
+  std::vector<int> y(120);
+  for (size_t i = 0; i < 120; ++i) {
+    y[i] = i % 2;
+    for (size_t c = 0; c < d; ++c) {
+      train.At(i, c) = y[i] * (c < 3 ? 1.0 : 0.0) + rng.Normal(0, 1);
+    }
+  }
+  for (size_t i = 0; i < 40; ++i) {
+    for (size_t c = 0; c < d; ++c) test.At(i, c) = rng.Normal(0, 1);
+  }
+
+  auto transform = Make(GetParam());
+  ASSERT_NE(transform, nullptr);
+  ASSERT_TRUE(transform->Fit(train, y).ok()) << GetParam();
+  Matrix out_train = transform->Apply(train);
+  Matrix out_test = transform->Apply(test);
+  EXPECT_EQ(out_train.rows(), train.rows());
+  EXPECT_EQ(out_test.rows(), test.rows());
+  EXPECT_EQ(out_train.cols(), out_test.cols()) << GetParam();
+  EXPECT_GE(out_train.cols(), 1u) << GetParam();
+
+  std::vector<std::string> names(d);
+  for (size_t c = 0; c < d; ++c) names[c] = "f" + std::to_string(c);
+  EXPECT_EQ(transform->OutputNames(names).size(), out_train.cols())
+      << GetParam();
+}
+
+TEST_P(TransformShapeTest, ApplyIsDeterministic) {
+  Rng rng(9);
+  Matrix X(60, 6);
+  std::vector<int> y(60);
+  for (size_t i = 0; i < 60; ++i) {
+    y[i] = i % 2;
+    for (size_t c = 0; c < 6; ++c) X.At(i, c) = rng.Normal(y[i], 1.0);
+  }
+  auto transform = Make(GetParam());
+  ASSERT_TRUE(transform->Fit(X, y).ok());
+  Matrix a = transform->Apply(X);
+  Matrix b = transform->Apply(X);
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(a.At(r, c), b.At(r, c)) << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransforms, TransformShapeTest,
+                         ::testing::Values("imputer", "standard", "minmax",
+                                           "robust", "select_percentile",
+                                           "select_rates", "variance", "pca",
+                                           "agglomeration"));
+
+// ---- pipeline contract over the whole space --------------------------------------------
+
+TEST(PipelinePropertyTest, PredictionsMatchRowwiseEvaluation) {
+  // Batch PredictProba must agree with predicting each row separately.
+  Rng rng(10);
+  Dataset d;
+  d.X = Matrix(80, 5);
+  d.y.resize(80);
+  for (size_t i = 0; i < 80; ++i) {
+    d.y[i] = rng.Bernoulli(0.3) ? 1 : 0;
+    for (size_t c = 0; c < 5; ++c) {
+      d.X.At(i, c) = d.y[i] + rng.Normal(0, 1.0);
+    }
+  }
+  ConfigurationSpace space = BuildEmSearchSpace(ModelSpace::kAllModels);
+  for (int trial = 0; trial < 8; ++trial) {
+    Configuration config = space.Sample(&rng);
+    auto pipeline = EmPipeline::Compile(config);
+    ASSERT_TRUE(pipeline.ok());
+    if (!pipeline->Fit(d).ok()) continue;
+    std::vector<double> batch = pipeline->PredictProba(d.X);
+    for (size_t i = 0; i < 10; ++i) {
+      Matrix one(1, 5);
+      for (size_t c = 0; c < 5; ++c) one.At(0, c) = d.X.At(i, c);
+      EXPECT_NEAR(pipeline->PredictProba(one)[0], batch[i], 1e-9)
+          << GetString(config, "classifier:__choice__", "?");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace autoem

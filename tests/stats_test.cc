@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+#include "ml/stats.h"
+
+namespace autoem {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// ---- NaN-aware descriptive stats ----------------------------------------------
+
+TEST(NanStatsTest, MeanSkipsNaN) {
+  EXPECT_DOUBLE_EQ(NanMean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(NanMean({1.0, kNaN, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(NanMean({kNaN}), 0.0);
+  EXPECT_DOUBLE_EQ(NanMean({}), 0.0);
+}
+
+TEST(NanStatsTest, VarianceSkipsNaN) {
+  EXPECT_DOUBLE_EQ(NanVariance({2.0, 2.0, 2.0}), 0.0);
+  EXPECT_NEAR(NanVariance({1.0, kNaN, 3.0}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(NanVariance({5.0}), 0.0);
+}
+
+TEST(NanStatsTest, QuantileInterpolates) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(NanQuantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(NanQuantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(NanQuantile(v, 0.5), 2.5);
+  EXPECT_NEAR(NanQuantile(v, 0.25), 1.75, 1e-12);
+}
+
+TEST(NanStatsTest, QuantileSkipsNaNAndHandlesEmpty) {
+  EXPECT_DOUBLE_EQ(NanQuantile({kNaN, 2.0, kNaN, 4.0}, 0.5), 3.0);
+  EXPECT_TRUE(std::isnan(NanQuantile({kNaN, kNaN}, 0.5)));
+}
+
+// ---- special functions ------------------------------------------------------------
+
+TEST(SpecialFunctionsTest, GammaPQComplementary) {
+  for (double a : {0.5, 1.0, 2.5, 10.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-10);
+    }
+  }
+}
+
+TEST(SpecialFunctionsTest, GammaPKnownValues) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  }
+}
+
+TEST(SpecialFunctionsTest, IncompleteBetaEdges) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+  // I_x(1,1) = x (uniform CDF).
+  for (double x : {0.2, 0.5, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(SpecialFunctionsTest, ChiSquaredSfKnownValues) {
+  // Chi-squared with 1 df: P(X > 3.841) ~= 0.05.
+  EXPECT_NEAR(ChiSquaredSf(3.841, 1.0), 0.05, 1e-3);
+  EXPECT_NEAR(ChiSquaredSf(6.635, 1.0), 0.01, 1e-3);
+  EXPECT_DOUBLE_EQ(ChiSquaredSf(0.0, 1.0), 1.0);
+}
+
+TEST(SpecialFunctionsTest, FDistSfKnownValues) {
+  // F(1, 10): P(X > 4.965) ~= 0.05.
+  EXPECT_NEAR(FDistSf(4.965, 1.0, 10.0), 0.05, 2e-3);
+  EXPECT_DOUBLE_EQ(FDistSf(0.0, 1.0, 10.0), 1.0);
+}
+
+// ---- feature scores ------------------------------------------------------------------
+
+Matrix MakeMatrix(const std::vector<std::vector<double>>& rows) {
+  Matrix m(rows.size(), rows.empty() ? 0 : rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+TEST(AnovaFTest, DiscriminativeFeatureScoresHigher) {
+  // Feature 0 separates classes; feature 1 is noise.
+  Matrix X = MakeMatrix({{1.0, 0.3},
+                         {1.1, 0.8},
+                         {0.9, 0.5},
+                         {0.1, 0.4},
+                         {0.2, 0.7},
+                         {0.0, 0.6}});
+  std::vector<int> y = {1, 1, 1, 0, 0, 0};
+  std::vector<double> p;
+  std::vector<double> scores = AnovaFScores(X, y, &p);
+  EXPECT_GT(scores[0], scores[1]);
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_LT(p[0], 0.05);
+}
+
+TEST(AnovaFTest, ConstantFeatureScoresZero) {
+  Matrix X = MakeMatrix({{5.0}, {5.0}, {5.0}, {5.0}});
+  std::vector<int> y = {1, 1, 0, 0};
+  std::vector<double> scores = AnovaFScores(X, y);
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+}
+
+TEST(AnovaFTest, PerfectSeparatorGetsLargeFiniteScore) {
+  Matrix X = MakeMatrix({{1.0}, {1.0}, {0.0}, {0.0}});
+  std::vector<int> y = {1, 1, 0, 0};
+  std::vector<double> scores = AnovaFScores(X, y);
+  EXPECT_GT(scores[0], 1e6);
+  EXPECT_TRUE(std::isfinite(scores[0]));
+}
+
+TEST(AnovaFTest, NaNCellsSkipped) {
+  Matrix X = MakeMatrix({{1.0}, {kNaN}, {0.9}, {0.1}, {0.0}, {kNaN}});
+  std::vector<int> y = {1, 1, 1, 0, 0, 0};
+  std::vector<double> scores = AnovaFScores(X, y);
+  EXPECT_GT(scores[0], 0.0);
+  EXPECT_TRUE(std::isfinite(scores[0]));
+}
+
+TEST(Chi2Test, DiscriminativeFeatureScoresHigher) {
+  Matrix X = MakeMatrix({{1.0, 0.5},
+                         {1.0, 0.4},
+                         {0.9, 0.6},
+                         {0.0, 0.5},
+                         {0.1, 0.4},
+                         {0.0, 0.6}});
+  std::vector<int> y = {1, 1, 1, 0, 0, 0};
+  std::vector<double> p;
+  std::vector<double> scores = Chi2Scores(X, y, &p);
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+TEST(Chi2Test, SingleClassYieldsZeros) {
+  Matrix X = MakeMatrix({{1.0}, {0.0}});
+  std::vector<int> y = {1, 1};
+  std::vector<double> scores = Chi2Scores(X, y);
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+}
+
+TEST(PearsonTest, KnownCorrelations) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {2, 4, 6, 8, 10};
+  std::vector<double> c = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+  std::vector<double> constant = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, constant), 0.0);
+}
+
+// ---- metrics ---------------------------------------------------------------------------
+
+TEST(MetricsTest, ConfusionCounts) {
+  std::vector<int> truth = {1, 1, 0, 0, 1};
+  std::vector<int> pred = {1, 0, 0, 1, 1};
+  ConfusionCounts c = Confusion(truth, pred);
+  EXPECT_EQ(c.tp, 2u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tn, 1u);
+}
+
+TEST(MetricsTest, PrecisionRecallF1) {
+  std::vector<int> truth = {1, 1, 0, 0, 1};
+  std::vector<int> pred = {1, 0, 0, 1, 1};
+  EXPECT_NEAR(Precision(truth, pred), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(Recall(truth, pred), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(F1Score(truth, pred), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, F1IsHarmonicMean) {
+  // precision 1.0, recall 0.5 -> F1 = 2/3.
+  std::vector<int> truth = {1, 1, 0};
+  std::vector<int> pred = {1, 0, 0};
+  EXPECT_NEAR(F1Score(truth, pred), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(F1Score({0, 0}, {0, 0}), 0.0);     // no positives at all
+  EXPECT_DOUBLE_EQ(F1Score({1, 1}, {0, 0}), 0.0);     // nothing predicted
+  EXPECT_DOUBLE_EQ(Precision({0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(Recall({0, 0}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(F1Score({1, 1}, {1, 1}), 1.0);     // perfect
+}
+
+TEST(MetricsTest, Accuracy) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1}, {1, 0, 0}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(MetricsTest, RocAucPerfectAndRandom) {
+  std::vector<int> y = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(y, {0.1, 0.2, 0.8, 0.9}), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc(y, {0.9, 0.8, 0.2, 0.1}), 0.0);
+  EXPECT_DOUBLE_EQ(RocAuc(y, {0.5, 0.5, 0.5, 0.5}), 0.5);  // all tied
+  EXPECT_DOUBLE_EQ(RocAuc({1, 1}, {0.3, 0.7}), 0.5);       // one class
+}
+
+// ---- dataset / splits -------------------------------------------------------------------
+
+TEST(DatasetTest, MatrixSelect) {
+  Matrix m = MakeMatrix({{1, 2}, {3, 4}, {5, 6}});
+  Matrix rows = m.SelectRows({2, 0});
+  EXPECT_DOUBLE_EQ(rows.At(0, 0), 5);
+  EXPECT_DOUBLE_EQ(rows.At(1, 1), 2);
+  Matrix cols = m.SelectCols({1});
+  EXPECT_EQ(cols.cols(), 1u);
+  EXPECT_DOUBLE_EQ(cols.At(2, 0), 6);
+}
+
+Dataset MakeDataset(size_t n, size_t n_pos) {
+  Dataset d;
+  d.X = Matrix(n, 2);
+  d.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    d.y[i] = i < n_pos ? 1 : 0;
+    d.X.At(i, 0) = static_cast<double>(i);
+    d.X.At(i, 1) = d.y[i];
+  }
+  d.feature_names = {"f0", "f1"};
+  return d;
+}
+
+TEST(DatasetTest, StratifiedSplitPreservesClassRatio) {
+  Dataset d = MakeDataset(100, 20);
+  Rng rng(9);
+  SplitResult split = TrainTestSplit(d, 0.25, &rng, /*stratified=*/true);
+  EXPECT_EQ(split.test.size(), 25u);
+  EXPECT_EQ(split.train.size(), 75u);
+  EXPECT_EQ(split.test.NumPositives(), 5u);
+  EXPECT_EQ(split.train.NumPositives(), 15u);
+}
+
+TEST(DatasetTest, SplitPartitionsRows) {
+  Dataset d = MakeDataset(50, 10);
+  Rng rng(10);
+  SplitResult split = TrainTestSplit(d, 0.2, &rng);
+  std::set<double> seen;
+  for (size_t i = 0; i < split.train.size(); ++i) {
+    seen.insert(split.train.X.At(i, 0));
+  }
+  for (size_t i = 0; i < split.test.size(); ++i) {
+    EXPECT_EQ(seen.count(split.test.X.At(i, 0)), 0u);
+    seen.insert(split.test.X.At(i, 0));
+  }
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(DatasetTest, ThreeWaySplitSizes) {
+  Dataset d = MakeDataset(100, 30);
+  Rng rng(11);
+  // Paper protocol: 3/5 train, 1/5 valid, 1/5 test.
+  ThreeWaySplit split = TrainValidTestSplit(d, 0.2, 0.2, &rng);
+  EXPECT_NEAR(static_cast<double>(split.test.size()), 20.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(split.valid.size()), 20.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(split.train.size()), 60.0, 3.0);
+  EXPECT_EQ(split.train.size() + split.valid.size() + split.test.size(),
+            100u);
+}
+
+TEST(DatasetTest, SplitIsDeterministicGivenSeed) {
+  Dataset d = MakeDataset(40, 10);
+  Rng rng1(42);
+  Rng rng2(42);
+  SplitResult s1 = TrainTestSplit(d, 0.3, &rng1);
+  SplitResult s2 = TrainTestSplit(d, 0.3, &rng2);
+  ASSERT_EQ(s1.test.size(), s2.test.size());
+  for (size_t i = 0; i < s1.test.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s1.test.X.At(i, 0), s2.test.X.At(i, 0));
+  }
+}
+
+}  // namespace
+}  // namespace autoem

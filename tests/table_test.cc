@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "table/csv.h"
+#include "table/table.h"
+#include "table/value.h"
+
+namespace autoem {
+namespace {
+
+// ---- Value -----------------------------------------------------------------
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(3.5).is_number());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(std::string("x")).is_string());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(false).ToString(), "false");
+  EXPECT_EQ(Value(42.0).ToString(), "42");     // integral numbers stay clean
+  EXPECT_EQ(Value(3.5).ToString(), "3.5");
+  EXPECT_EQ(Value("hello").ToString(), "hello");
+}
+
+TEST(ValueTest, ParseTyping) {
+  EXPECT_TRUE(Value::Parse("").is_null());
+  EXPECT_TRUE(Value::Parse("true").is_bool());
+  EXPECT_TRUE(Value::Parse("FALSE").is_bool());
+  EXPECT_TRUE(Value::Parse("3.25").is_number());
+  EXPECT_TRUE(Value::Parse("-17").is_number());
+  EXPECT_TRUE(Value::Parse("ab-1234").is_string());
+  EXPECT_TRUE(Value::Parse("12 main st").is_string());
+}
+
+TEST(ValueTest, ParseRoundTripsThroughToString) {
+  for (const char* s : {"true", "42", "3.5", "hello world"}) {
+    Value v = Value::Parse(s);
+    EXPECT_EQ(Value::Parse(v.ToString()), v) << s;
+  }
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(1.0), Value(1.0));
+  EXPECT_FALSE(Value(1.0) == Value("1"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+// ---- Schema / Table ----------------------------------------------------------
+
+TEST(SchemaTest, IndexOf) {
+  Schema s({"name", "address", "city"});
+  EXPECT_EQ(s.num_attributes(), 3u);
+  EXPECT_EQ(s.IndexOf("address"), 1);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+}
+
+TEST(TableTest, AppendChecksArity) {
+  Table t("test", Schema({"a", "b"}));
+  EXPECT_TRUE(t.Append(Record({Value(1.0), Value(2.0)})).ok());
+  Status bad = t.Append(Record({Value(1.0)}));
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, CellAccess) {
+  Table t("test", Schema({"a", "b"}));
+  ASSERT_TRUE(t.Append(Record({Value("x"), Value(5.0)})).ok());
+  EXPECT_EQ(t.cell(0, 0).AsString(), "x");
+  EXPECT_DOUBLE_EQ(t.cell(0, 1).AsNumber(), 5.0);
+}
+
+TEST(PairSetTest, NumPositives) {
+  PairSet ps;
+  ps.pairs = {{0, 0, 1}, {1, 1, 0}, {2, 2, 1}, {3, 3, -1}};
+  EXPECT_EQ(ps.NumPositives(), 2u);
+}
+
+// ---- CSV ------------------------------------------------------------------------
+
+TEST(CsvTest, ParseBasic) {
+  auto t = ParseCsv("a,b,c\n1,hello,true\n2,world,false\n", "t");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(t->cell(0, 0).AsNumber(), 1.0);
+  EXPECT_EQ(t->cell(1, 1).AsString(), "world");
+  EXPECT_FALSE(t->cell(1, 2).AsBool());
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  auto t = ParseCsv("name,notes\n\"smith, john\",\"said \"\"hi\"\"\"\n", "t");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->cell(0, 0).AsString(), "smith, john");
+  EXPECT_EQ(t->cell(0, 1).AsString(), "said \"hi\"");
+}
+
+TEST(CsvTest, QuotedNewline) {
+  auto t = ParseCsv("a,b\n\"line1\nline2\",x\n", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->cell(0, 0).AsString(), "line1\nline2");
+}
+
+TEST(CsvTest, CrLfTolerated) {
+  auto t = ParseCsv("a,b\r\n1,2\r\n", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 1u);
+}
+
+TEST(CsvTest, MissingTrailingNewline) {
+  auto t = ParseCsv("a,b\n1,2", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 1u);
+}
+
+TEST(CsvTest, EmptyCellsBecomeNull) {
+  auto t = ParseCsv("a,b\n,x\n", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->cell(0, 0).is_null());
+}
+
+TEST(CsvTest, ArityMismatchRejected) {
+  auto t = ParseCsv("a,b\n1,2,3\n", "t");
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, UnterminatedQuoteRejected) {
+  auto t = ParseCsv("a\n\"oops\n", "t");
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(CsvTest, EmptyInputRejected) {
+  auto t = ParseCsv("", "t");
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(CsvTest, RoundTripThroughString) {
+  Table t("rt", Schema({"name", "price"}));
+  ASSERT_TRUE(t.Append(Record({Value("a, \"b\""), Value(3.5)})).ok());
+  ASSERT_TRUE(t.Append(Record({Value::Null(), Value(2.0)})).ok());
+  std::string csv = ToCsvString(t);
+  auto back = ParseCsv(csv, "rt");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_rows(), 2u);
+  EXPECT_EQ(back->cell(0, 0).AsString(), "a, \"b\"");
+  EXPECT_DOUBLE_EQ(back->cell(0, 1).AsNumber(), 3.5);
+  EXPECT_TRUE(back->cell(1, 0).is_null());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t("f", Schema({"x"}));
+  ASSERT_TRUE(t.Append(Record({Value("hello world")})).ok());
+  std::string path = ::testing::TempDir() + "/autoem_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto back = ReadCsv(path, "f");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->cell(0, 0).AsString(), "hello world");
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto t = ReadCsv("/nonexistent/path.csv", "t");
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace autoem

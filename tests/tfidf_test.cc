@@ -1,0 +1,193 @@
+// Tests for the TF-IDF similarity model, its feature-generator integration,
+// and the sorted-neighborhood blocker.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/benchmark_gen.h"
+#include "em/blocking.h"
+#include "features/feature_gen.h"
+#include "text/tfidf.h"
+
+namespace autoem {
+namespace {
+
+// ---- TfIdfModel ---------------------------------------------------------------
+
+TfIdfModel MakeRestaurantCorpus() {
+  TfIdfModel model(TokenizerKind::kWhitespace);
+  // "restaurant" appears everywhere (low IDF); names are rare (high IDF).
+  model.AddDocument("arnie mortons restaurant");
+  model.AddDocument("arts deli restaurant");
+  model.AddDocument("fenix restaurant");
+  model.AddDocument("katsu restaurant");
+  model.Fit();
+  return model;
+}
+
+TEST(TfIdfTest, CommonTokensGetLowerIdf) {
+  TfIdfModel model = MakeRestaurantCorpus();
+  EXPECT_LT(model.Idf("restaurant"), model.Idf("fenix"));
+  EXPECT_EQ(model.num_documents(), 4u);
+  EXPECT_GE(model.vocabulary_size(), 7u);
+}
+
+TEST(TfIdfTest, OovTokensGetMaxObservedIdf) {
+  TfIdfModel model = MakeRestaurantCorpus();
+  EXPECT_DOUBLE_EQ(model.Idf("neverseen"), model.Idf("fenix"));
+}
+
+TEST(TfIdfTest, IdenticalStringsScoreOne) {
+  TfIdfModel model = MakeRestaurantCorpus();
+  EXPECT_NEAR(model.Similarity("arts deli restaurant",
+                               "arts deli restaurant"),
+              1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(model.Similarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(model.Similarity("fenix", ""), 0.0);
+}
+
+TEST(TfIdfTest, RareSharedTokenOutweighsCommonSharedToken) {
+  TfIdfModel model = MakeRestaurantCorpus();
+  // Sharing the rare "fenix" must count more than sharing the ubiquitous
+  // "restaurant".
+  double share_rare = model.Similarity("fenix grill", "fenix cafe");
+  double share_common =
+      model.Similarity("restaurant grill", "restaurant cafe");
+  EXPECT_GT(share_rare, share_common);
+}
+
+TEST(TfIdfTest, SimilarityIsSymmetricAndBounded) {
+  TfIdfModel model = MakeRestaurantCorpus();
+  const char* samples[] = {"arts deli", "fenix restaurant", "katsu",
+                           "something new entirely"};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      double ab = model.Similarity(a, b);
+      EXPECT_NEAR(ab, model.Similarity(b, a), 1e-12);
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(TfIdfTest, RefitAfterMoreDocuments) {
+  TfIdfModel model(TokenizerKind::kWhitespace);
+  model.AddDocument("alpha beta");
+  model.Fit();
+  EXPECT_TRUE(model.fitted());
+  model.AddDocument("alpha gamma");
+  EXPECT_FALSE(model.fitted());  // stale until re-Fit
+  model.Fit();
+  EXPECT_LT(model.Idf("alpha"), model.Idf("beta"));
+}
+
+// ---- generator integration -------------------------------------------------------
+
+TEST(TfIdfFeatureTest, TfIdfVariantAddsFeatures) {
+  Schema schema({"name"});
+  Table a("A", schema);
+  Table b("B", schema);
+  ASSERT_TRUE(a.Append(Record({Value("arnie mortons")})).ok());
+  ASSERT_TRUE(b.Append(Record({Value("arnie mortons grill")})).ok());
+
+  AutoMlEmFeatureGenerator plain(false);
+  AutoMlEmFeatureGenerator with_tfidf(true);
+  ASSERT_TRUE(plain.Plan(a, b).ok());
+  ASSERT_TRUE(with_tfidf.Plan(a, b).ok());
+  EXPECT_EQ(with_tfidf.num_features(), plain.num_features() + 1);
+  ASSERT_EQ(with_tfidf.tfidf_plans().size(), 1u);
+  EXPECT_EQ(with_tfidf.tfidf_plans()[0].name, "name_tfidf_cosine_space");
+
+  PairSet pairs{a, b, {{0, 0, 1}}};
+  Dataset d = with_tfidf.Generate(pairs);
+  double tfidf_value = d.X.At(0, d.num_features() - 1);
+  EXPECT_GT(tfidf_value, 0.0);
+  EXPECT_LE(tfidf_value, 1.0);
+}
+
+TEST(TfIdfFeatureTest, FactorySupportsTfIdfVariant) {
+  auto gen = CreateFeatureGenerator("automl_em_tfidf");
+  ASSERT_TRUE(gen.ok());
+}
+
+TEST(TfIdfFeatureTest, NullValuesGiveNaN) {
+  Schema schema({"name"});
+  Table a("A", schema);
+  Table b("B", schema);
+  ASSERT_TRUE(a.Append(Record({Value::Null()})).ok());
+  ASSERT_TRUE(b.Append(Record({Value("x")})).ok());
+  AutoMlEmFeatureGenerator gen(true);
+  ASSERT_TRUE(gen.Plan(a, b).ok());
+  PairSet pairs{a, b, {{0, 0, 0}}};
+  Dataset d = gen.Generate(pairs);
+  EXPECT_TRUE(std::isnan(d.X.At(0, d.num_features() - 1)));
+}
+
+// ---- sorted-neighborhood blocker ---------------------------------------------------
+
+Table KeyTable(const std::string& name,
+               std::initializer_list<const char*> keys) {
+  Table t(name, Schema({"k"}));
+  for (const char* k : keys) {
+    EXPECT_TRUE(t.Append(Record({Value(k)})).ok());
+  }
+  return t;
+}
+
+TEST(SortedNeighborhoodTest, AdjacentKeysArePaired) {
+  Table left = KeyTable("A", {"apple pie", "zebra"});
+  Table right = KeyTable("B", {"apple pies", "yak"});
+  SortedNeighborhoodBlocker blocker("k", /*window=*/2);
+  auto pairs = blocker.Block(left, right);
+  ASSERT_TRUE(pairs.ok());
+  bool found = false;
+  for (const auto& p : *pairs) {
+    if (p.left_id == 0 && p.right_id == 0) found = true;
+  }
+  EXPECT_TRUE(found);  // "apple pie" ~ "apple pies" sort adjacently
+}
+
+TEST(SortedNeighborhoodTest, WindowBoundsCandidateCount) {
+  Table left = KeyTable("A", {"a", "b", "c", "d", "e", "f"});
+  Table right = KeyTable("B", {"a1", "b1", "c1", "d1", "e1", "f1"});
+  SortedNeighborhoodBlocker narrow("k", 2);
+  SortedNeighborhoodBlocker wide("k", 6);
+  auto n = narrow.Block(left, right);
+  auto w = wide.Block(left, right);
+  ASSERT_TRUE(n.ok());
+  ASSERT_TRUE(w.ok());
+  EXPECT_LT(n->size(), w->size());
+}
+
+TEST(SortedNeighborhoodTest, OnlyCrossSidePairsEmitted) {
+  Table left = KeyTable("A", {"aa", "ab"});
+  Table right = KeyTable("B", {"ba"});
+  SortedNeighborhoodBlocker blocker("k", 3);
+  auto pairs = blocker.Block(left, right);
+  ASSERT_TRUE(pairs.ok());
+  for (const auto& p : *pairs) {
+    EXPECT_LT(p.left_id, left.num_rows());
+    EXPECT_LT(p.right_id, right.num_rows());
+  }
+}
+
+TEST(SortedNeighborhoodTest, ErrorsOnBadInputs) {
+  Table left = KeyTable("A", {"x"});
+  Table right = KeyTable("B", {"y"});
+  EXPECT_FALSE(SortedNeighborhoodBlocker("missing", 3)
+                   .Block(left, right)
+                   .ok());
+  EXPECT_FALSE(SortedNeighborhoodBlocker("k", 0).Block(left, right).ok());
+}
+
+TEST(SortedNeighborhoodTest, HighRecallOnGeneratedRestaurants) {
+  auto data = GenerateBenchmarkByName("Fodors-Zagats", 3, 0.3);
+  ASSERT_TRUE(data.ok());
+  SortedNeighborhoodBlocker blocker("name", 12);
+  auto candidates = blocker.Block(data->train.left, data->train.right);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_GT(BlockingRecall(*candidates, data->train.pairs), 0.7);
+}
+
+}  // namespace
+}  // namespace autoem
