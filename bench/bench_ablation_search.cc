@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
     auto profile = FindProfile(name);
     BenchmarkData data = MustGenerate(*profile, args.seed, args.scale);
     AutoMlEmFeatureGenerator generator;
-    FeaturizedBenchmark fb = Featurize(data, &generator);
+    FeaturizedBenchmark fb = Featurize(data, &generator, args.parallelism());
     for (SearchAlgorithm algo :
          {SearchAlgorithm::kSmac, SearchAlgorithm::kRandom}) {
       // Average the incumbent curve over three seeds.
@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
         options.algorithm = algo;
         options.max_evaluations = args.evals;
         options.seed = args.seed + trial * 7919u;
+        options.parallelism = args.parallelism();
         options.refit_on_train_plus_valid = false;
         auto run = RunAutoMlEm(fb.train, options);
         if (!run.ok()) continue;
@@ -79,17 +80,18 @@ int main(int argc, char** argv) {
     auto source = FindProfile("Walmart-Amazon");
     BenchmarkData source_data = MustGenerate(*source, args.seed, args.scale);
     AutoMlEmFeatureGenerator source_gen;
-    FeaturizedBenchmark source_fb = Featurize(source_data, &source_gen);
+    FeaturizedBenchmark source_fb = Featurize(source_data, &source_gen, args.parallelism());
     AutoMlEmOptions source_options;
     source_options.max_evaluations = args.evals;
     source_options.seed = args.seed;
+    source_options.parallelism = args.parallelism();
     auto source_run = RunAutoMlEm(source_fb.train, source_options);
     if (!source_run.ok()) return 1;
 
     auto target = FindProfile("Amazon-Google");
     BenchmarkData target_data = MustGenerate(*target, args.seed, args.scale);
     AutoMlEmFeatureGenerator target_gen;
-    FeaturizedBenchmark target_fb = Featurize(target_data, &target_gen);
+    FeaturizedBenchmark target_fb = Featurize(target_data, &target_gen, args.parallelism());
 
     const size_t kSmallBudgets[] = {4, 8, 12};
     std::printf("%-12s", "arm");
@@ -103,6 +105,7 @@ int main(int argc, char** argv) {
           AutoMlEmOptions options;
           options.max_evaluations = static_cast<int>(budget);
           options.seed = args.seed + trial * 104729u;
+          options.parallelism = args.parallelism();
           options.refit_on_train_plus_valid = false;
           if (warm) {
             options.warm_start_configs = {source_run->best_config};
@@ -132,10 +135,11 @@ int main(int argc, char** argv) {
     for (int g = 0; g < 2; ++g) {
       auto generator = CreateFeatureGenerator(generators[g]);
       if (!generator.ok()) return 1;
-      FeaturizedBenchmark fb = Featurize(data, generator->get());
+      FeaturizedBenchmark fb = Featurize(data, generator->get(), args.parallelism());
       AutoMlEmOptions options;
       options.max_evaluations = args.evals;
       options.seed = args.seed;
+      options.parallelism = args.parallelism();
       auto run = RunAutoMlEm(fb.train, options);
       if (run.ok()) {
         f1[g] = F1Score(fb.test.y, run->model.Predict(fb.test.X)) * 100.0;

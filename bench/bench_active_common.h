@@ -60,6 +60,7 @@ inline ActiveLearningOptions BaseActiveOptions(const BenchArgs& args) {
   options.automl.seed = args.seed;
   options.seed = args.seed;
   options.run_automl_at_end = true;
+  options.parallelism = args.parallelism();
   return options;
 }
 

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     if (!args.WantsDataset(profile.name)) continue;
     BenchmarkData data = MustGenerate(profile, args.seed, args.scale);
     AutoMlEmFeatureGenerator generator;
-    FeaturizedBenchmark fb = Featurize(data, &generator);
+    FeaturizedBenchmark fb = Featurize(data, &generator, args.parallelism());
 
     std::printf("\n%s\n", profile.name.c_str());
     for (ModelSpace space :
@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
       options.algorithm = algorithm;
       options.max_evaluations = args.evals;
       options.seed = args.seed;
+      options.parallelism = args.parallelism();
       options.refit_on_train_plus_valid = false;
 
       // One long run; the incumbent at each checkpoint reproduces the

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
     auto profile = FindProfile(name);
     BenchmarkData data = MustGenerate(*profile, args.seed, args.scale);
     AutoMlEmFeatureGenerator generator;
-    FeaturizedBenchmark fb = Featurize(data, &generator);
+    FeaturizedBenchmark fb = Featurize(data, &generator, args.parallelism());
 
     // Paper protocol: 3/5 train, 1/5 valid (1/5 test unused here); we split
     // the generated train block 3:1 into train/valid. A single searched
@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
       AutoMlEmOptions options;
       options.max_evaluations = args.evals;
       options.seed = args.seed + trial * 1000003u;
+      options.parallelism = args.parallelism();
       auto run = RunAutoMlEm(split.train, split.test, options);
       if (!run.ok()) {
         std::fprintf(stderr, "search failed: %s\n",

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
     auto profile = FindProfile(name);
     BenchmarkData data = MustGenerate(*profile, args.seed, args.scale);
     AutoMlEmFeatureGenerator generator;
-    FeaturizedBenchmark fb = Featurize(data, &generator);
+    FeaturizedBenchmark fb = Featurize(data, &generator, args.parallelism());
 
     for (bool self_training : {false, true}) {
       std::printf("%-16s %-18s", name,

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     auto profile = FindProfile(name);
     BenchmarkData data = MustGenerate(*profile, args.seed, args.scale);
     AutoMlEmFeatureGenerator generator;
-    FeaturizedBenchmark fb = Featurize(data, &generator);
+    FeaturizedBenchmark fb = Featurize(data, &generator, args.parallelism());
 
     std::printf("%-16s", name);
     for (size_t paper_st : kStBatches) {

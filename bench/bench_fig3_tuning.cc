@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   auto profile = FindProfile("Abt-Buy");
   BenchmarkData data = MustGenerate(*profile, args.seed, args.scale);
   AutoMlEmFeatureGenerator generator;
-  FeaturizedBenchmark fb = Featurize(data, &generator);
+  FeaturizedBenchmark fb = Featurize(data, &generator, args.parallelism());
 
   // Paper protocol (§II-B): train on 4/5, evaluate on 1/5. Our generator
   // already splits train/test at the Table III ratio (~4:1).

@@ -42,10 +42,11 @@ int main(int argc, char** argv) {
     double deep_f1 = deep.ok() ? deep->Evaluate(data.test)->f1 * 100.0 : 0.0;
 
     AutoMlEmFeatureGenerator generator;
-    FeaturizedBenchmark fb = Featurize(data, &generator);
+    FeaturizedBenchmark fb = Featurize(data, &generator, args.parallelism());
     AutoMlEmOptions options;
     options.max_evaluations = args.evals;
     options.seed = args.seed;
+    options.parallelism = args.parallelism();
     auto automl = RunAutoMlEm(fb.train, options);
     double automl_f1 =
         automl.ok()

@@ -40,10 +40,11 @@ int main(int argc, char** argv) {
     for (int g = 0; g < 2; ++g) {
       auto generator = CreateFeatureGenerator(generators[g]);
       if (!generator.ok()) return 1;
-      FeaturizedBenchmark fb = Featurize(data, generator->get());
+      FeaturizedBenchmark fb = Featurize(data, generator->get(), args.parallelism());
       AutoMlEmOptions options;
       options.max_evaluations = args.evals;
       options.seed = args.seed;
+      options.parallelism = args.parallelism();
       auto result = RunAutoMlEm(fb.train, options);
       arms[g].num_features = fb.num_features;
       arms[g].f1 =

@@ -1,0 +1,127 @@
+// Serial-vs-parallel throughput for the feature-generation hot path.
+//
+// Each BM_* runs the same `FeatureGenerator::Generate` workload at
+// state.range(0) worker threads; the acceptance target is >= 2x speedup at
+// 4+ threads on multicore hardware (on a single-core host all settings
+// degrade to the serial path and report ~1x). Counters:
+//   threads         worker-thread setting for the run
+//   pairs_per_sec   featurized pairs per wall-clock second
+//   speedup         throughput relative to the 1-thread run of the same
+//                   workload, measured once up front
+// All counters land in `--benchmark_format=json` output automatically.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+
+#include "common/parallelism.h"
+#include "datagen/benchmark_gen.h"
+#include "features/feature_gen.h"
+
+namespace autoem {
+namespace {
+
+struct Workload {
+  BenchmarkData data;
+  bool ok = false;
+};
+
+// Walmart-Amazon has the widest schema of the generated profiles, so its
+// featurization cost per pair is the most representative of the paper's
+// heavier datasets.
+Workload& SharedWorkload() {
+  static Workload* w = [] {
+    auto* out = new Workload;
+    auto data = GenerateBenchmarkByName("Walmart-Amazon", /*seed=*/11,
+                                        /*scale=*/0.05);
+    if (data.ok()) {
+      out->data = std::move(*data);
+      out->ok = true;
+    }
+    return out;
+  }();
+  return *w;
+}
+
+double MeasureSerialSeconds(bool include_tfidf) {
+  Workload& w = SharedWorkload();
+  AutoMlEmFeatureGenerator gen(include_tfidf);
+  gen.set_parallelism(Parallelism::Serial());
+  if (!gen.Plan(w.data.train.left, w.data.train.right).ok()) return 0.0;
+  gen.Generate(w.data.train);  // warm-up
+  auto start = std::chrono::steady_clock::now();
+  constexpr int kReps = 3;
+  for (int i = 0; i < kReps; ++i) gen.Generate(w.data.train);
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count() / kReps;
+}
+
+double SerialBaselineSeconds(bool include_tfidf) {
+  static std::map<bool, double>* cache = new std::map<bool, double>;
+  auto it = cache->find(include_tfidf);
+  if (it == cache->end()) {
+    it = cache->emplace(include_tfidf, MeasureSerialSeconds(include_tfidf))
+             .first;
+  }
+  return it->second;
+}
+
+void RunFeatureGen(benchmark::State& state, bool include_tfidf) {
+  Workload& w = SharedWorkload();
+  if (!w.ok) {
+    state.SkipWithError("benchmark generation failed");
+    return;
+  }
+  int threads = static_cast<int>(state.range(0));
+  AutoMlEmFeatureGenerator gen(include_tfidf);
+  gen.set_parallelism(Parallelism::Threads(threads));
+  if (!gen.Plan(w.data.train.left, w.data.train.right).ok()) {
+    state.SkipWithError("plan failed");
+    return;
+  }
+  for (auto _ : state) {
+    Dataset d = gen.Generate(w.data.train);
+    benchmark::DoNotOptimize(d.X.rows());
+  }
+  int64_t pairs = static_cast<int64_t>(w.data.train.pairs.size());
+  state.SetItemsProcessed(state.iterations() * pairs);
+  state.counters["threads"] = threads;
+  state.counters["pairs_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * pairs),
+      benchmark::Counter::kIsRate);
+  double serial_s = SerialBaselineSeconds(include_tfidf);
+  state.counters["serial_baseline_s"] = serial_s;
+  // kIsIterationInvariantRate reports value * iterations / total_time, i.e.
+  // serial_baseline_s / mean_iteration_s — the speedup over the serial run.
+  state.counters["speedup_vs_serial"] = benchmark::Counter(
+      serial_s, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_ParallelFeatureGen(benchmark::State& state) {
+  RunFeatureGen(state, /*include_tfidf=*/false);
+}
+BENCHMARK(BM_ParallelFeatureGen)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ParallelFeatureGenTfIdf(benchmark::State& state) {
+  RunFeatureGen(state, /*include_tfidf=*/true);
+}
+BENCHMARK(BM_ParallelFeatureGenTfIdf)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace autoem
+
+BENCHMARK_MAIN();

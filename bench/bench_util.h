@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallelism.h"
 #include "common/string_util.h"
 #include "datagen/benchmark_gen.h"
 #include "features/feature_gen.h"
@@ -28,6 +29,10 @@ struct BenchArgs {
   double scale = 0.2;
   int evals = 20;
   uint64_t seed = 42;
+  /// Worker threads for the parallel hot paths (0 = hardware, 1 = serial).
+  /// Results are bit-identical at any setting; benches that care report
+  /// serial-vs-parallel speedup explicitly.
+  int threads = 1;
   std::vector<std::string> datasets;  // empty = all
 
   static BenchArgs Parse(int argc, char** argv, double default_scale = 0.2,
@@ -43,18 +48,23 @@ struct BenchArgs {
         args.evals = std::atoi(arg.c_str() + 8);
       } else if (StartsWith(arg, "--seed=")) {
         args.seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+      } else if (StartsWith(arg, "--threads=")) {
+        args.threads = std::atoi(arg.c_str() + 10);
       } else if (StartsWith(arg, "--datasets=")) {
         args.datasets = Split(arg.substr(11), ',');
       } else if (arg == "--full") {
         args.scale = 1.0;
       } else if (arg == "--help") {
         std::printf(
-            "flags: --scale=F --evals=N --seed=N --datasets=a,b --full\n");
+            "flags: --scale=F --evals=N --seed=N --threads=N "
+            "--datasets=a,b --full\n");
         std::exit(0);
       }
     }
     return args;
   }
+
+  Parallelism parallelism() const { return Parallelism{threads}; }
 
   bool WantsDataset(const std::string& name) const {
     if (datasets.empty()) return true;
@@ -74,9 +84,11 @@ struct FeaturizedBenchmark {
 };
 
 inline FeaturizedBenchmark Featurize(const BenchmarkData& data,
-                                     FeatureGenerator* generator) {
+                                     FeatureGenerator* generator,
+                                     const Parallelism& parallelism = {}) {
   FeaturizedBenchmark out;
   out.profile = data.profile;
+  generator->set_parallelism(parallelism);
   Status st = generator->Plan(data.train.left, data.train.right);
   if (!st.ok()) {
     std::fprintf(stderr, "feature plan failed: %s\n", st.ToString().c_str());

@@ -86,6 +86,7 @@ Result<ActiveLearningResult> RunAutoMlEmActive(
 
   RandomForestOptions model_opt = options.model;
   model_opt.seed = rng.engine()();
+  model_opt.parallelism = options.parallelism;
   RandomForestClassifier model(model_opt);
   AUTOEM_RETURN_IF_ERROR(FitIterationModel(&model, BuildDataset(pool, labeled)));
 
@@ -216,7 +217,9 @@ Result<ActiveLearningResult> RunAutoMlEmActive(
 
   // ---- Algorithm 1, line 13: AutoML-EM on the collected labels ----
   if (options.run_automl_at_end) {
-    auto automl = RunAutoMlEm(result.collected, options.automl);
+    AutoMlEmOptions automl_options = options.automl;
+    automl_options.parallelism = options.parallelism;
+    auto automl = RunAutoMlEm(result.collected, automl_options);
     if (!automl.ok()) return automl.status();
     result.automl.emplace(std::move(*automl));
   }

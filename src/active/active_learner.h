@@ -44,6 +44,11 @@ struct ActiveLearningOptions {
   /// disagreement defines confidence, Fig. 7).
   RandomForestOptions model;
   uint64_t seed = 5;
+  /// One knob for the whole run: applied to the per-iteration forest (fit +
+  /// confidence scoring) and propagated into the final AutoML-EM search,
+  /// overriding `automl.parallelism`. Never changes which pairs are queried
+  /// or the resulting model.
+  Parallelism parallelism;
 
   /// Final AutoML-EM run on the collected labels (Algorithm 1, line 13).
   AutoMlEmOptions automl;

@@ -36,6 +36,7 @@ Result<AutoMlEmResult> RunAutoMlEm(const Dataset& train, const Dataset& valid,
 
   ConfigurationSpace space = BuildEmSearchSpace(options.model_space);
   HoldoutEvaluator evaluator(train, valid);
+  evaluator.SetParallelism(options.parallelism);
 
   SearchOptions search_options;
   search_options.max_evaluations = options.max_evaluations;
@@ -61,6 +62,7 @@ Result<AutoMlEmResult> RunAutoMlEm(const Dataset& train, const Dataset& valid,
   AutoMlEmResult result{std::move(outcome.best_config),
                         outcome.best_valid_f1, std::move(*compiled),
                         std::move(outcome.trajectory)};
+  result.model.SetParallelism(options.parallelism);
   Status fit_status =
       options.refit_on_train_plus_valid
           ? result.model.Fit(ConcatDatasets(train, valid))
@@ -87,6 +89,7 @@ Result<AutoMlEmResult> RunAutoMlEmOnPairs(const PairSet& train_pairs,
                                           const PairSet* test_pairs,
                                           Dataset* test_out) {
   AutoMlEmFeatureGenerator generator;
+  generator.set_parallelism(options.parallelism);
   AUTOEM_RETURN_IF_ERROR(generator.Plan(train_pairs.left, train_pairs.right));
   Dataset train = generator.Generate(train_pairs);
   if (test_pairs != nullptr && test_out != nullptr) {

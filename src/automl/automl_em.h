@@ -38,6 +38,11 @@ struct AutoMlEmOptions {
   /// Warm-start configurations evaluated before the search proper (simple
   /// meta-learning: carry over winners from similar past datasets).
   std::vector<Configuration> warm_start_configs;
+  /// Parallelism of the hot paths inside the run: featurization (the
+  /// RunAutoMlEmOnPairs overload), every candidate pipeline's forest fit,
+  /// and the final refit. The search trajectory and the returned model are
+  /// bit-identical at any thread count.
+  Parallelism parallelism;
 };
 
 /// Outcome of an AutoML-EM run: the searched-best configuration, the final

@@ -16,6 +16,7 @@ EvalRecord HoldoutEvaluator::Evaluate(const Configuration& config) {
   auto compiled = EmPipeline::Compile(config);
   if (compiled.ok()) {
     EmPipeline& pipeline = *compiled;
+    pipeline.SetParallelism(parallelism_);
     Status st = pipeline.Fit(train_);
     if (st.ok()) {
       record.valid_f1 = F1Score(valid_.y, pipeline.Predict(valid_.X));
@@ -41,7 +42,8 @@ const EvalRecord& HoldoutEvaluator::best() const {
 
 Result<double> CrossValidatedF1(const Configuration& config,
                                 const Dataset& data, int folds,
-                                uint64_t seed) {
+                                uint64_t seed,
+                                const Parallelism& parallelism) {
   if (folds < 2) return Status::InvalidArgument("folds must be >= 2");
   if (data.size() < static_cast<size_t>(folds)) {
     return Status::InvalidArgument("fewer rows than folds");
@@ -63,21 +65,34 @@ Result<double> CrossValidatedF1(const Configuration& config,
     fold_of[neg[k]] = static_cast<int>(k % folds);
   }
 
-  double total_f1 = 0.0;
-  for (int fold = 0; fold < folds; ++fold) {
+  // The configuration either compiles for every fold or for none; validate
+  // once up front so the parallel loop below cannot fail.
+  AUTOEM_RETURN_IF_ERROR(EmPipeline::Compile(config).status());
+
+  // Fold assignment is fixed above, before any fitting, and each fold gets
+  // its own freshly compiled pipeline — folds share nothing mutable, and
+  // reducing fold scores in fold order keeps the mean bit-identical at any
+  // thread count.
+  std::vector<double> fold_f1(folds, 0.0);
+  ParallelFor(parallelism, static_cast<size_t>(folds), [&](size_t fold) {
     std::vector<size_t> train_idx;
     std::vector<size_t> valid_idx;
     for (size_t i = 0; i < data.size(); ++i) {
-      (fold_of[i] == fold ? valid_idx : train_idx).push_back(i);
+      (fold_of[i] == static_cast<int>(fold) ? valid_idx : train_idx)
+          .push_back(i);
     }
-    if (valid_idx.empty() || train_idx.empty()) continue;
+    if (valid_idx.empty() || train_idx.empty()) return;
     Dataset train = data.SelectRows(train_idx);
     Dataset valid = data.SelectRows(valid_idx);
     auto pipeline = EmPipeline::Compile(config);
-    if (!pipeline.ok()) return pipeline.status();
-    if (!pipeline->Fit(train).ok()) continue;  // fold scores 0
-    total_f1 += F1Score(valid.y, pipeline->Predict(valid.X));
-  }
+    if (!pipeline.ok()) return;  // cannot happen: validated above
+    pipeline->SetParallelism(parallelism);
+    if (!pipeline->Fit(train).ok()) return;  // fold scores 0
+    fold_f1[fold] = F1Score(valid.y, pipeline->Predict(valid.X));
+  });
+
+  double total_f1 = 0.0;
+  for (double f1 : fold_f1) total_f1 += f1;
   return total_f1 / folds;
 }
 

@@ -28,6 +28,13 @@ class HoldoutEvaluator {
   /// Attaches an optional test set scored alongside each evaluation.
   void SetTestSet(Dataset test) { test_ = std::move(test); has_test_ = true; }
 
+  /// Parallelism applied to every compiled candidate pipeline (the search
+  /// itself stays sequential — SMAC is inherently iterative; the win is
+  /// inside each forest fit). Scores are unchanged by this setting.
+  void SetParallelism(const Parallelism& parallelism) {
+    parallelism_ = parallelism;
+  }
+
   /// Fits and scores one configuration. Pipelines that fail to fit score
   /// 0.0 (the search treats them as bad, not fatal).
   EvalRecord Evaluate(const Configuration& config);
@@ -45,6 +52,7 @@ class HoldoutEvaluator {
   Dataset train_;
   Dataset valid_;
   Dataset test_;
+  Parallelism parallelism_;
   bool has_test_ = false;
   std::vector<EvalRecord> trajectory_;
   size_t best_index_ = 0;
@@ -55,9 +63,15 @@ class HoldoutEvaluator {
 /// both; the paper uses holdout, §V-A). Returns the mean fold F1; folds
 /// whose fit fails contribute 0. InvalidArgument for folds < 2 or datasets
 /// with fewer rows than folds.
+///
+/// Folds are fitted concurrently under `parallelism`, each on its own
+/// compiled pipeline; fold assignment is fixed by `seed` before dispatch
+/// and fold scores are reduced in fold order, so the result is bit-identical
+/// at any thread count.
 Result<double> CrossValidatedF1(const Configuration& config,
                                 const Dataset& data, int folds,
-                                uint64_t seed);
+                                uint64_t seed,
+                                const Parallelism& parallelism = {});
 
 }  // namespace autoem
 

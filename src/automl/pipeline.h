@@ -24,6 +24,14 @@ class EmPipeline {
   /// Trains every stage in order on the training data.
   Status Fit(const Dataset& train);
 
+  /// Intra-pipeline parallelism (forwarded to the classifier; the forest
+  /// models train/score trees concurrently). Never changes results.
+  void SetParallelism(const Parallelism& parallelism) {
+    parallelism_ = parallelism;
+    if (classifier_) classifier_->SetParallelism(parallelism);
+  }
+  const Parallelism& parallelism() const { return parallelism_; }
+
   /// P(match) per row of X (same feature width as the training data).
   std::vector<double> PredictProba(const Matrix& X) const;
   std::vector<int> Predict(const Matrix& X, double threshold = 0.5) const;
@@ -49,6 +57,7 @@ class EmPipeline {
   Matrix RunTransforms(const Matrix& X) const;
 
   Configuration config_;
+  Parallelism parallelism_;
   std::string balancing_ = "none";
   std::unique_ptr<Transform> imputer_;
   std::unique_ptr<Transform> scaler_;        // may be null

@@ -1,0 +1,59 @@
+#include "common/parallelism.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+namespace autoem {
+
+namespace {
+
+thread_local bool tl_in_parallel_region = false;
+
+struct RegionGuard {
+  RegionGuard() { tl_in_parallel_region = true; }
+  ~RegionGuard() { tl_in_parallel_region = false; }
+};
+
+/// Pools are cached per worker count so repeated hot-path calls (thousands
+/// of forest fits inside one SMAC run) do not respawn threads. Intentionally
+/// leaked: worker threads must not be joined from static destructors, whose
+/// order against other globals is unspecified.
+ThreadPool& PoolFor(size_t num_threads) {
+  static std::mutex* mu = new std::mutex;
+  static auto* pools = new std::map<size_t, std::unique_ptr<ThreadPool>>;
+  std::lock_guard<std::mutex> lock(*mu);
+  std::unique_ptr<ThreadPool>& pool = (*pools)[num_threads];
+  if (!pool) pool = std::make_unique<ThreadPool>(num_threads);
+  return *pool;
+}
+
+}  // namespace
+
+size_t Parallelism::ResolvedThreads() const {
+  if (threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<size_t>(hw);
+  }
+  return threads < 1 ? 1 : static_cast<size_t>(threads);
+}
+
+bool InParallelRegion() { return tl_in_parallel_region; }
+
+void ParallelFor(const Parallelism& par, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  size_t workers = par.ResolvedThreads();
+  if (workers <= 1 || n < 2 || tl_in_parallel_region) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  PoolFor(workers).ParallelFor(n, [&fn](size_t i) {
+    RegionGuard guard;
+    fn(i);
+  });
+}
+
+}  // namespace autoem

@@ -1,0 +1,54 @@
+#ifndef AUTOEM_COMMON_PARALLELISM_H_
+#define AUTOEM_COMMON_PARALLELISM_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace autoem {
+
+/// The single knob that controls intra-process parallelism of the hot paths
+/// (feature generation, forest training, cross-validation). Passed by value
+/// through options structs; the default is serial so existing callers see no
+/// behavior change.
+///
+/// All parallel code in this library is *deterministic*: results are
+/// bit-identical at any thread count, because every random draw is made
+/// before work is dispatched and every reduction happens in a fixed order
+/// (see tests/parallel_determinism_test.cc).
+struct Parallelism {
+  /// 0 = use all hardware threads; 1 = serial (no pool); N > 1 = N workers.
+  int threads = 1;
+
+  /// The effective worker count: hardware_concurrency for 0 (minimum 1),
+  /// otherwise max(threads, 1).
+  size_t ResolvedThreads() const;
+
+  bool IsSerial() const { return ResolvedThreads() <= 1; }
+
+  static Parallelism Serial() { return Parallelism{1}; }
+  static Parallelism Auto() { return Parallelism{0}; }
+  static Parallelism Threads(int n) { return Parallelism{n}; }
+};
+
+/// Runs fn(i) for i in [0, n), blocking until all iterations finish.
+///
+/// Serial (plain loop on the calling thread) when `par` resolves to one
+/// thread, when n < 2, or when the caller is itself running inside a
+/// ParallelFor worker — nested parallel regions degrade to serial instead of
+/// deadlocking the shared pool, mirroring OpenMP's default. Otherwise the
+/// iterations are chunked onto a lazily created process-wide pool of
+/// par.ResolvedThreads() workers (pools are cached per thread count and live
+/// for the process lifetime).
+///
+/// fn must be safe to call concurrently for distinct i; iteration order
+/// within a chunk is ascending, chunk interleaving is unspecified.
+void ParallelFor(const Parallelism& par, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+/// True while the calling thread is executing inside a ParallelFor worker.
+/// Exposed for tests and for code that wants to assert it is not nested.
+bool InParallelRegion();
+
+}  // namespace autoem
+
+#endif  // AUTOEM_COMMON_PARALLELISM_H_

@@ -11,6 +11,7 @@ Result<EntityMatcher> EntityMatcher::Train(const PairSet& labeled_pairs,
   }
   auto generator = CreateFeatureGenerator(options.feature_generator);
   if (!generator.ok()) return generator.status();
+  (*generator)->set_parallelism(options.automl.parallelism);
   AUTOEM_RETURN_IF_ERROR(
       (*generator)->Plan(labeled_pairs.left, labeled_pairs.right));
 

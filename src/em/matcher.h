@@ -28,6 +28,8 @@ class EntityMatcher {
   struct Options {
     /// "automl_em" (Table II) or "magellan" (Table I).
     std::string feature_generator = "automl_em";
+    /// `automl.parallelism` also drives featurization of the training and
+    /// candidate pairs (the `--threads` flag of autoem_cli lands here).
     AutoMlEmOptions automl;
   };
 

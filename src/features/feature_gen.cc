@@ -105,6 +105,75 @@ std::vector<SimFunction> MagellanStringFunctions(AttributeClass cls) {
 
 }  // namespace
 
+std::vector<TableTokenCache::AttrSpec> FeatureGenerator::CacheSpecs() const {
+  std::vector<TableTokenCache::AttrSpec> specs;
+  auto spec_for = [&specs](size_t attr) -> TableTokenCache::AttrSpec& {
+    for (auto& s : specs) {
+      if (s.attr_index == attr) return s;
+    }
+    specs.push_back({attr, false, false});
+    return specs.back();
+  };
+  for (const auto& p : plan_) {
+    TableTokenCache::AttrSpec& spec = spec_for(p.attr_index);
+    if (p.func.IsTokenMeasure()) {
+      if (p.func.tokenizer == TokenizerKind::kWhitespace) {
+        spec.space_tokens = true;
+      } else if (p.func.tokenizer == TokenizerKind::kQGram3) {
+        spec.qgram_tokens = true;
+      }
+    }
+  }
+  for (const auto& p : tfidf_plans_) {
+    TableTokenCache::AttrSpec& spec = spec_for(p.attr_index);
+    if (p.model.tokenizer() == TokenizerKind::kWhitespace) {
+      spec.space_tokens = true;
+    } else if (p.model.tokenizer() == TokenizerKind::kQGram3) {
+      spec.qgram_tokens = true;
+    }
+  }
+  return specs;
+}
+
+void FeatureGenerator::GenerateRowCached(const TableTokenCache& left,
+                                         size_t left_row,
+                                         const TableTokenCache& right,
+                                         size_t right_row,
+                                         double* row) const {
+  auto tokens_of = [](const CachedCell& cell,
+                      TokenizerKind kind) -> const std::vector<std::string>& {
+    return kind == TokenizerKind::kWhitespace ? cell.space_tokens
+                                              : cell.qgram_tokens;
+  };
+  for (size_t f = 0; f < plan_.size(); ++f) {
+    const FeaturePlan& p = plan_[f];
+    const CachedCell& lc = left.cell(left_row, p.attr_index);
+    const CachedCell& rc = right.cell(right_row, p.attr_index);
+    if (lc.is_null || rc.is_null) {
+      row[f] = std::numeric_limits<double>::quiet_NaN();
+      continue;
+    }
+    // kNone token measures (not produced by any planner) fall back to the
+    // uncached path rather than growing the cache by a third token kind.
+    if (p.func.IsTokenMeasure() && p.func.tokenizer != TokenizerKind::kNone) {
+      row[f] = p.func.ApplyTokens(tokens_of(lc, p.func.tokenizer),
+                                  tokens_of(rc, p.func.tokenizer));
+    } else {
+      row[f] = p.func.Apply(lc.text, rc.text);
+    }
+  }
+  for (size_t t = 0; t < tfidf_plans_.size(); ++t) {
+    const TfIdfPlan& p = tfidf_plans_[t];
+    const CachedCell& lc = left.cell(left_row, p.attr_index);
+    const CachedCell& rc = right.cell(right_row, p.attr_index);
+    row[plan_.size() + t] =
+        (lc.is_null || rc.is_null)
+            ? std::numeric_limits<double>::quiet_NaN()
+            : p.model.SimilarityTokens(tokens_of(lc, p.model.tokenizer()),
+                                       tokens_of(rc, p.model.tokenizer()));
+  }
+}
+
 Dataset FeatureGenerator::Generate(const PairSet& pair_set) const {
   Dataset out;
   out.X = Matrix(pair_set.pairs.size(), num_features());
@@ -113,13 +182,22 @@ Dataset FeatureGenerator::Generate(const PairSet& pair_set) const {
   for (const auto& p : plan_) out.feature_names.push_back(p.name);
   for (const auto& p : tfidf_plans_) out.feature_names.push_back(p.name);
 
-  for (size_t i = 0; i < pair_set.pairs.size(); ++i) {
+  // Tokenize/render each table once up front (the cache), then fan the
+  // pairs out across workers. Every worker writes only X.RowPtr(i) and
+  // y[i] of its own pair indices, so the result is identical at any thread
+  // count.
+  std::vector<TableTokenCache::AttrSpec> specs = CacheSpecs();
+  TableTokenCache left_cache =
+      TableTokenCache::Build(pair_set.left, specs, parallelism_);
+  TableTokenCache right_cache =
+      TableTokenCache::Build(pair_set.right, specs, parallelism_);
+
+  ParallelFor(parallelism_, pair_set.pairs.size(), [&](size_t i) {
     const RecordPair& pair = pair_set.pairs[i];
-    std::vector<double> row = GenerateRow(pair_set.left.row(pair.left_id),
-                                          pair_set.right.row(pair.right_id));
-    for (size_t f = 0; f < row.size(); ++f) out.X.At(i, f) = row[f];
+    GenerateRowCached(left_cache, pair.left_id, right_cache, pair.right_id,
+                      out.X.RowPtr(i));
     out.y[i] = pair.label == 1 ? 1 : 0;
-  }
+  });
   return out;
 }
 

@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "common/parallelism.h"
 #include "common/status.h"
+#include "features/token_cache.h"
 #include "features/type_inference.h"
 #include "ml/dataset.h"
 #include "table/table.h"
@@ -59,15 +61,36 @@ class FeatureGenerator {
   std::vector<double> GenerateRow(const Record& left,
                                   const Record& right) const;
 
+  /// Parallelism of Generate (and of the token-cache build inside it).
+  /// Results are bit-identical at any setting: rows are written into a
+  /// pre-sized matrix at their pair index, so row order never changes.
+  void set_parallelism(const Parallelism& parallelism) {
+    parallelism_ = parallelism;
+  }
+  const Parallelism& parallelism() const { return parallelism_; }
+
   virtual std::string name() const = 0;
 
  protected:
   std::vector<FeaturePlan> plan_;
   std::vector<TfIdfPlan> tfidf_plans_;
+  Parallelism parallelism_;
 
   /// Fits one whitespace-token TF-IDF model per string attribute from all
   /// non-null cells of both tables. Called by generators that opt in.
   void PlanTfIdf(const Table& left, const Table& right);
+
+ private:
+  /// Token-cache requirements of the current plan: one spec per attribute
+  /// the plan touches, flagging which token kinds its functions consume.
+  std::vector<TableTokenCache::AttrSpec> CacheSpecs() const;
+
+  /// Writes the feature row for (left_row, right_row) into `row` (length
+  /// num_features()) using the prepared caches; bit-identical to GenerateRow
+  /// on the raw records.
+  void GenerateRowCached(const TableTokenCache& left, size_t left_row,
+                         const TableTokenCache& right, size_t right_row,
+                         double* row) const;
 };
 
 /// Magellan's rule-based generation (paper Table I): similarity functions

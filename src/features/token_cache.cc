@@ -1,0 +1,36 @@
+#include "features/token_cache.h"
+
+namespace autoem {
+
+TableTokenCache TableTokenCache::Build(const Table& table,
+                                       const std::vector<AttrSpec>& specs,
+                                       const Parallelism& par) {
+  TableTokenCache cache;
+  cache.num_rows_ = table.num_rows();
+  cache.slot_of_attr_.assign(table.schema().num_attributes(), kNoSlot);
+  cache.cells_.resize(specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    cache.slot_of_attr_[specs[s].attr_index] = s;
+    cache.cells_[s].resize(cache.num_rows_);
+  }
+
+  ParallelFor(par, cache.num_rows_, [&](size_t row) {
+    for (size_t s = 0; s < specs.size(); ++s) {
+      const AttrSpec& spec = specs[s];
+      CachedCell& cell = cache.cells_[s][row];
+      const Value& value = table.cell(row, spec.attr_index);
+      cell.is_null = value.is_null();
+      if (cell.is_null) continue;
+      cell.text = value.ToString();
+      if (spec.space_tokens) {
+        cell.space_tokens = Tokenize(TokenizerKind::kWhitespace, cell.text);
+      }
+      if (spec.qgram_tokens) {
+        cell.qgram_tokens = Tokenize(TokenizerKind::kQGram3, cell.text);
+      }
+    }
+  });
+  return cache;
+}
+
+}  // namespace autoem

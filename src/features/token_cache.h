@@ -1,0 +1,76 @@
+#ifndef AUTOEM_FEATURES_TOKEN_CACHE_H_
+#define AUTOEM_FEATURES_TOKEN_CACHE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/parallelism.h"
+#include "table/table.h"
+#include "text/tokenizer.h"
+
+namespace autoem {
+
+/// One prepared table cell: the rendered string plus the token sets the
+/// feature plan needs. Token vectors are only filled for tokenizer kinds the
+/// plan actually uses on that attribute.
+struct CachedCell {
+  bool is_null = true;
+  std::string text;
+  std::vector<std::string> space_tokens;
+  std::vector<std::string> qgram_tokens;
+};
+
+/// Shared-immutable per-table cache of rendered strings and token sets.
+///
+/// Feature generation evaluates ~20 similarity functions per attribute per
+/// pair; without a cache each token-set function re-renders and re-tokenizes
+/// both cells, so a record appearing in P pairs is tokenized O(P * functions)
+/// times. Building this cache once per table reduces that to exactly once
+/// per (record, attribute, tokenizer kind) and is what makes the parallel
+/// feature path read-only over shared state: workers only read the cache and
+/// write disjoint output rows.
+///
+/// Build once (optionally in parallel — rows are independent), then share
+/// across any number of reader threads; the structure is immutable after
+/// Build returns.
+class TableTokenCache {
+ public:
+  /// Which token sets to precompute for one attribute.
+  struct AttrSpec {
+    size_t attr_index = 0;
+    bool space_tokens = false;
+    bool qgram_tokens = false;
+  };
+
+  TableTokenCache() = default;
+
+  /// Renders and tokenizes every (row, spec.attr_index) cell of `table`.
+  /// Rows are processed with `par` (each row writes a disjoint slot, so the
+  /// build itself is deterministic and race-free).
+  static TableTokenCache Build(const Table& table,
+                               const std::vector<AttrSpec>& specs,
+                               const Parallelism& par);
+
+  /// True when `attr` was listed in the Build specs.
+  bool Has(size_t attr) const {
+    return attr < slot_of_attr_.size() && slot_of_attr_[attr] != kNoSlot;
+  }
+
+  /// The prepared cell; precondition: Has(attr) and row < num_rows.
+  const CachedCell& cell(size_t row, size_t attr) const {
+    return cells_[slot_of_attr_[attr]][row];
+  }
+
+  size_t num_rows() const { return num_rows_; }
+
+ private:
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+  size_t num_rows_ = 0;
+  std::vector<size_t> slot_of_attr_;         // attribute index -> slot
+  std::vector<std::vector<CachedCell>> cells_;  // [slot][row]
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_FEATURES_TOKEN_CACHE_H_

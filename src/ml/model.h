@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallelism.h"
 #include "common/status.h"
 #include "ml/dataset.h"
 
@@ -41,6 +42,13 @@ class Classifier {
 
   /// Deep copy of the *untrained* configuration (hyperparameters only).
   virtual std::unique_ptr<Classifier> CloneConfig() const = 0;
+
+  /// Intra-model parallelism hint. Models that can parallelize (the forest
+  /// ensembles) store it; the default ignores it. Must never change results
+  /// — only wall-clock.
+  virtual void SetParallelism(const Parallelism& parallelism) {
+    (void)parallelism;
+  }
 
   /// Stable model name, e.g. "random_forest".
   virtual std::string name() const = 0;

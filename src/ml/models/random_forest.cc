@@ -52,28 +52,49 @@ Status RandomForestClassifier::Fit(const Matrix& X, const std::vector<int>& y,
 
   Rng rng(options_.seed);
   const size_t n = X.rows();
+  const size_t n_trees = static_cast<size_t>(options_.n_estimators);
   std::vector<double> base_w =
       sample_weights ? *sample_weights : std::vector<double>(n, 1.0);
 
-  for (int t = 0; t < options_.n_estimators; ++t) {
-    tree_opt.seed = rng.engine()();
-    trees_.emplace_back(tree_opt);
-    std::vector<double> w(n, 0.0);
+  // Every tree's randomness (split seed + bootstrap weights) is drawn from
+  // the root RNG *before* any tree trains, in the same interleaved order a
+  // serial loop would draw it. Tree t's inputs therefore do not depend on
+  // trees 0..t-1 having trained, which makes the fitted forest bit-identical
+  // at any thread count — and bit-identical to the historical serial
+  // implementation. Costs O(n_estimators * n_rows) doubles of transient
+  // memory for the staged bootstrap weights.
+  std::vector<uint64_t> tree_seeds(n_trees);
+  std::vector<std::vector<double>> tree_weights(n_trees);
+  for (size_t t = 0; t < n_trees; ++t) {
+    tree_seeds[t] = rng.engine()();
+    std::vector<double>& w = tree_weights[t];
     if (options_.bootstrap) {
       // Bootstrap resampling expressed as integer weights, scaled by any
       // caller-provided sample weights.
+      w.assign(n, 0.0);
       for (size_t k = 0; k < n; ++k) w[rng.UniformIndex(n)] += 1.0;
       for (size_t k = 0; k < n; ++k) w[k] *= base_w[k];
     } else {
       w = base_w;
     }
-    Status st = trees_.back().Fit(X, y, &w);
+  }
+  for (size_t t = 0; t < n_trees; ++t) {
+    tree_opt.seed = tree_seeds[t];
+    trees_.emplace_back(tree_opt);
+  }
+
+  std::vector<Status> tree_status(n_trees);
+  ParallelFor(options_.parallelism, n_trees, [&](size_t t) {
+    Status st = trees_[t].Fit(X, y, &tree_weights[t]);
     if (!st.ok()) {
       // A degenerate bootstrap (all weight on one class w/ zero weights) is
       // retried once with the unresampled weights.
-      st = trees_.back().Fit(X, y, &base_w);
-      if (!st.ok()) return st;
+      st = trees_[t].Fit(X, y, &base_w);
     }
+    tree_status[t] = st;
+  });
+  for (const Status& st : tree_status) {
+    if (!st.ok()) return st;
   }
   return Status::OK();
 }
@@ -82,29 +103,30 @@ std::vector<double> RandomForestClassifier::PredictProba(
     const Matrix& X) const {
   AUTOEM_CHECK(!trees_.empty());
   std::vector<double> out(X.rows(), 0.0);
-  for (const auto& tree : trees_) {
-    for (size_t r = 0; r < X.rows(); ++r) {
-      out[r] += tree.PredictRowProba(X.RowPtr(r));
+  // Rows are independent; each accumulates its trees in forest order, so
+  // the floating-point sum is identical at any thread count.
+  ParallelFor(options_.parallelism, X.rows(), [&](size_t r) {
+    double sum = 0.0;
+    for (const auto& tree : trees_) {
+      sum += tree.PredictRowProba(X.RowPtr(r));
     }
-  }
-  for (double& v : out) v /= static_cast<double>(trees_.size());
+    out[r] = sum / static_cast<double>(trees_.size());
+  });
   return out;
 }
 
 std::vector<double> RandomForestClassifier::VoteConfidence(
     const Matrix& X) const {
   AUTOEM_CHECK(!trees_.empty());
-  std::vector<double> votes_pos(X.rows(), 0.0);
-  for (const auto& tree : trees_) {
-    for (size_t r = 0; r < X.rows(); ++r) {
-      if (tree.PredictRowProba(X.RowPtr(r)) >= 0.5) votes_pos[r] += 1.0;
+  std::vector<double> out(X.rows(), 0.0);
+  ParallelFor(options_.parallelism, X.rows(), [&](size_t r) {
+    double votes_pos = 0.0;
+    for (const auto& tree : trees_) {
+      if (tree.PredictRowProba(X.RowPtr(r)) >= 0.5) votes_pos += 1.0;
     }
-  }
-  std::vector<double> out(X.rows());
-  for (size_t r = 0; r < X.rows(); ++r) {
-    double frac_pos = votes_pos[r] / static_cast<double>(trees_.size());
+    double frac_pos = votes_pos / static_cast<double>(trees_.size());
     out[r] = std::max(frac_pos, 1.0 - frac_pos);
-  }
+  });
   return out;
 }
 

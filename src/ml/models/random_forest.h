@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallelism.h"
 #include "common/params.h"
 #include "ml/models/decision_tree.h"
 
@@ -24,6 +25,10 @@ struct RandomForestOptions {
   /// Extra-Trees mode: random split thresholds, no bootstrap by default.
   bool random_thresholds = false;
   uint64_t seed = 7;
+  /// Tree training and inference parallelism. Per-tree seeds and bootstrap
+  /// streams are pre-drawn from `seed` before dispatch, so the fitted forest
+  /// and its predictions are bit-identical at any thread count.
+  Parallelism parallelism;
 };
 
 /// Bagged ensemble of CART trees. Probability = mean of per-tree leaf
@@ -41,6 +46,9 @@ class RandomForestClassifier : public Classifier {
              const std::vector<double>* sample_weights = nullptr) override;
   std::vector<double> PredictProba(const Matrix& X) const override;
   std::unique_ptr<Classifier> CloneConfig() const override;
+  void SetParallelism(const Parallelism& parallelism) override {
+    options_.parallelism = parallelism;
+  }
   std::string name() const override {
     return options_.random_thresholds ? "extra_trees" : "random_forest";
   }

@@ -65,6 +65,34 @@ std::string SimFunction::Name() const {
   return out;
 }
 
+bool SimFunction::IsTokenMeasure() const {
+  switch (measure) {
+    case Measure::kOverlapCoefficient:
+    case Measure::kDice:
+    case Measure::kCosine:
+    case Measure::kJaccard:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double SimFunction::ApplyTokens(const std::vector<std::string>& a_tokens,
+                                const std::vector<std::string>& b_tokens) const {
+  switch (measure) {
+    case Measure::kOverlapCoefficient:
+      return OverlapCoefficient(a_tokens, b_tokens);
+    case Measure::kDice:
+      return DiceSimilarity(a_tokens, b_tokens);
+    case Measure::kCosine:
+      return CosineSimilarity(a_tokens, b_tokens);
+    case Measure::kJaccard:
+      return JaccardSimilarity(a_tokens, b_tokens);
+    default:
+      return std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
 double SimFunction::Apply(std::string_view a, std::string_view b) const {
   switch (measure) {
     case Measure::kLevenshteinDistance:
@@ -84,13 +112,10 @@ double SimFunction::Apply(std::string_view a, std::string_view b) const {
     case Measure::kMongeElkan:
       return MongeElkan(a, b);
     case Measure::kOverlapCoefficient:
-      return OverlapCoefficient(Tokenize(tokenizer, a), Tokenize(tokenizer, b));
     case Measure::kDice:
-      return DiceSimilarity(Tokenize(tokenizer, a), Tokenize(tokenizer, b));
     case Measure::kCosine:
-      return CosineSimilarity(Tokenize(tokenizer, a), Tokenize(tokenizer, b));
     case Measure::kJaccard:
-      return JaccardSimilarity(Tokenize(tokenizer, a), Tokenize(tokenizer, b));
+      return ApplyTokens(Tokenize(tokenizer, a), Tokenize(tokenizer, b));
     case Measure::kAbsoluteNorm: {
       bool ok_a = false;
       bool ok_b = false;

@@ -39,6 +39,17 @@ struct SimFunction {
   /// strings. kAbsoluteNorm parses both sides as numbers and returns NaN if
   /// either fails to parse; all other measures operate on the raw strings.
   double Apply(std::string_view a, std::string_view b) const;
+
+  /// True when the measure consumes token *sets* (Overlap/Dice/Cosine/
+  /// Jaccard), i.e. when `tokenizer` participates in Apply.
+  bool IsTokenMeasure() const;
+
+  /// Token-set measures on pre-tokenized inputs: bit-identical to Apply on
+  /// the strings the tokens came from. Callers (the feature-generation token
+  /// cache) tokenize each record once instead of once per pair per feature.
+  /// Precondition: IsTokenMeasure().
+  double ApplyTokens(const std::vector<std::string>& a_tokens,
+                     const std::vector<std::string>& b_tokens) const;
 };
 
 /// Short display name of a measure, e.g. "Jaccard Similarity".

@@ -36,8 +36,12 @@ double TfIdfModel::Idf(const std::string& token) const {
 }
 
 double TfIdfModel::Similarity(std::string_view a, std::string_view b) const {
-  std::vector<std::string> tokens_a = Tokenize(tokenizer_, a);
-  std::vector<std::string> tokens_b = Tokenize(tokenizer_, b);
+  return SimilarityTokens(Tokenize(tokenizer_, a), Tokenize(tokenizer_, b));
+}
+
+double TfIdfModel::SimilarityTokens(
+    const std::vector<std::string>& tokens_a,
+    const std::vector<std::string>& tokens_b) const {
   if (tokens_a.empty() && tokens_b.empty()) return 1.0;
   if (tokens_a.empty() || tokens_b.empty()) return 0.0;
 

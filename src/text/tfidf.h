@@ -31,6 +31,13 @@ class TfIdfModel {
   /// both strings are empty.
   double Similarity(std::string_view a, std::string_view b) const;
 
+  /// Same similarity on pre-tokenized inputs (tokens must come from this
+  /// model's tokenizer) — the fast path used by the feature-generation token
+  /// cache; bit-identical to Similarity on the original strings.
+  double SimilarityTokens(const std::vector<std::string>& tokens_a,
+                          const std::vector<std::string>& tokens_b) const;
+
+  TokenizerKind tokenizer() const { return tokenizer_; }
   size_t vocabulary_size() const { return idf_.size(); }
   size_t num_documents() const { return num_documents_; }
   bool fitted() const { return fitted_; }
