@@ -128,5 +128,8 @@ int main(int argc, char** argv) {
   Report(sel_sweep, "3b feature selection", 13.99);
   Report(scale_sweep, "3c data scaling", 1.17);
   std::printf("expected shape: 3a and 3b large, 3c small\n");
+  ReportBenchMetric("fig3a_delta_f1", rf_sweep.best - rf_sweep.worst);
+  ReportBenchMetric("fig3b_delta_f1", sel_sweep.best - sel_sweep.worst);
+  ReportBenchMetric("fig3c_delta_f1", scale_sweep.best - scale_sweep.worst);
   return 0;
 }

@@ -14,10 +14,12 @@
 #include <chrono>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/parallelism.h"
 #include "datagen/benchmark_gen.h"
 #include "features/feature_gen.h"
+#include "obs/obs.h"
 
 namespace autoem {
 namespace {
@@ -97,6 +99,13 @@ void RunFeatureGen(benchmark::State& state, bool include_tfidf) {
   // serial_baseline_s / mean_iteration_s — the speedup over the serial run.
   state.counters["speedup_vs_serial"] = benchmark::Counter(
       serial_s, benchmark::Counter::kIsIterationInvariantRate);
+  // Mirror into the obs metrics registry so a --metrics-out run captures the
+  // baseline next to the library's own counters, in the shared snapshot
+  // format.
+  obs::MetricsRegistry::Global()
+      .GetGauge(std::string("bench.featuregen_serial_baseline_s") +
+                (include_tfidf ? "_tfidf" : ""))
+      ->Set(serial_s);
 }
 
 void BM_ParallelFeatureGen(benchmark::State& state) {
@@ -124,4 +133,26 @@ BENCHMARK(BM_ParallelFeatureGenTfIdf)
 }  // namespace
 }  // namespace autoem
 
-BENCHMARK_MAIN();
+// Custom main: peel off the shared obs flags (--log-level= / --trace-out= /
+// --metrics-out=) before google-benchmark sees (and rejects) them. The
+// session writes trace/metrics at process exit.
+int main(int argc, char** argv) {
+  autoem::obs::ObsOptions obs;
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (!autoem::obs::ParseObsFlag(argv[i], &obs)) {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  autoem::obs::ObsSession session(obs);
+  int filtered_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&filtered_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

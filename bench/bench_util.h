@@ -9,10 +9,17 @@
 //                 paper's wall-clock budget; see DESIGN.md)
 //   --seed=<n>    RNG seed
 //   --datasets=a,b  comma-separated subset of Table III dataset names
+// plus the shared observability flags (see src/obs/obs.h):
+//   --log-level=<l> --trace-out=<f> --metrics-out=<f>
+// A bench run with --metrics-out gets the full autoem::obs metrics snapshot
+// (counters/gauges/histograms JSON) written at exit — including any
+// bench-reported figures recorded via ReportBenchMetric below. This replaces
+// ad-hoc per-bench JSON counter dumps.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +28,7 @@
 #include "datagen/benchmark_gen.h"
 #include "features/feature_gen.h"
 #include "ml/dataset.h"
+#include "obs/obs.h"
 
 namespace autoem {
 namespace bench {
@@ -34,6 +42,10 @@ struct BenchArgs {
   /// serial-vs-parallel speedup explicitly.
   int threads = 1;
   std::vector<std::string> datasets;  // empty = all
+  obs::ObsOptions obs;
+  /// Held for the bench's lifetime; writes --trace-out/--metrics-out at
+  /// process exit. Shared so BenchArgs stays copyable.
+  std::shared_ptr<obs::ObsSession> session;
 
   static BenchArgs Parse(int argc, char** argv, double default_scale = 0.2,
                          int default_evals = 20) {
@@ -52,14 +64,20 @@ struct BenchArgs {
         args.threads = std::atoi(arg.c_str() + 10);
       } else if (StartsWith(arg, "--datasets=")) {
         args.datasets = Split(arg.substr(11), ',');
+      } else if (obs::ParseObsFlag(arg, &args.obs)) {
+        // --log-level= / --trace-out= / --metrics-out=
       } else if (arg == "--full") {
         args.scale = 1.0;
       } else if (arg == "--help") {
         std::printf(
             "flags: --scale=F --evals=N --seed=N --threads=N "
-            "--datasets=a,b --full\n");
+            "--datasets=a,b --full\n"
+            "       --log-level=L --trace-out=F --metrics-out=F\n");
         std::exit(0);
       }
+    }
+    if (args.obs.Any()) {
+      args.session = std::make_shared<obs::ObsSession>(args.obs);
     }
     return args;
   }
@@ -109,6 +127,14 @@ inline BenchmarkData MustGenerate(const DatasetProfile& profile,
     std::exit(1);
   }
   return std::move(*data);
+}
+
+/// Records one bench-level figure (an F1, a speedup, a wall-clock) as a
+/// gauge named `bench.<name>` so it lands in the --metrics-out snapshot next
+/// to the library's own counters — one JSON, one schema, no per-bench
+/// serializer.
+inline void ReportBenchMetric(const std::string& name, double value) {
+  obs::MetricsRegistry::Global().GetGauge("bench." + name)->Set(value);
 }
 
 inline void PrintHeader(const char* title) {

@@ -26,6 +26,7 @@
 #include "em/blocking.h"
 #include "em/matcher.h"
 #include "em/pairs_io.h"
+#include "obs/obs.h"
 #include "table/csv.h"
 
 using namespace autoem;
@@ -35,11 +36,16 @@ namespace {
 struct Flags {
   std::map<std::string, std::string> values;
 
+  // Accepts both `--key value` and `--key=value`.
   static Flags Parse(int argc, char** argv, int first) {
     Flags flags;
     for (int i = first; i < argc; ++i) {
       std::string arg = argv[i];
-      if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+      if (arg.rfind("--", 0) != 0) continue;
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        flags.values[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc) {
         flags.values[arg.substr(2)] = argv[++i];
       }
     }
@@ -56,6 +62,14 @@ struct Flags {
 [[noreturn]] void Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   std::exit(1);
+}
+
+obs::ObsOptions ObsFromFlags(const Flags& flags) {
+  obs::ObsOptions obs;
+  obs.log_level = flags.Get("log-level");
+  obs.trace_path = flags.Get("trace-out");
+  obs.metrics_path = flags.Get("metrics-out");
+  return obs;
 }
 
 Table MustReadCsv(const std::string& path, const std::string& name) {
@@ -93,6 +107,7 @@ EntityMatcher TrainMatcher(const Flags& flags, PairSet* train_out) {
   // are identical at any setting; only wall-clock changes.
   options.automl.parallelism.threads =
       std::atoi(flags.Get("threads", "1").c_str());
+  options.automl.obs = ObsFromFlags(flags);
   if (flags.Has("warm-start")) {
     auto config = LoadConfiguration(flags.Get("warm-start"));
     if (!config.ok()) Fail(config.status().ToString());
@@ -138,6 +153,15 @@ int RunTrainEval(const Flags& flags) {
     std::printf("\nsaved pipeline configuration to %s (reuse via "
                 "--warm-start)\n",
                 flags.Get("save-config").c_str());
+  }
+
+  if (flags.Has("save-trajectory")) {
+    Status st = SaveTrajectory(matcher.automl_result().trajectory,
+                               flags.Get("save-trajectory"));
+    if (!st.ok()) Fail(st.ToString());
+    std::printf("saved search trajectory (%zu trials) to %s\n",
+                matcher.automl_result().trajectory.size(),
+                flags.Get("save-trajectory").c_str());
   }
   return 0;
 }
@@ -198,6 +222,7 @@ void PrintUsage() {
       "             [--test-a ... --test-b ... --test-pairs ...]\n"
       "             [--evals N] [--seed N] [--threads N] "
       "[--save-config cfg.txt] [--warm-start cfg.txt]\n"
+      "             [--save-trajectory curve.csv]\n"
       "  autoem_cli match --train-a A.csv --train-b B.csv --train-pairs "
       "P.csv\n"
       "             --cand-a CA.csv --cand-b CB.csv [--block-on attr]\n"
@@ -205,7 +230,15 @@ void PrintUsage() {
       "\n"
       "  --threads N uses N worker threads for featurization and forest\n"
       "  training (0 = all hardware threads; default 1). Output is\n"
-      "  bit-identical at any thread count.\n");
+      "  bit-identical at any thread count.\n"
+      "\n"
+      "observability (both subcommands; flags accept --k v or --k=v):\n"
+      "  --log-level L     trace|debug|info|warn|error|off (default warn)\n"
+      "  --trace-out F     write a Chrome trace_event JSON (open in\n"
+      "                    chrome://tracing or https://ui.perfetto.dev)\n"
+      "  --metrics-out F   write a counters/gauges/histograms JSON snapshot\n"
+      "  Tracing never changes results: search output is bit-identical\n"
+      "  with tracing on or off.\n");
 }
 
 }  // namespace
@@ -216,6 +249,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   Flags flags = Flags::Parse(argc, argv, 2);
+  // Top-level session: owns the trace for the whole invocation (the nested
+  // sessions inside the library piggyback on it) and writes trace/metrics
+  // when main returns.
+  obs::ObsSession obs_session(ObsFromFlags(flags));
   if (std::strcmp(argv[1], "train-eval") == 0) return RunTrainEval(flags);
   if (std::strcmp(argv[1], "match") == 0) return RunMatch(flags);
   PrintUsage();

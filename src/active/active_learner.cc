@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "ml/metrics.h"
+#include "obs/obs.h"
 
 namespace autoem {
 
@@ -61,6 +62,22 @@ Result<ActiveLearningResult> RunAutoMlEmActive(
   }
   if (oracle == nullptr) return Status::InvalidArgument("null oracle");
 
+  obs::ObsSession obs_session(options.obs);
+  static obs::Counter* oracle_labels =
+      obs::MetricsRegistry::Global().GetCounter("active.oracle_labels");
+  static obs::Counter* self_train_labels =
+      obs::MetricsRegistry::Global().GetCounter("active.self_train_labels");
+  static obs::Gauge* positive_ratio =
+      obs::MetricsRegistry::Global().GetGauge("active.positive_ratio");
+  static obs::Gauge* pool_remaining =
+      obs::MetricsRegistry::Global().GetGauge("active.pool_remaining");
+  obs::Span run_span("active.run");
+  if (run_span.active()) {
+    run_span.Arg("pool", pool.size());
+    run_span.Arg("label_budget", options.label_budget);
+    run_span.Arg("max_iterations", options.max_iterations);
+  }
+
   Rng rng(options.seed);
   ActiveLearningResult result;
 
@@ -78,11 +95,14 @@ Result<ActiveLearningResult> RunAutoMlEmActive(
     labeled.push_back({idx, oracle->Label(idx), /*machine=*/false});
   }
   size_t human_used = n_init;
+  oracle_labels->Add(n_init);
 
   // α: positive ratio of the initial training data (Remark 2).
   size_t init_pos = 0;
   for (const auto& r : labeled) init_pos += (r.label == 1);
   double alpha = static_cast<double>(init_pos) / static_cast<double>(n_init);
+  positive_ratio->Set(alpha);
+  AUTOEM_LOG(INFO) << "active: init " << n_init << " labels, alpha=" << alpha;
 
   RandomForestOptions model_opt = options.model;
   model_opt.seed = rng.engine()();
@@ -109,6 +129,10 @@ Result<ActiveLearningResult> RunAutoMlEmActive(
   // ---- Algorithm 1, lines 5-12: the labeling loop ----
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     if (unlabeled.empty() || human_used >= options.label_budget) break;
+
+    obs::Span iter_span("active.iteration");
+    if (iter_span.active()) iter_span.Arg("iteration", iter);
+    size_t machine_before = machine_added;
 
     // Confidence of every unlabeled pair under the current model.
     Dataset u_data = pool.SelectRows(unlabeled);
@@ -202,6 +226,19 @@ Result<ActiveLearningResult> RunAutoMlEmActive(
     AUTOEM_RETURN_IF_ERROR(
         FitIterationModel(&model, BuildDataset(pool, labeled)));
     record_iteration(static_cast<size_t>(iter));
+
+    oracle_labels->Add(ac_take);
+    self_train_labels->Add(machine_added - machine_before);
+    pool_remaining->Set(static_cast<double>(unlabeled.size()));
+    if (iter_span.active()) {
+      iter_span.Arg("human_labels", human_used);
+      iter_span.Arg("machine_labels", machine_added);
+      iter_span.Arg("pool_remaining", unlabeled.size());
+      iter_span.Arg("test_f1", result.iterations.back().iteration_model_test_f1);
+    }
+    AUTOEM_LOG(DEBUG) << "active: iteration " << iter << " human="
+                      << human_used << " machine=" << machine_added
+                      << " pool=" << unlabeled.size();
   }
 
   result.collected = BuildDataset(pool, labeled);

@@ -49,6 +49,10 @@ struct ActiveLearningOptions {
   /// overriding `automl.parallelism`. Never changes which pairs are queried
   /// or the resulting model.
   Parallelism parallelism;
+  /// Observability sinks for the whole run (loop iterations plus the final
+  /// AutoML-EM search). Empty by default; never affects which pairs are
+  /// queried or the resulting model.
+  obs::ObsOptions obs;
 
   /// Final AutoML-EM run on the collected labels (Algorithm 1, line 13).
   AutoMlEmOptions automl;

@@ -34,6 +34,23 @@ Result<AutoMlEmResult> RunAutoMlEm(const Dataset& train, const Dataset& valid,
     return Status::InvalidArgument("train/valid feature width mismatch");
   }
 
+  obs::ObsSession obs_session(options.obs);
+  obs::Span search_span("automl.search");
+  if (search_span.active()) {
+    search_span.Arg("algorithm", options.algorithm == SearchAlgorithm::kSmac
+                                     ? std::string("smac")
+                                     : std::string("random"));
+    search_span.Arg("max_evaluations", options.max_evaluations);
+    search_span.Arg("train_rows", train.size());
+    search_span.Arg("valid_rows", valid.size());
+  }
+  AUTOEM_LOG(INFO) << "automl: starting "
+                   << (options.algorithm == SearchAlgorithm::kSmac
+                           ? "smac"
+                           : "random")
+                   << " search, max_evaluations=" << options.max_evaluations
+                   << ", train=" << train.size() << " valid=" << valid.size();
+
   ConfigurationSpace space = BuildEmSearchSpace(options.model_space);
   HoldoutEvaluator evaluator(train, valid);
   evaluator.SetParallelism(options.parallelism);
@@ -63,15 +80,25 @@ Result<AutoMlEmResult> RunAutoMlEm(const Dataset& train, const Dataset& valid,
                         outcome.best_valid_f1, std::move(*compiled),
                         std::move(outcome.trajectory)};
   result.model.SetParallelism(options.parallelism);
-  Status fit_status =
-      options.refit_on_train_plus_valid
-          ? result.model.Fit(ConcatDatasets(train, valid))
-          : result.model.Fit(train);
-  if (!fit_status.ok()) {
-    // The winning config fit during search but failed on refit (e.g. a
-    // degenerate train+valid union); fall back to train-only.
-    AUTOEM_RETURN_IF_ERROR(result.model.Fit(train));
+  {
+    obs::Span refit_span("automl.refit");
+    if (refit_span.active()) {
+      refit_span.Arg("on_train_plus_valid",
+                     static_cast<int>(options.refit_on_train_plus_valid));
+    }
+    Status fit_status =
+        options.refit_on_train_plus_valid
+            ? result.model.Fit(ConcatDatasets(train, valid))
+            : result.model.Fit(train);
+    if (!fit_status.ok()) {
+      // The winning config fit during search but failed on refit (e.g. a
+      // degenerate train+valid union); fall back to train-only.
+      AUTOEM_RETURN_IF_ERROR(result.model.Fit(train));
+    }
   }
+  AUTOEM_LOG(INFO) << "automl: search done, best valid_f1="
+                   << result.best_valid_f1 << " over "
+                   << result.trajectory.size() << " trials";
   return result;
 }
 
@@ -88,6 +115,9 @@ Result<AutoMlEmResult> RunAutoMlEmOnPairs(const PairSet& train_pairs,
                                           const AutoMlEmOptions& options,
                                           const PairSet* test_pairs,
                                           Dataset* test_out) {
+  // Open the session here so featurization spans land in the trace; the
+  // nested session inside RunAutoMlEm is a no-op for tracing ownership.
+  obs::ObsSession obs_session(options.obs);
   AutoMlEmFeatureGenerator generator;
   generator.set_parallelism(options.parallelism);
   AUTOEM_RETURN_IF_ERROR(generator.Plan(train_pairs.left, train_pairs.right));

@@ -1,5 +1,6 @@
 #include "automl/config_io.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -121,6 +122,41 @@ Result<Configuration> LoadConfiguration(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return ParseConfiguration(buf.str());
+}
+
+uint64_t ConfigurationHash(const Configuration& config) {
+  std::string text = SerializeConfiguration(config);
+  uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+std::string SerializeTrajectoryCsv(const std::vector<EvalRecord>& trajectory) {
+  std::string out =
+      "trial,elapsed_seconds,fit_seconds,valid_f1,test_f1,best_f1_so_far,"
+      "config_hash\n";
+  double best = 0.0;
+  for (const EvalRecord& r : trajectory) {
+    best = std::max(best, r.valid_f1);
+    out += StrFormat("%d,%.6f,%.6f,%.17g,%.17g,%.17g,%016llx\n", r.trial,
+                     r.elapsed_seconds, r.fit_seconds, r.valid_f1, r.test_f1,
+                     best,
+                     static_cast<unsigned long long>(
+                         ConfigurationHash(r.config)));
+  }
+  return out;
+}
+
+Status SaveTrajectory(const std::vector<EvalRecord>& trajectory,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << SerializeTrajectoryCsv(trajectory);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
 }
 
 }  // namespace autoem

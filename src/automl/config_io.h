@@ -1,8 +1,11 @@
 #ifndef AUTOEM_AUTOML_CONFIG_IO_H_
 #define AUTOEM_AUTOML_CONFIG_IO_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "automl/evaluator.h"
 #include "automl/param_space.h"
 #include "common/status.h"
 
@@ -26,6 +29,21 @@ Result<Configuration> ParseConfiguration(const std::string& text);
 Status SaveConfiguration(const Configuration& config,
                          const std::string& path);
 Result<Configuration> LoadConfiguration(const std::string& path);
+
+/// Stable 64-bit FNV-1a hash of the serialized configuration — the compact
+/// pipeline identifier used by trace spans and trajectory dumps. Identical
+/// configurations hash identically across runs and processes.
+uint64_t ConfigurationHash(const Configuration& config);
+
+/// Serializes a search trajectory (AutoMlEmResult::trajectory) as CSV with
+/// header
+///   trial,elapsed_seconds,fit_seconds,valid_f1,test_f1,best_f1_so_far,config_hash
+/// — one row per evaluation, the complete Fig. 3-style tuning curve,
+/// reproducible without re-running the search. `config_hash` is
+/// ConfigurationHash in hex.
+std::string SerializeTrajectoryCsv(const std::vector<EvalRecord>& trajectory);
+Status SaveTrajectory(const std::vector<EvalRecord>& trajectory,
+                      const std::string& path);
 
 }  // namespace autoem
 

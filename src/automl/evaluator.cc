@@ -1,7 +1,9 @@
 #include "automl/evaluator.h"
 
+#include "automl/config_io.h"
 #include "common/rng.h"
 #include "ml/metrics.h"
+#include "obs/obs.h"
 
 namespace autoem {
 
@@ -9,8 +11,15 @@ HoldoutEvaluator::HoldoutEvaluator(Dataset train, Dataset valid)
     : train_(std::move(train)), valid_(std::move(valid)) {}
 
 EvalRecord HoldoutEvaluator::Evaluate(const Configuration& config) {
+  static obs::Counter* trials =
+      obs::MetricsRegistry::Global().GetCounter("automl.trials");
+  static obs::Histogram* eval_ms =
+      obs::MetricsRegistry::Global().GetHistogram("automl.pipeline_eval_ms");
+  obs::Span span("automl.pipeline_eval");
+
   EvalRecord record;
   record.config = config;
+  record.trial = static_cast<int>(trajectory_.size());
 
   Stopwatch timer;
   auto compiled = EmPipeline::Compile(config);
@@ -26,6 +35,18 @@ EvalRecord HoldoutEvaluator::Evaluate(const Configuration& config) {
     }
   }
   record.fit_seconds = timer.ElapsedSeconds();
+  record.elapsed_seconds = lifetime_.ElapsedSeconds();
+
+  trials->Add();
+  eval_ms->Observe(record.fit_seconds * 1000.0);
+  if (span.active()) {
+    span.Arg("trial", record.trial);
+    span.Arg("config_hash", ConfigurationHash(config));
+    span.Arg("valid_f1", record.valid_f1);
+    span.Arg("fit_ms", record.fit_seconds * 1000.0);
+  }
+  AUTOEM_LOG(DEBUG) << "trial " << record.trial << " valid_f1="
+                    << record.valid_f1 << " fit_s=" << record.fit_seconds;
 
   if (trajectory_.empty() ||
       record.valid_f1 > trajectory_[best_index_].valid_f1) {
@@ -73,8 +94,20 @@ Result<double> CrossValidatedF1(const Configuration& config,
   // its own freshly compiled pipeline — folds share nothing mutable, and
   // reducing fold scores in fold order keeps the mean bit-identical at any
   // thread count.
+  static obs::Counter* cv_folds =
+      obs::MetricsRegistry::Global().GetCounter("automl.cv_folds");
+  static obs::Histogram* cv_fold_ms =
+      obs::MetricsRegistry::Global().GetHistogram("automl.cv_fold_ms");
+  obs::Span cv_span("automl.cv");
+  if (cv_span.active()) {
+    cv_span.Arg("folds", folds);
+    cv_span.Arg("rows", data.size());
+  }
   std::vector<double> fold_f1(folds, 0.0);
   ParallelFor(parallelism, static_cast<size_t>(folds), [&](size_t fold) {
+    obs::Span fold_span("automl.cv_fold");
+    if (fold_span.active()) fold_span.Arg("fold", fold);
+    Stopwatch fold_timer;
     std::vector<size_t> train_idx;
     std::vector<size_t> valid_idx;
     for (size_t i = 0; i < data.size(); ++i) {
@@ -87,8 +120,13 @@ Result<double> CrossValidatedF1(const Configuration& config,
     auto pipeline = EmPipeline::Compile(config);
     if (!pipeline.ok()) return;  // cannot happen: validated above
     pipeline->SetParallelism(parallelism);
-    if (!pipeline->Fit(train).ok()) return;  // fold scores 0
-    fold_f1[fold] = F1Score(valid.y, pipeline->Predict(valid.X));
+    bool fit_ok = pipeline->Fit(train).ok();
+    if (fit_ok) {
+      fold_f1[fold] = F1Score(valid.y, pipeline->Predict(valid.X));
+    }
+    cv_folds->Add();
+    cv_fold_ms->Observe(fold_timer.ElapsedMillis());
+    if (fold_span.active()) fold_span.Arg("f1", fold_f1[fold]);
   });
 
   double total_f1 = 0.0;

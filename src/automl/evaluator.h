@@ -16,6 +16,13 @@ struct EvalRecord {
   double valid_f1 = 0.0;
   double test_f1 = -1.0;  // -1 when no test set was supplied
   double fit_seconds = 0.0;
+  /// 0-based index of this evaluation in the evaluator's trajectory.
+  int trial = 0;
+  /// Wall clock from evaluator construction to the end of this evaluation.
+  /// Together with `trial` this makes a trajectory a complete Fig. 3-style
+  /// tuning curve (best F1 vs time) that SaveTrajectory/FormatTuningCurve
+  /// can serialize without re-running the search.
+  double elapsed_seconds = 0.0;
 };
 
 /// One-hold-out evaluation (the paper's validation protocol, §V-A): fit the
@@ -56,6 +63,7 @@ class HoldoutEvaluator {
   bool has_test_ = false;
   std::vector<EvalRecord> trajectory_;
   size_t best_index_ = 0;
+  Stopwatch lifetime_;  // feeds EvalRecord::elapsed_seconds
 };
 
 /// Stratified k-fold cross-validated F1 of one configuration — the

@@ -59,4 +59,33 @@ std::string FormatImportances(const std::vector<FeatureImportance>& ranking,
   return out;
 }
 
+std::string FormatTuningCurve(const std::vector<EvalRecord>& trajectory,
+                              size_t max_rows) {
+  std::string out = StrFormat("%5s  %10s  %9s  %9s\n", "trial", "elapsed_s",
+                              "valid_f1", "best_f1");
+  if (trajectory.empty()) return out;
+
+  // With a row cap, keep the head and tail and elide the middle; the tail
+  // carries the interesting part of the curve (where best_f1 plateaus).
+  size_t head = trajectory.size();
+  size_t tail_start = trajectory.size();
+  if (max_rows > 0 && trajectory.size() > max_rows) {
+    head = max_rows / 2;
+    tail_start = trajectory.size() - (max_rows - head);
+  }
+
+  double best = 0.0;
+  for (size_t i = 0; i < trajectory.size(); ++i) {
+    const EvalRecord& r = trajectory[i];
+    best = std::max(best, r.valid_f1);
+    if (i == head && head < tail_start) {
+      out += StrFormat("  ... (%zu trials elided)\n", tail_start - head);
+    }
+    if (i >= head && i < tail_start) continue;
+    out += StrFormat("%5d  %10.2f  %9.4f  %9.4f\n", r.trial,
+                     r.elapsed_seconds, r.valid_f1, best);
+  }
+  return out;
+}
+
 }  // namespace autoem

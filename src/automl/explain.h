@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "automl/evaluator.h"
 #include "automl/pipeline.h"
 #include "ml/dataset.h"
 
@@ -32,6 +33,13 @@ std::vector<FeatureImportance> PermutationImportance(const EmPipeline& model,
 /// Pretty one-line-per-feature rendering of the top `top_k` entries.
 std::string FormatImportances(const std::vector<FeatureImportance>& ranking,
                               size_t top_k = 10);
+
+/// Fig. 3-style rendering of a search trajectory: one line per trial with
+/// elapsed wall clock, the trial's validation F1, and the best-so-far F1
+/// (the tuning curve). `max_rows = 0` prints every trial; otherwise the
+/// output keeps the first and last rows and elides the middle.
+std::string FormatTuningCurve(const std::vector<EvalRecord>& trajectory,
+                              size_t max_rows = 0);
 
 }  // namespace autoem
 

@@ -2,6 +2,7 @@
 
 #include "automl/search_space.h"
 #include "common/timer.h"
+#include "obs/obs.h"
 
 namespace autoem {
 
@@ -40,11 +41,18 @@ SearchOutcome RandomSearch(const ConfigurationSpace& space,
       config = space.Sample(&rng);
     }
     first = false;
+    obs::Span span("random_search.trial");
     EvalRecord record = evaluator->Evaluate(config);
+    if (span.active()) {
+      span.Arg("trial", record.trial);
+      span.Arg("valid_f1", record.valid_f1);
+    }
     if (outcome.trajectory.empty() ||
         record.valid_f1 > outcome.best_valid_f1) {
       outcome.best_valid_f1 = record.valid_f1;
       outcome.best_config = record.config;
+      AUTOEM_LOG(INFO) << "random_search: new best valid_f1="
+                       << record.valid_f1 << " at trial " << record.trial;
     }
     outcome.trajectory.push_back(std::move(record));
   }

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "automl/config_io.h"
 #include "automl/search_space.h"
 #include "automl/surrogate.h"
 #include "common/timer.h"
+#include "obs/obs.h"
 
 namespace autoem {
 
@@ -32,12 +34,17 @@ SearchOutcome SmacSearch(const ConfigurationSpace& space,
     return true;
   };
 
+  static obs::Gauge* best_gauge =
+      obs::MetricsRegistry::Global().GetGauge("automl.best_valid_f1");
   auto record_result = [&](EvalRecord record) {
     if (outcome.trajectory.empty() ||
         record.valid_f1 > outcome.best_valid_f1) {
       outcome.best_valid_f1 = record.valid_f1;
       outcome.best_config = record.config;
+      AUTOEM_LOG(INFO) << "smac: new best valid_f1=" << record.valid_f1
+                       << " at trial " << record.trial;
     }
+    best_gauge->Set(outcome.best_valid_f1);
     outcome.trajectory.push_back(std::move(record));
   };
 
@@ -69,18 +76,26 @@ SearchOutcome SmacSearch(const ConfigurationSpace& space,
   }
 
   // ---- surrogate-guided loop ----
+  static obs::Histogram* surrogate_fit_ms =
+      obs::MetricsRegistry::Global().GetHistogram("automl.surrogate_fit_ms");
+  static obs::Histogram* ei_rank_ms =
+      obs::MetricsRegistry::Global().GetHistogram("automl.ei_rank_ms");
   bool interleave_random = false;
   while (budget_left()) {
     if (interleave_random) {
       // SMAC's random interleaving step keeps the search from collapsing
       // onto the surrogate's blind spots.
+      obs::Span span("smac.random_interleave");
       evaluate(space.Sample(&rng));
       interleave_random = false;
       continue;
     }
     interleave_random = true;
 
+    obs::Span trial_span("smac.trial");
+
     // Fit surrogate on the history so far.
+    Stopwatch fit_timer;
     Matrix X(encoded.size(), encoded.empty() ? 0 : encoded[0].size());
     for (size_t r = 0; r < encoded.size(); ++r) {
       for (size_t c = 0; c < encoded[r].size(); ++c) {
@@ -90,27 +105,50 @@ SearchOutcome SmacSearch(const ConfigurationSpace& space,
     SurrogateForest::Options surrogate_opt;
     surrogate_opt.seed = rng.engine()();
     SurrogateForest surrogate(surrogate_opt);
-    if (!surrogate.Fit(X, scores).ok()) {
+    bool surrogate_ok;
+    {
+      obs::Span fit_span("smac.surrogate_fit");
+      if (fit_span.active()) fit_span.Arg("history", encoded.size());
+      surrogate_ok = surrogate.Fit(X, scores).ok();
+    }
+    double fit_ms = fit_timer.ElapsedMillis();
+    surrogate_fit_ms->Observe(fit_ms);
+    if (!surrogate_ok) {
       evaluate(space.Sample(&rng));
       continue;
     }
 
     // Build the candidate pool and rank by expected improvement.
+    Stopwatch rank_timer;
     Configuration best_candidate;
     double best_ei = -1.0;
-    int n_neighbors = static_cast<int>(options.n_candidates *
-                                       options.neighbor_fraction);
-    for (int k = 0; k < options.n_candidates; ++k) {
-      Configuration candidate =
-          k < n_neighbors ? space.Neighbor(outcome.best_config, &rng)
-                          : space.Sample(&rng);
-      double mean = 0.0, variance = 0.0;
-      surrogate.PredictMeanVar(space.Encode(candidate), &mean, &variance);
-      double ei = ExpectedImprovement(mean, variance, outcome.best_valid_f1);
-      if (ei > best_ei) {
-        best_ei = ei;
-        best_candidate = std::move(candidate);
+    {
+      obs::Span rank_span("smac.ei_rank");
+      if (rank_span.active()) {
+        rank_span.Arg("candidates", options.n_candidates);
       }
+      int n_neighbors = static_cast<int>(options.n_candidates *
+                                         options.neighbor_fraction);
+      for (int k = 0; k < options.n_candidates; ++k) {
+        Configuration candidate =
+            k < n_neighbors ? space.Neighbor(outcome.best_config, &rng)
+                            : space.Sample(&rng);
+        double mean = 0.0, variance = 0.0;
+        surrogate.PredictMeanVar(space.Encode(candidate), &mean, &variance);
+        double ei = ExpectedImprovement(mean, variance, outcome.best_valid_f1);
+        if (ei > best_ei) {
+          best_ei = ei;
+          best_candidate = std::move(candidate);
+        }
+      }
+    }
+    double rank_ms = rank_timer.ElapsedMillis();
+    ei_rank_ms->Observe(rank_ms);
+    if (trial_span.active()) {
+      trial_span.Arg("surrogate_fit_ms", fit_ms);
+      trial_span.Arg("ei_rank_ms", rank_ms);
+      trial_span.Arg("best_ei", best_ei);
+      trial_span.Arg("config_hash", ConfigurationHash(best_candidate));
     }
     evaluate(best_candidate);
   }

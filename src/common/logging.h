@@ -1,31 +1,48 @@
 #ifndef AUTOEM_COMMON_LOGGING_H_
 #define AUTOEM_COMMON_LOGGING_H_
 
-#include <cstdio>
-#include <cstdlib>
-
 namespace autoem {
+namespace internal {
+
+/// Reports a failed invariant on stderr — and through the structured log
+/// sink when one is installed (see obs/log.h), so JSONL logs capture the
+/// failure reason — then aborts. Out of line to keep the macro expansion
+/// small and the header dependency-free.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const char* msg);
+
+}  // namespace internal
+}  // namespace autoem
 
 /// Internal invariant check. Unlike assert(), stays active in release builds:
 /// the benchmarks run in Release and we want invariant violations loud.
 #define AUTOEM_CHECK(cond)                                              \
   do {                                                                  \
     if (!(cond)) {                                                      \
-      std::fprintf(stderr, "AUTOEM_CHECK failed at %s:%d: %s\n",        \
-                   __FILE__, __LINE__, #cond);                          \
-      std::abort();                                                     \
+      ::autoem::internal::CheckFailed(__FILE__, __LINE__, #cond,        \
+                                      nullptr);                         \
     }                                                                   \
   } while (0)
 
 #define AUTOEM_CHECK_MSG(cond, msg)                                     \
   do {                                                                  \
     if (!(cond)) {                                                      \
-      std::fprintf(stderr, "AUTOEM_CHECK failed at %s:%d: %s (%s)\n",   \
-                   __FILE__, __LINE__, #cond, (msg));                   \
-      std::abort();                                                     \
+      ::autoem::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
     }                                                                   \
   } while (0)
 
-}  // namespace autoem
+/// Debug-only invariant check: same behavior as AUTOEM_CHECK in Debug
+/// builds, compiles to nothing in Release (NDEBUG). The condition is still
+/// type-checked in Release but never evaluated — use it for checks that are
+/// too hot for the release binaries.
+#ifdef NDEBUG
+#define AUTOEM_DCHECK(cond)      \
+  do {                           \
+    if (false && (cond)) {       \
+    }                            \
+  } while (0)
+#else
+#define AUTOEM_DCHECK(cond) AUTOEM_CHECK(cond)
+#endif
 
 #endif  // AUTOEM_COMMON_LOGGING_H_

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace autoem {
 
@@ -44,16 +45,22 @@ size_t Parallelism::ResolvedThreads() const {
 bool InParallelRegion() { return tl_in_parallel_region; }
 
 void ParallelFor(const Parallelism& par, size_t n,
-                 const std::function<void(size_t)>& fn) {
+                 const std::function<void(size_t)>& fn,
+                 const char* trace_label) {
   size_t workers = par.ResolvedThreads();
   if (workers <= 1 || n < 2 || tl_in_parallel_region) {
+    obs::Span span(trace_label != nullptr ? trace_label : "parallel.serial");
+    if (span.active()) span.Arg("n", n);
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  PoolFor(workers).ParallelFor(n, [&fn](size_t i) {
-    RegionGuard guard;
-    fn(i);
-  });
+  PoolFor(workers).ParallelFor(
+      n,
+      [&fn](size_t i) {
+        RegionGuard guard;
+        fn(i);
+      },
+      trace_label);
 }
 
 }  // namespace autoem

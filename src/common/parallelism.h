@@ -42,8 +42,16 @@ struct Parallelism {
 ///
 /// fn must be safe to call concurrently for distinct i; iteration order
 /// within a chunk is ascending, chunk interleaving is unspecified.
+///
+/// `trace_label`, when non-null, names the span each worker chunk emits
+/// while the obs tracer is active (obs/trace.h) — that per-thread chunk
+/// attribution is what renders parallel regions as a flame view in
+/// chrome://tracing. Must be a string literal (the tracer keeps the
+/// pointer). With tracing off the label costs one relaxed atomic load per
+/// chunk.
 void ParallelFor(const Parallelism& par, size_t n,
-                 const std::function<void(size_t)>& fn);
+                 const std::function<void(size_t)>& fn,
+                 const char* trace_label = nullptr);
 
 /// True while the calling thread is executing inside a ParallelFor worker.
 /// Exposed for tests and for code that wants to assert it is not nested.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace autoem {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -63,9 +65,12 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             const char* trace_label) {
   if (n == 0) return;
   if (threads_.empty()) {
+    obs::Span span(trace_label != nullptr ? trace_label : "parallel.chunk");
+    if (span.active()) span.Arg("n", n);
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -73,7 +78,15 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   size_t chunk = (n + num_chunks - 1) / num_chunks;
   for (size_t start = 0; start < n; start += chunk) {
     size_t end = std::min(n, start + chunk);
-    Submit([&fn, start, end] {
+    Submit([&fn, start, end, trace_label] {
+      // One span per chunk, on the worker thread that ran it — this is what
+      // gives the trace its per-thread flame attribution without touching
+      // the per-iteration hot path.
+      obs::Span span(trace_label != nullptr ? trace_label : "parallel.chunk");
+      if (span.active()) {
+        span.Arg("first", start);
+        span.Arg("count", end - start);
+      }
       for (size_t i = start; i < end; ++i) fn(i);
     });
   }

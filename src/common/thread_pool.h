@@ -33,7 +33,10 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n). Blocks until all iterations finish. Work is
   /// chunked to limit queue churn. Callers must make fn thread-safe.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  /// `trace_label`, when non-null, names the obs trace span emitted around
+  /// each chunk (string literal only — the tracer keeps the pointer).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   const char* trace_label = nullptr);
 
  private:
   void WorkerLoop();

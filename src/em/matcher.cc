@@ -1,6 +1,7 @@
 #include "em/matcher.h"
 
 #include "ml/metrics.h"
+#include "obs/obs.h"
 
 namespace autoem {
 
@@ -8,6 +9,14 @@ Result<EntityMatcher> EntityMatcher::Train(const PairSet& labeled_pairs,
                                            const Options& options) {
   if (labeled_pairs.pairs.empty()) {
     return Status::InvalidArgument("no training pairs");
+  }
+  // Opened here so featurization of the training pairs is traced; the
+  // nested session inside RunAutoMlEm piggybacks on this one.
+  obs::ObsSession obs_session(options.automl.obs);
+  obs::Span span("em.train");
+  if (span.active()) {
+    span.Arg("pairs", labeled_pairs.pairs.size());
+    span.Arg("feature_generator", options.feature_generator);
   }
   auto generator = CreateFeatureGenerator(options.feature_generator);
   if (!generator.ok()) return generator.status();

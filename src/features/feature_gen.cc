@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/string_util.h"
+#include "common/timer.h"
+#include "obs/obs.h"
 
 namespace autoem {
 
@@ -140,6 +142,14 @@ void FeatureGenerator::GenerateRowCached(const TableTokenCache& left,
                                          const TableTokenCache& right,
                                          size_t right_row,
                                          double* row) const {
+  static obs::Counter* cache_hits =
+      obs::MetricsRegistry::Global().GetCounter("features.token_cache_hits");
+  static obs::Counter* cache_misses =
+      obs::MetricsRegistry::Global().GetCounter("features.token_cache_misses");
+  // Accumulated locally and flushed once per row — two shard adds per row
+  // instead of two per feature.
+  uint64_t hits = 0;
+  uint64_t misses = 0;
   auto tokens_of = [](const CachedCell& cell,
                       TokenizerKind kind) -> const std::vector<std::string>& {
     return kind == TokenizerKind::kWhitespace ? cell.space_tokens
@@ -156,9 +166,11 @@ void FeatureGenerator::GenerateRowCached(const TableTokenCache& left,
     // kNone token measures (not produced by any planner) fall back to the
     // uncached path rather than growing the cache by a third token kind.
     if (p.func.IsTokenMeasure() && p.func.tokenizer != TokenizerKind::kNone) {
+      ++hits;
       row[f] = p.func.ApplyTokens(tokens_of(lc, p.func.tokenizer),
                                   tokens_of(rc, p.func.tokenizer));
     } else {
+      if (p.func.IsTokenMeasure()) ++misses;
       row[f] = p.func.Apply(lc.text, rc.text);
     }
   }
@@ -166,15 +178,31 @@ void FeatureGenerator::GenerateRowCached(const TableTokenCache& left,
     const TfIdfPlan& p = tfidf_plans_[t];
     const CachedCell& lc = left.cell(left_row, p.attr_index);
     const CachedCell& rc = right.cell(right_row, p.attr_index);
-    row[plan_.size() + t] =
-        (lc.is_null || rc.is_null)
-            ? std::numeric_limits<double>::quiet_NaN()
-            : p.model.SimilarityTokens(tokens_of(lc, p.model.tokenizer()),
-                                       tokens_of(rc, p.model.tokenizer()));
+    if (lc.is_null || rc.is_null) {
+      row[plan_.size() + t] = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      ++hits;
+      row[plan_.size() + t] =
+          p.model.SimilarityTokens(tokens_of(lc, p.model.tokenizer()),
+                                   tokens_of(rc, p.model.tokenizer()));
+    }
   }
+  if (hits > 0) cache_hits->Add(hits);
+  if (misses > 0) cache_misses->Add(misses);
 }
 
 Dataset FeatureGenerator::Generate(const PairSet& pair_set) const {
+  static obs::Counter* pairs_featurized =
+      obs::MetricsRegistry::Global().GetCounter("features.pairs_featurized");
+  static obs::Histogram* generate_ms =
+      obs::MetricsRegistry::Global().GetHistogram("features.generate_ms");
+  obs::Span span("features.generate");
+  if (span.active()) {
+    span.Arg("pairs", pair_set.pairs.size());
+    span.Arg("features", num_features());
+  }
+  Stopwatch timer;
+
   Dataset out;
   out.X = Matrix(pair_set.pairs.size(), num_features());
   out.y.resize(pair_set.pairs.size());
@@ -192,12 +220,21 @@ Dataset FeatureGenerator::Generate(const PairSet& pair_set) const {
   TableTokenCache right_cache =
       TableTokenCache::Build(pair_set.right, specs, parallelism_);
 
-  ParallelFor(parallelism_, pair_set.pairs.size(), [&](size_t i) {
-    const RecordPair& pair = pair_set.pairs[i];
-    GenerateRowCached(left_cache, pair.left_id, right_cache, pair.right_id,
-                      out.X.RowPtr(i));
-    out.y[i] = pair.label == 1 ? 1 : 0;
-  });
+  ParallelFor(
+      parallelism_, pair_set.pairs.size(),
+      [&](size_t i) {
+        const RecordPair& pair = pair_set.pairs[i];
+        GenerateRowCached(left_cache, pair.left_id, right_cache,
+                          pair.right_id, out.X.RowPtr(i));
+        out.y[i] = pair.label == 1 ? 1 : 0;
+      },
+      "features.generate_pairs");
+
+  pairs_featurized->Add(pair_set.pairs.size());
+  generate_ms->Observe(timer.ElapsedMillis());
+  AUTOEM_LOG(DEBUG) << "featurized " << pair_set.pairs.size() << " pairs x "
+                    << num_features() << " features in "
+                    << timer.ElapsedMillis() << " ms";
   return out;
 }
 

@@ -1,10 +1,20 @@
 #include "features/token_cache.h"
 
+#include "obs/obs.h"
+
 namespace autoem {
 
 TableTokenCache TableTokenCache::Build(const Table& table,
                                        const std::vector<AttrSpec>& specs,
                                        const Parallelism& par) {
+  static obs::Counter* cells_built =
+      obs::MetricsRegistry::Global().GetCounter("features.cache_cells_built");
+  obs::Span span("features.token_cache_build");
+  if (span.active()) {
+    span.Arg("rows", table.num_rows());
+    span.Arg("attrs", specs.size());
+  }
+
   TableTokenCache cache;
   cache.num_rows_ = table.num_rows();
   cache.slot_of_attr_.assign(table.schema().num_attributes(), kNoSlot);
@@ -14,22 +24,28 @@ TableTokenCache TableTokenCache::Build(const Table& table,
     cache.cells_[s].resize(cache.num_rows_);
   }
 
-  ParallelFor(par, cache.num_rows_, [&](size_t row) {
-    for (size_t s = 0; s < specs.size(); ++s) {
-      const AttrSpec& spec = specs[s];
-      CachedCell& cell = cache.cells_[s][row];
-      const Value& value = table.cell(row, spec.attr_index);
-      cell.is_null = value.is_null();
-      if (cell.is_null) continue;
-      cell.text = value.ToString();
-      if (spec.space_tokens) {
-        cell.space_tokens = Tokenize(TokenizerKind::kWhitespace, cell.text);
-      }
-      if (spec.qgram_tokens) {
-        cell.qgram_tokens = Tokenize(TokenizerKind::kQGram3, cell.text);
-      }
-    }
-  });
+  ParallelFor(
+      par, cache.num_rows_,
+      [&](size_t row) {
+        for (size_t s = 0; s < specs.size(); ++s) {
+          const AttrSpec& spec = specs[s];
+          CachedCell& cell = cache.cells_[s][row];
+          const Value& value = table.cell(row, spec.attr_index);
+          cell.is_null = value.is_null();
+          if (cell.is_null) continue;
+          cell.text = value.ToString();
+          if (spec.space_tokens) {
+            cell.space_tokens =
+                Tokenize(TokenizerKind::kWhitespace, cell.text);
+          }
+          if (spec.qgram_tokens) {
+            cell.qgram_tokens = Tokenize(TokenizerKind::kQGram3, cell.text);
+          }
+        }
+      },
+      "features.token_cache_build");
+
+  cells_built->Add(cache.num_rows_ * specs.size());
   return cache;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "common/timer.h"
+#include "obs/obs.h"
 
 namespace autoem {
 
@@ -35,6 +37,17 @@ Status RandomForestClassifier::Fit(const Matrix& X, const std::vector<int>& y,
   if (options_.n_estimators <= 0) {
     return Status::InvalidArgument("n_estimators must be positive");
   }
+  static obs::Counter* trees_trained =
+      obs::MetricsRegistry::Global().GetCounter("ml.rf_trees_trained");
+  static obs::Histogram* fit_ms =
+      obs::MetricsRegistry::Global().GetHistogram("ml.rf_fit_ms");
+  obs::Span span("rf.fit");
+  if (span.active()) {
+    span.Arg("trees", options_.n_estimators);
+    span.Arg("rows", X.rows());
+    span.Arg("cols", X.cols());
+  }
+  Stopwatch timer;
   trees_.clear();
   trees_.reserve(options_.n_estimators);
 
@@ -84,49 +97,68 @@ Status RandomForestClassifier::Fit(const Matrix& X, const std::vector<int>& y,
   }
 
   std::vector<Status> tree_status(n_trees);
-  ParallelFor(options_.parallelism, n_trees, [&](size_t t) {
-    Status st = trees_[t].Fit(X, y, &tree_weights[t]);
-    if (!st.ok()) {
-      // A degenerate bootstrap (all weight on one class w/ zero weights) is
-      // retried once with the unresampled weights.
-      st = trees_[t].Fit(X, y, &base_w);
-    }
-    tree_status[t] = st;
-  });
+  ParallelFor(
+      options_.parallelism, n_trees,
+      [&](size_t t) {
+        Status st = trees_[t].Fit(X, y, &tree_weights[t]);
+        if (!st.ok()) {
+          // A degenerate bootstrap (all weight on one class w/ zero weights)
+          // is retried once with the unresampled weights.
+          st = trees_[t].Fit(X, y, &base_w);
+        }
+        tree_status[t] = st;
+      },
+      "rf.fit_trees");
   for (const Status& st : tree_status) {
     if (!st.ok()) return st;
   }
+  trees_trained->Add(n_trees);
+  fit_ms->Observe(timer.ElapsedMillis());
   return Status::OK();
 }
 
 std::vector<double> RandomForestClassifier::PredictProba(
     const Matrix& X) const {
   AUTOEM_CHECK(!trees_.empty());
+  static obs::Histogram* predict_ms =
+      obs::MetricsRegistry::Global().GetHistogram("ml.rf_predict_ms");
+  obs::Span span("rf.predict_proba");
+  if (span.active()) span.Arg("rows", X.rows());
+  Stopwatch timer;
   std::vector<double> out(X.rows(), 0.0);
   // Rows are independent; each accumulates its trees in forest order, so
   // the floating-point sum is identical at any thread count.
-  ParallelFor(options_.parallelism, X.rows(), [&](size_t r) {
-    double sum = 0.0;
-    for (const auto& tree : trees_) {
-      sum += tree.PredictRowProba(X.RowPtr(r));
-    }
-    out[r] = sum / static_cast<double>(trees_.size());
-  });
+  ParallelFor(
+      options_.parallelism, X.rows(),
+      [&](size_t r) {
+        double sum = 0.0;
+        for (const auto& tree : trees_) {
+          sum += tree.PredictRowProba(X.RowPtr(r));
+        }
+        out[r] = sum / static_cast<double>(trees_.size());
+      },
+      "rf.predict");
+  predict_ms->Observe(timer.ElapsedMillis());
   return out;
 }
 
 std::vector<double> RandomForestClassifier::VoteConfidence(
     const Matrix& X) const {
   AUTOEM_CHECK(!trees_.empty());
+  obs::Span span("rf.vote_confidence");
+  if (span.active()) span.Arg("rows", X.rows());
   std::vector<double> out(X.rows(), 0.0);
-  ParallelFor(options_.parallelism, X.rows(), [&](size_t r) {
-    double votes_pos = 0.0;
-    for (const auto& tree : trees_) {
-      if (tree.PredictRowProba(X.RowPtr(r)) >= 0.5) votes_pos += 1.0;
-    }
-    double frac_pos = votes_pos / static_cast<double>(trees_.size());
-    out[r] = std::max(frac_pos, 1.0 - frac_pos);
-  });
+  ParallelFor(
+      options_.parallelism, X.rows(),
+      [&](size_t r) {
+        double votes_pos = 0.0;
+        for (const auto& tree : trees_) {
+          if (tree.PredictRowProba(X.RowPtr(r)) >= 0.5) votes_pos += 1.0;
+        }
+        double frac_pos = votes_pos / static_cast<double>(trees_.size());
+        out[r] = std::max(frac_pos, 1.0 - frac_pos);
+      },
+      "rf.predict");
   return out;
 }
 

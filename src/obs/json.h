@@ -1,0 +1,68 @@
+#ifndef AUTOEM_OBS_JSON_H_
+#define AUTOEM_OBS_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace autoem {
+namespace obs {
+
+/// Minimal JSON emission helpers shared by the log, metrics, and trace
+/// sinks. Emission only — the observability outputs are written, never read
+/// back, so the library carries no parser.
+
+/// Appends `s` to `*out` with JSON string escaping (quotes, backslash,
+/// control characters). Does not add surrounding quotes.
+inline void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// `"escaped"` — the quoted JSON string form of `s`.
+inline std::string JsonQuote(std::string_view s) {
+  std::string out = "\"";
+  AppendJsonEscaped(&out, s);
+  out += '"';
+  return out;
+}
+
+/// Renders a double as a JSON number. NaN and infinity are not valid JSON;
+/// they are emitted as null.
+inline std::string JsonNumber(double v) {
+  if (v != v || v > 1.7e308 || v < -1.7e308) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace obs
+}  // namespace autoem
+
+#endif  // AUTOEM_OBS_JSON_H_

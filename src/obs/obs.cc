@@ -1,0 +1,59 @@
+#include "obs/obs.h"
+
+#include <cstdio>
+
+namespace autoem {
+namespace obs {
+
+namespace {
+
+bool TakeFlagValue(const std::string& arg, const char* prefix,
+                   std::string* out) {
+  size_t len = std::char_traits<char>::length(prefix);
+  if (arg.compare(0, len, prefix) != 0) return false;
+  *out = arg.substr(len);
+  return true;
+}
+
+}  // namespace
+
+bool ParseObsFlag(const std::string& arg, ObsOptions* options) {
+  return TakeFlagValue(arg, "--log-level=", &options->log_level) ||
+         TakeFlagValue(arg, "--trace-out=", &options->trace_path) ||
+         TakeFlagValue(arg, "--metrics-out=", &options->metrics_path);
+}
+
+ObsSession::ObsSession(ObsOptions options) : options_(std::move(options)) {
+  if (!options_.log_level.empty()) {
+    LogLevel level;
+    if (ParseLogLevel(options_.log_level, &level)) {
+      SetMinLogLevel(level);
+    } else {
+      std::fprintf(stderr, "obs: unknown log level '%s' (ignored)\n",
+                   options_.log_level.c_str());
+    }
+  }
+  if (!options_.trace_path.empty() && !TracingEnabled()) {
+    StartTracing();
+    owns_tracing_ = true;
+  }
+}
+
+ObsSession::~ObsSession() {
+  if (owns_tracing_) {
+    StopTracing();
+    if (!WriteTrace(options_.trace_path)) {
+      std::fprintf(stderr, "obs: failed to write trace to %s\n",
+                   options_.trace_path.c_str());
+    }
+  }
+  if (!options_.metrics_path.empty()) {
+    if (!MetricsRegistry::Global().WriteJson(options_.metrics_path)) {
+      std::fprintf(stderr, "obs: failed to write metrics to %s\n",
+                   options_.metrics_path.c_str());
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace autoem

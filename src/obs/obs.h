@@ -1,0 +1,65 @@
+#ifndef AUTOEM_OBS_OBS_H_
+#define AUTOEM_OBS_OBS_H_
+
+#include <string>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace autoem {
+namespace obs {
+
+/// Observability knobs carried through the options structs
+/// (AutoMlEmOptions::obs, ActiveLearningOptions::obs) and exposed as
+/// `--log-level=`, `--trace-out=`, `--metrics-out=` by autoem_cli and every
+/// bench binary. All fields default to "off": empty strings mean no level
+/// change, no tracing, no metrics dump, and zero measurable overhead.
+struct ObsOptions {
+  /// "trace"/"debug"/"info"/"warn"/"error"/"off"; empty = leave unchanged.
+  std::string log_level;
+  /// Chrome trace_event JSON written here when non-empty.
+  std::string trace_path;
+  /// Metrics snapshot JSON written here when non-empty.
+  std::string metrics_path;
+
+  bool Any() const {
+    return !log_level.empty() || !trace_path.empty() || !metrics_path.empty();
+  }
+};
+
+/// Parses one `--log-level=X` / `--trace-out=P` / `--metrics-out=P`
+/// argument into `*options`. Returns false (leaving options untouched) when
+/// `arg` is not an observability flag, so callers can chain it into their
+/// existing flag loops.
+bool ParseObsFlag(const std::string& arg, ObsOptions* options);
+
+/// Scoped activation of a set of ObsOptions:
+///  * constructor: applies the log level and, if no enclosing session is
+///    already tracing, starts the tracer;
+///  * destructor: stops the tracer and writes the trace file (only if this
+///    session started it), then writes the metrics snapshot if requested.
+///
+/// Sessions nest safely — every library entry point (RunAutoMlEm,
+/// RunAutoMlEmActive, EntityMatcher::Train) opens one from its options, and
+/// a process-wide session opened in main() (what autoem_cli does) simply
+/// owns the whole trace while the inner sessions become no-ops. Metrics are
+/// cumulative, so when nested sessions share a metrics path the outermost
+/// write is the complete one and it is the file's final content.
+class ObsSession {
+ public:
+  explicit ObsSession(ObsOptions options);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  ObsOptions options_;
+  bool owns_tracing_ = false;
+};
+
+}  // namespace obs
+}  // namespace autoem
+
+#endif  // AUTOEM_OBS_OBS_H_

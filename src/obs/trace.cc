@@ -1,0 +1,147 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "obs/json.h"
+#include "obs/log.h"
+
+namespace autoem {
+namespace obs {
+
+namespace internal {
+
+std::atomic<bool> g_tracing{false};
+
+uint64_t NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+namespace {
+
+std::mutex& BufferMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::vector<TraceEvent>& Buffer() {
+  static std::vector<TraceEvent>* buffer = new std::vector<TraceEvent>;
+  return *buffer;
+}
+
+}  // namespace
+
+void RecordEvent(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(BufferMutex());
+  Buffer().push_back(std::move(event));
+}
+
+}  // namespace internal
+
+void StartTracing() {
+  {
+    std::lock_guard<std::mutex> lock(internal::BufferMutex());
+    internal::Buffer().clear();
+  }
+  // Touch the clock base before enabling so the first span doesn't pay for
+  // static initialization inside a timed region.
+  internal::NowMicros();
+  internal::g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void StopTracing() {
+  internal::g_tracing.store(false, std::memory_order_relaxed);
+}
+
+size_t TraceEventCount() {
+  std::lock_guard<std::mutex> lock(internal::BufferMutex());
+  return internal::Buffer().size();
+}
+
+std::vector<TraceEvent> SnapshotTraceEvents() {
+  std::lock_guard<std::mutex> lock(internal::BufferMutex());
+  return internal::Buffer();
+}
+
+std::string TraceJson() {
+  std::vector<TraceEvent> events = SnapshotTraceEvents();
+  std::string out = "{\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out += ',';
+    out += "\n{\"name\":";
+    out += JsonQuote(e.name);
+    out += ",\"cat\":\"autoem\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    out += std::to_string(e.ts_us);
+    out += ",\"dur\":";
+    out += std::to_string(e.dur_us);
+    if (!e.args_json.empty()) {
+      out += ",\"args\":{";
+      out += e.args_json;
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool WriteTrace(const std::string& path) {
+  std::string json = TraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  return std::fclose(f) == 0 && written == json.size();
+}
+
+void Span::AppendKey(const char* key) {
+  if (!args_.empty()) args_ += ',';
+  args_ += JsonQuote(key);
+  args_ += ':';
+}
+
+void Span::Arg(const char* key, double value) {
+  if (name_ == nullptr) return;
+  AppendKey(key);
+  args_ += JsonNumber(value);
+}
+
+void Span::Arg(const char* key, uint64_t value) {
+  if (name_ == nullptr) return;
+  AppendKey(key);
+  args_ += std::to_string(value);
+}
+
+void Span::Arg(const char* key, int64_t value) {
+  if (name_ == nullptr) return;
+  AppendKey(key);
+  args_ += std::to_string(value);
+}
+
+void Span::Arg(const char* key, const std::string& value) {
+  if (name_ == nullptr) return;
+  AppendKey(key);
+  args_ += JsonQuote(value);
+}
+
+void Span::Finish() {
+  uint64_t end_us = internal::NowMicros();
+  TraceEvent event;
+  event.name = name_;
+  event.tid = LogThreadId();
+  event.ts_us = start_us_;
+  event.dur_us = end_us - start_us_;
+  event.args_json = std::move(args_);
+  internal::RecordEvent(std::move(event));
+}
+
+}  // namespace obs
+}  // namespace autoem
