@@ -3,10 +3,12 @@
 //   autoem_cli train-eval --train-a A.csv --train-b B.csv --train-pairs P.csv
 //                         [--test-a ... --test-b ... --test-pairs ...]
 //                         [--evals N] [--seed N] [--save-config cfg.txt]
+//                         [--save-model model.aem] [--score-out scores.csv]
 //       Trains AutoML-EM on the labeled training pairs, reports
 //       precision/recall/F1 (on the test pairs when given, else on a held-out
 //       fifth of the training pairs), prints the searched pipeline, and
-//       optionally persists its configuration for warm-starting later runs.
+//       optionally persists its configuration for warm-starting later runs
+//       or the whole fitted model for `predict`. (`train` is an alias.)
 //
 //   autoem_cli match --train-a A.csv --train-b B.csv --train-pairs P.csv
 //                    --cand-a CA.csv --cand-b CB.csv [--block-on attr]
@@ -15,17 +17,26 @@
 //       --block-on, default: first attribute), scores every candidate pair,
 //       and writes ltable_id,rtable_id,score,match rows.
 //
+//   autoem_cli predict --load-model model.aem --cand-a CA.csv --cand-b CB.csv
+//                      [--pairs P.csv | --block-on attr] [--out pred.csv]
+//                      [--chunk-size N] [--threshold 0.5] [--threads N]
+//       Loads a model saved by train-eval (no training data needed) and
+//       streams the candidate pairs through chunked batch scoring.
+//       Predictions are bit-identical to the training process's.
+//
 // Pairs CSVs use the export_datasets layout: ltable_id,rtable_id,label.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "automl/config_io.h"
 #include "em/blocking.h"
 #include "em/matcher.h"
 #include "em/pairs_io.h"
+#include "io/model_io.h"
 #include "obs/obs.h"
 #include "table/csv.h"
 
@@ -88,6 +99,26 @@ std::vector<RecordPair> MustReadPairs(const std::string& path,
   return std::move(*pairs);
 }
 
+// Writes ltable_id,rtable_id,score,match rows. Scores are printed with
+// %.17g (round-trip precision for doubles) so two runs of the same model
+// can be compared with a plain byte-wise diff.
+void WriteScoresCsv(const std::vector<RecordPair>& pairs,
+                    const std::vector<double>& scores, double threshold,
+                    const std::string& path, size_t* n_matches_out) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) Fail("cannot open " + path + " for writing");
+  std::fprintf(f, "ltable_id,rtable_id,score,match\n");
+  size_t n_matches = 0;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    int is_match = scores[i] >= threshold ? 1 : 0;
+    n_matches += is_match;
+    std::fprintf(f, "%zu,%zu,%.17g,%d\n", pairs[i].left_id,
+                 pairs[i].right_id, scores[i], is_match);
+  }
+  if (std::fclose(f) != 0) Fail("write failed: " + path);
+  if (n_matches_out != nullptr) *n_matches_out = n_matches;
+}
+
 EntityMatcher TrainMatcher(const Flags& flags, PairSet* train_out) {
   PairSet train;
   train.left = MustReadCsv(flags.Get("train-a"), "train_a");
@@ -144,6 +175,20 @@ int RunTrainEval(const Flags& flags) {
                 "recall=%.3f F1=%.3f\n",
                 report->num_pairs, report->num_positives, report->precision,
                 report->recall, report->f1);
+
+    // --score-out: the per-pair test scores, byte-comparable against a
+    // `predict` run on the same pairs with the saved model.
+    if (flags.Has("score-out")) {
+      auto scores = matcher.ScorePairsBatched(test);
+      if (!scores.ok()) Fail(scores.status().ToString());
+      double threshold = std::atof(flags.Get("threshold", "0.5").c_str());
+      WriteScoresCsv(test.pairs, *scores, threshold, flags.Get("score-out"),
+                     nullptr);
+      std::printf("wrote %zu test-pair scores to %s\n", scores->size(),
+                  flags.Get("score-out").c_str());
+    }
+  } else if (flags.Has("score-out")) {
+    Fail("--score-out requires --test-pairs");
   }
 
   if (flags.Has("save-config")) {
@@ -163,6 +208,66 @@ int RunTrainEval(const Flags& flags) {
                 matcher.automl_result().trajectory.size(),
                 flags.Get("save-trajectory").c_str());
   }
+
+  if (flags.Has("save-model")) {
+    Status st = io::SaveModel(matcher, flags.Get("save-model"));
+    if (!st.ok()) Fail(st.ToString());
+    std::printf("saved fitted model to %s (score new pairs via "
+                "`autoem_cli predict --load-model`)\n",
+                flags.Get("save-model").c_str());
+  }
+  return 0;
+}
+
+int RunPredict(const Flags& flags) {
+  if (!flags.Has("load-model")) Fail("predict requires --load-model");
+  auto matcher = io::LoadModel(flags.Get("load-model"));
+  if (!matcher.ok()) {
+    Fail(flags.Get("load-model") + ": " + matcher.status().ToString());
+  }
+  Parallelism parallelism;
+  parallelism.threads = std::atoi(flags.Get("threads", "1").c_str());
+  matcher->SetParallelism(parallelism);
+
+  PairSet candidates;
+  candidates.left = MustReadCsv(flags.Get("cand-a"), "cand_a");
+  candidates.right = MustReadCsv(flags.Get("cand-b"), "cand_b");
+  if (!(candidates.left.schema() == candidates.right.schema())) {
+    Fail("candidate tables must share a schema");
+  }
+
+  if (flags.Has("pairs")) {
+    candidates.pairs = MustReadPairs(flags.Get("pairs"), candidates.left,
+                                     candidates.right);
+    std::printf("scoring %zu candidate pairs from %s\n",
+                candidates.pairs.size(), flags.Get("pairs").c_str());
+  } else {
+    std::string block_attr =
+        flags.Get("block-on", candidates.left.schema().num_attributes() > 0
+                                  ? candidates.left.schema().name(0)
+                                  : "");
+    QGramBlocker blocker(block_attr, 3);
+    auto blocked = blocker.Block(candidates.left, candidates.right);
+    if (!blocked.ok()) Fail(blocked.status().ToString());
+    candidates.pairs = std::move(*blocked);
+    std::printf("blocking on '%s': %zu x %zu records -> %zu candidate "
+                "pairs\n",
+                block_attr.c_str(), candidates.left.num_rows(),
+                candidates.right.num_rows(), candidates.pairs.size());
+  }
+
+  size_t chunk_size =
+      static_cast<size_t>(std::atoll(flags.Get("chunk-size", "4096").c_str()));
+  auto scores = matcher->ScorePairsBatched(candidates, chunk_size);
+  if (!scores.ok()) Fail(scores.status().ToString());
+
+  double threshold = std::atof(flags.Get("threshold", "0.5").c_str());
+  std::string out_path = flags.Get("out", "predictions.csv");
+  size_t n_matches = 0;
+  WriteScoresCsv(candidates.pairs, *scores, threshold, out_path, &n_matches);
+  std::printf("%zu/%zu candidates matched at threshold %.2f -> %s\n",
+              n_matches, candidates.pairs.size(), threshold,
+              out_path.c_str());
   return 0;
 }
 
@@ -222,11 +327,23 @@ void PrintUsage() {
       "             [--test-a ... --test-b ... --test-pairs ...]\n"
       "             [--evals N] [--seed N] [--threads N] "
       "[--save-config cfg.txt] [--warm-start cfg.txt]\n"
-      "             [--save-trajectory curve.csv]\n"
+      "             [--save-trajectory curve.csv] [--save-model model.aem]\n"
+      "             [--score-out scores.csv]   (`train` is an alias)\n"
       "  autoem_cli match --train-a A.csv --train-b B.csv --train-pairs "
       "P.csv\n"
       "             --cand-a CA.csv --cand-b CB.csv [--block-on attr]\n"
       "             [--threshold T] [--threads N] [--out matches.csv]\n"
+      "  autoem_cli predict --load-model model.aem --cand-a CA.csv "
+      "--cand-b CB.csv\n"
+      "             [--pairs P.csv | --block-on attr] [--out "
+      "predictions.csv]\n"
+      "             [--chunk-size N] [--threshold T] [--threads N]\n"
+      "\n"
+      "  predict loads a model saved by train-eval --save-model and scores\n"
+      "  pairs without any training data; given --pairs it scores exactly\n"
+      "  those pairs, otherwise it blocks the candidate tables first.\n"
+      "  Scores are written with full precision and are bit-identical to\n"
+      "  the saving process at any --threads / --chunk-size.\n"
       "\n"
       "  --threads N uses N worker threads for featurization and forest\n"
       "  training (0 = all hardware threads; default 1). Output is\n"
@@ -253,8 +370,12 @@ int main(int argc, char** argv) {
   // sessions inside the library piggyback on it) and writes trace/metrics
   // when main returns.
   obs::ObsSession obs_session(ObsFromFlags(flags));
-  if (std::strcmp(argv[1], "train-eval") == 0) return RunTrainEval(flags);
+  if (std::strcmp(argv[1], "train-eval") == 0 ||
+      std::strcmp(argv[1], "train") == 0) {
+    return RunTrainEval(flags);
+  }
   if (std::strcmp(argv[1], "match") == 0) return RunMatch(flags);
+  if (std::strcmp(argv[1], "predict") == 0) return RunPredict(flags);
   PrintUsage();
   return 1;
 }

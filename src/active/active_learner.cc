@@ -89,6 +89,12 @@ Result<ActiveLearningResult> RunAutoMlEmActive(
   // ---- Algorithm 1, lines 1-4: initial human-labeled sample ----
   std::vector<LabeledRow> labeled;
   size_t n_init = std::min(options.init_size, pool.size());
+  // α below divides by n_init; guard here (not only at the entry checks) so
+  // no future clamp of n_init can reintroduce the NaN that would poison the
+  // Remark-2 positive-ratio preservation and the active.positive_ratio gauge.
+  if (n_init == 0) {
+    return Status::InvalidArgument("empty initial sample (n_init == 0)");
+  }
   for (size_t k = 0; k < n_init; ++k) {
     size_t idx = unlabeled.back();
     unlabeled.pop_back();

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "io/serialize.h"
 #include "ml/models/model_registry.h"
 #include "preprocess/balancing.h"
 #include "preprocess/feature_agglomeration.h"
@@ -80,7 +81,162 @@ Result<std::unique_ptr<Transform>> MakeScaler(const std::string& choice,
   return Status::NotFound("unknown rescaling choice: " + choice);
 }
 
+// --- Configuration (ParamMap) encoding for the model file. std::map
+// iterates in key order, so equal configurations encode to equal bytes.
+
+enum class ParamTag : uint8_t { kBool = 0, kInt = 1, kDouble = 2, kString = 3 };
+
+void WriteParamValue(io::Writer* w, const ParamValue& v) {
+  if (v.is_bool()) {
+    w->U8(static_cast<uint8_t>(ParamTag::kBool));
+    w->U8(v.AsBool() ? 1 : 0);
+  } else if (v.is_int()) {
+    w->U8(static_cast<uint8_t>(ParamTag::kInt));
+    w->I64(v.AsInt());
+  } else if (v.is_double()) {
+    w->U8(static_cast<uint8_t>(ParamTag::kDouble));
+    w->F64(v.AsDouble());
+  } else {
+    w->U8(static_cast<uint8_t>(ParamTag::kString));
+    w->Str(v.AsString());
+  }
+}
+
+Status ReadParamValue(io::Reader* r, ParamValue* v) {
+  uint8_t tag;
+  AUTOEM_RETURN_IF_ERROR(r->U8(&tag));
+  switch (static_cast<ParamTag>(tag)) {
+    case ParamTag::kBool: {
+      uint8_t b;
+      AUTOEM_RETURN_IF_ERROR(r->U8(&b));
+      *v = ParamValue(b != 0);
+      return Status::OK();
+    }
+    case ParamTag::kInt: {
+      int64_t i;
+      AUTOEM_RETURN_IF_ERROR(r->I64(&i));
+      *v = ParamValue(i);
+      return Status::OK();
+    }
+    case ParamTag::kDouble: {
+      double d;
+      AUTOEM_RETURN_IF_ERROR(r->F64(&d));
+      *v = ParamValue(d);
+      return Status::OK();
+    }
+    case ParamTag::kString: {
+      std::string s;
+      AUTOEM_RETURN_IF_ERROR(r->Str(&s));
+      *v = ParamValue(std::move(s));
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("configuration: unknown param tag");
+}
+
+void WriteConfiguration(io::Writer* w, const Configuration& config) {
+  w->U64(config.size());
+  for (const auto& [key, value] : config) {
+    w->Str(key);
+    WriteParamValue(w, value);
+  }
+}
+
+Status ReadConfiguration(io::Reader* r, Configuration* config) {
+  config->clear();
+  uint64_t count;
+  // Each entry is at least a key length prefix plus a tag byte.
+  AUTOEM_RETURN_IF_ERROR(r->Len(&count, 9));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key;
+    ParamValue value;
+    AUTOEM_RETURN_IF_ERROR(r->Str(&key));
+    AUTOEM_RETURN_IF_ERROR(ReadParamValue(r, &value));
+    (*config)[std::move(key)] = std::move(value);
+  }
+  return Status::OK();
+}
+
+/// Reads a component name tag written by SaveFitted and checks it against
+/// the component Compile produced — catching file/configuration divergence
+/// before any fitted state is interpreted against the wrong component.
+Status ExpectComponent(io::Reader* r, const std::string& expected) {
+  std::string actual;
+  AUTOEM_RETURN_IF_ERROR(r->Str(&actual));
+  if (actual != expected) {
+    return Status::InvalidArgument("model file component '" + actual +
+                                   "' does not match configured '" +
+                                   expected + "'");
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+Status EmPipeline::SaveFitted(io::Writer* w) const {
+  if (classifier_ == nullptr || imputer_ == nullptr) {
+    return Status::FailedPrecondition("pipeline is not compiled");
+  }
+  WriteConfiguration(w, config_);
+  w->U64(active_feature_names_.size());
+  for (const auto& name : active_feature_names_) w->Str(name);
+
+  w->Str(imputer_->name());
+  AUTOEM_RETURN_IF_ERROR(imputer_->SaveState(w));
+  w->U8(scaler_ ? 1 : 0);
+  if (scaler_) {
+    w->Str(scaler_->name());
+    AUTOEM_RETURN_IF_ERROR(scaler_->SaveState(w));
+  }
+  w->U8(preprocessor_ ? 1 : 0);
+  if (preprocessor_) {
+    w->Str(preprocessor_->name());
+    AUTOEM_RETURN_IF_ERROR(preprocessor_->SaveState(w));
+  }
+  w->Str(classifier_->name());
+  return classifier_->SaveFitted(w);
+}
+
+Result<EmPipeline> EmPipeline::LoadFitted(io::Reader* r) {
+  Configuration config;
+  AUTOEM_RETURN_IF_ERROR(ReadConfiguration(r, &config));
+  auto compiled = Compile(config);
+  if (!compiled.ok()) return compiled.status();
+  EmPipeline pipeline = std::move(*compiled);
+
+  uint64_t n_names;
+  AUTOEM_RETURN_IF_ERROR(r->Len(&n_names, 8));
+  pipeline.active_feature_names_.assign(static_cast<size_t>(n_names), {});
+  for (auto& name : pipeline.active_feature_names_) {
+    AUTOEM_RETURN_IF_ERROR(r->Str(&name));
+  }
+
+  AUTOEM_RETURN_IF_ERROR(ExpectComponent(r, pipeline.imputer_->name()));
+  AUTOEM_RETURN_IF_ERROR(pipeline.imputer_->LoadState(r));
+  uint8_t has_scaler;
+  AUTOEM_RETURN_IF_ERROR(r->U8(&has_scaler));
+  if ((has_scaler != 0) != (pipeline.scaler_ != nullptr)) {
+    return Status::InvalidArgument(
+        "model file scaler presence does not match its configuration");
+  }
+  if (pipeline.scaler_) {
+    AUTOEM_RETURN_IF_ERROR(ExpectComponent(r, pipeline.scaler_->name()));
+    AUTOEM_RETURN_IF_ERROR(pipeline.scaler_->LoadState(r));
+  }
+  uint8_t has_preproc;
+  AUTOEM_RETURN_IF_ERROR(r->U8(&has_preproc));
+  if ((has_preproc != 0) != (pipeline.preprocessor_ != nullptr)) {
+    return Status::InvalidArgument(
+        "model file preprocessor presence does not match its configuration");
+  }
+  if (pipeline.preprocessor_) {
+    AUTOEM_RETURN_IF_ERROR(ExpectComponent(r, pipeline.preprocessor_->name()));
+    AUTOEM_RETURN_IF_ERROR(pipeline.preprocessor_->LoadState(r));
+  }
+  AUTOEM_RETURN_IF_ERROR(ExpectComponent(r, pipeline.classifier_->name()));
+  AUTOEM_RETURN_IF_ERROR(pipeline.classifier_->LoadFitted(r));
+  return pipeline;
+}
 
 Result<EmPipeline> EmPipeline::Compile(const Configuration& config) {
   EmPipeline pipeline;

@@ -53,6 +53,17 @@ class EmPipeline {
   static Configuration DisableDataPreprocessing(Configuration config);
   static Configuration DisableFeaturePreprocessing(Configuration config);
 
+  /// Model persistence (src/io). SaveFitted writes the Configuration plus
+  /// every stage's fitted state (imputer statistics, scaler params, feature
+  /// selection/PCA/agglomeration state, classifier model); LoadFitted
+  /// re-Compiles from the saved Configuration — reconstructing the exact
+  /// component graph and hyperparameters — then restores the fitted state,
+  /// yielding bit-identical PredictProba. Precondition for SaveFitted: Fit
+  /// succeeded. Returns Unimplemented when the classifier (or a transform)
+  /// has no persistence support.
+  Status SaveFitted(io::Writer* w) const;
+  static Result<EmPipeline> LoadFitted(io::Reader* r);
+
  private:
   Matrix RunTransforms(const Matrix& X) const;
 

@@ -1,5 +1,8 @@
 #include "em/matcher.h"
 
+#include <algorithm>
+
+#include "common/timer.h"
 #include "ml/metrics.h"
 #include "obs/obs.h"
 
@@ -37,6 +40,52 @@ Result<std::vector<double>> EntityMatcher::ScorePairs(
   }
   Dataset features = generator_->Generate(pairs);
   return automl_.model.PredictProba(features.X);
+}
+
+Result<std::vector<double>> EntityMatcher::ScorePairsBatched(
+    const PairSet& pairs, size_t chunk_size) const {
+  if (pairs.left.schema().num_attributes() == 0) {
+    return Status::InvalidArgument("empty schema");
+  }
+  if (chunk_size == 0) {
+    return Status::InvalidArgument("chunk_size must be positive");
+  }
+  static obs::Counter* pairs_scored =
+      obs::MetricsRegistry::Global().GetCounter("predict.pairs_scored");
+  static obs::Counter* chunks =
+      obs::MetricsRegistry::Global().GetCounter("predict.chunks");
+  static obs::Histogram* chunk_ms =
+      obs::MetricsRegistry::Global().GetHistogram("predict.chunk_ms");
+  obs::Span span("predict.batch");
+  if (span.active()) {
+    span.Arg("pairs", pairs.pairs.size());
+    span.Arg("chunk_size", chunk_size);
+  }
+
+  // Tables are tokenized once; every chunk reuses the shared immutable
+  // caches and only materializes its own slice of the feature matrix.
+  FeatureGenerator::PreparedTables prepared =
+      generator_->Prepare(pairs.left, pairs.right);
+
+  const size_t n = pairs.pairs.size();
+  std::vector<double> scores;
+  scores.reserve(n);
+  for (size_t begin = 0; begin < n; begin += chunk_size) {
+    const size_t end = std::min(begin + chunk_size, n);
+    obs::Span chunk_span("predict.chunk");
+    if (chunk_span.active()) {
+      chunk_span.Arg("begin", begin);
+      chunk_span.Arg("size", end - begin);
+    }
+    Stopwatch timer;
+    Matrix X = generator_->GenerateChunk(prepared, pairs.pairs, begin, end);
+    std::vector<double> chunk_scores = automl_.model.PredictProba(X);
+    scores.insert(scores.end(), chunk_scores.begin(), chunk_scores.end());
+    pairs_scored->Add(end - begin);
+    chunks->Add(1);
+    chunk_ms->Observe(timer.ElapsedMillis());
+  }
+  return scores;
 }
 
 Result<std::vector<int>> EntityMatcher::MatchPairs(const PairSet& pairs,

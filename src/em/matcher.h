@@ -41,6 +41,16 @@ class EntityMatcher {
   /// schema).
   Result<std::vector<double>> ScorePairs(const PairSet& pairs) const;
 
+  /// Batch/deployment scoring: featurizes and scores the pairs in chunks of
+  /// `chunk_size`, building the per-table token caches once and streaming
+  /// every chunk through the existing thread pool. Bounded peak memory
+  /// (one chunk's feature matrix instead of all pairs'), bit-identical to
+  /// ScorePairs at any chunk size and thread count. Emits
+  /// `predict.pairs_scored` / `predict.chunks` counters and a
+  /// `predict.chunk` span per chunk.
+  Result<std::vector<double>> ScorePairsBatched(const PairSet& pairs,
+                                                size_t chunk_size = 4096) const;
+
   /// Hard decisions at `threshold`.
   Result<std::vector<int>> MatchPairs(const PairSet& pairs,
                                       double threshold = 0.5) const;
@@ -53,6 +63,22 @@ class EntityMatcher {
   /// automl_result().BestPipelineString()).
   const AutoMlEmResult& automl_result() const { return automl_; }
   const FeatureGenerator& feature_generator() const { return *generator_; }
+
+  /// Featurization + model parallelism for subsequent Score/Match calls
+  /// (what `autoem_cli predict --threads` lands on after LoadModel).
+  /// Results are bit-identical at any setting.
+  void SetParallelism(const Parallelism& parallelism) {
+    generator_->set_parallelism(parallelism);
+    automl_.model.SetParallelism(parallelism);
+  }
+
+  /// Reassembles a matcher from persisted parts — the LoadModel
+  /// (src/io/model_io.h) constructor. The generator must carry a loaded
+  /// feature plan and `automl.model` a loaded fitted pipeline.
+  static EntityMatcher FromFitted(std::unique_ptr<FeatureGenerator> generator,
+                                  AutoMlEmResult automl) {
+    return EntityMatcher(std::move(generator), std::move(automl));
+  }
 
  private:
   EntityMatcher(std::unique_ptr<FeatureGenerator> generator,

@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "io/serialize.h"
 #include "obs/obs.h"
 
 namespace autoem {
@@ -214,17 +215,13 @@ Dataset FeatureGenerator::Generate(const PairSet& pair_set) const {
   // pairs out across workers. Every worker writes only X.RowPtr(i) and
   // y[i] of its own pair indices, so the result is identical at any thread
   // count.
-  std::vector<TableTokenCache::AttrSpec> specs = CacheSpecs();
-  TableTokenCache left_cache =
-      TableTokenCache::Build(pair_set.left, specs, parallelism_);
-  TableTokenCache right_cache =
-      TableTokenCache::Build(pair_set.right, specs, parallelism_);
+  PreparedTables prepared = Prepare(pair_set.left, pair_set.right);
 
   ParallelFor(
       parallelism_, pair_set.pairs.size(),
       [&](size_t i) {
         const RecordPair& pair = pair_set.pairs[i];
-        GenerateRowCached(left_cache, pair.left_id, right_cache,
+        GenerateRowCached(prepared.left, pair.left_id, prepared.right,
                           pair.right_id, out.X.RowPtr(i));
         out.y[i] = pair.label == 1 ? 1 : 0;
       },
@@ -236,6 +233,31 @@ Dataset FeatureGenerator::Generate(const PairSet& pair_set) const {
                     << num_features() << " features in "
                     << timer.ElapsedMillis() << " ms";
   return out;
+}
+
+FeatureGenerator::PreparedTables FeatureGenerator::Prepare(
+    const Table& left, const Table& right) const {
+  std::vector<TableTokenCache::AttrSpec> specs = CacheSpecs();
+  PreparedTables prepared;
+  prepared.left = TableTokenCache::Build(left, specs, parallelism_);
+  prepared.right = TableTokenCache::Build(right, specs, parallelism_);
+  return prepared;
+}
+
+Matrix FeatureGenerator::GenerateChunk(const PreparedTables& prepared,
+                                       const std::vector<RecordPair>& pairs,
+                                       size_t begin, size_t end) const {
+  AUTOEM_CHECK(begin <= end && end <= pairs.size());
+  Matrix X(end - begin, num_features());
+  ParallelFor(
+      parallelism_, end - begin,
+      [&](size_t i) {
+        const RecordPair& pair = pairs[begin + i];
+        GenerateRowCached(prepared.left, pair.left_id, prepared.right,
+                          pair.right_id, X.RowPtr(i));
+      },
+      "features.generate_chunk");
+  return X;
 }
 
 std::vector<double> FeatureGenerator::GenerateRow(const Record& left,
@@ -345,6 +367,62 @@ Status AutoMlEmFeatureGenerator::Plan(const Table& left, const Table& right) {
     return Status::InvalidArgument("no features could be planned");
   }
   if (include_tfidf_) PlanTfIdf(left, right);
+  return Status::OK();
+}
+
+Status FeatureGenerator::SaveState(io::Writer* w) const {
+  w->U64(plan_.size());
+  for (const FeaturePlan& p : plan_) {
+    w->U64(p.attr_index);
+    w->U32(static_cast<uint32_t>(p.func.measure));
+    w->U32(static_cast<uint32_t>(p.func.tokenizer));
+    w->Str(p.name);
+  }
+  w->U64(tfidf_plans_.size());
+  for (const TfIdfPlan& p : tfidf_plans_) {
+    w->U64(p.attr_index);
+    w->Str(p.name);
+    AUTOEM_RETURN_IF_ERROR(p.model.SaveState(w));
+  }
+  return Status::OK();
+}
+
+Status FeatureGenerator::LoadState(io::Reader* r) {
+  plan_.clear();
+  tfidf_plans_.clear();
+  uint64_t n_plans;
+  // Each encoded plan entry is at least 24 bytes (attr + enums + name len).
+  AUTOEM_RETURN_IF_ERROR(r->Len(&n_plans, 24));
+  plan_.reserve(static_cast<size_t>(n_plans));
+  for (uint64_t i = 0; i < n_plans; ++i) {
+    FeaturePlan p;
+    uint64_t attr;
+    uint32_t measure, tokenizer;
+    AUTOEM_RETURN_IF_ERROR(r->U64(&attr));
+    AUTOEM_RETURN_IF_ERROR(r->U32(&measure));
+    AUTOEM_RETURN_IF_ERROR(r->U32(&tokenizer));
+    AUTOEM_RETURN_IF_ERROR(r->Str(&p.name));
+    if (measure > static_cast<uint32_t>(Measure::kAbsoluteNorm) ||
+        tokenizer > static_cast<uint32_t>(TokenizerKind::kQGram3)) {
+      return Status::InvalidArgument("feature plan: unknown measure/tokenizer");
+    }
+    p.attr_index = static_cast<size_t>(attr);
+    p.func.measure = static_cast<Measure>(measure);
+    p.func.tokenizer = static_cast<TokenizerKind>(tokenizer);
+    plan_.push_back(std::move(p));
+  }
+  uint64_t n_tfidf;
+  AUTOEM_RETURN_IF_ERROR(r->Len(&n_tfidf, 16));
+  tfidf_plans_.reserve(static_cast<size_t>(n_tfidf));
+  for (uint64_t i = 0; i < n_tfidf; ++i) {
+    TfIdfPlan p;
+    uint64_t attr;
+    AUTOEM_RETURN_IF_ERROR(r->U64(&attr));
+    AUTOEM_RETURN_IF_ERROR(r->Str(&p.name));
+    AUTOEM_RETURN_IF_ERROR(p.model.LoadState(r));
+    p.attr_index = static_cast<size_t>(attr);
+    tfidf_plans_.push_back(std::move(p));
+  }
   return Status::OK();
 }
 

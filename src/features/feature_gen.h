@@ -16,6 +16,11 @@
 
 namespace autoem {
 
+namespace io {
+class Writer;
+class Reader;
+}  // namespace io
+
 /// A planned feature: apply `func` to attribute `attr_index` of a record
 /// pair. Name is "<attr>_<measure>_<tokenizer>".
 struct FeaturePlan {
@@ -60,6 +65,30 @@ class FeatureGenerator {
   /// Feature vector for a single record pair.
   std::vector<double> GenerateRow(const Record& left,
                                   const Record& right) const;
+
+  /// Token caches for one (left, right) table pair, built once and shared
+  /// across any number of Generate/GenerateChunk calls — the batch scoring
+  /// path prepares the candidate tables a single time and then streams pair
+  /// chunks against the same immutable caches.
+  struct PreparedTables {
+    TableTokenCache left;
+    TableTokenCache right;
+  };
+  PreparedTables Prepare(const Table& left, const Table& right) const;
+
+  /// Featurizes pairs[begin, end): row i of the result is pairs[begin + i].
+  /// Bit-identical to the corresponding rows of Generate on the full set,
+  /// at any thread count and chunking.
+  Matrix GenerateChunk(const PreparedTables& prepared,
+                       const std::vector<RecordPair>& pairs, size_t begin,
+                       size_t end) const;
+
+  /// Model persistence (src/io): saves/restores the fitted feature plan
+  /// (similarity-function assignments + corpus-fitted TF-IDF models), so a
+  /// loaded generator featurizes new pairs bit-identically without the
+  /// training tables. LoadState replaces any existing plan.
+  Status SaveState(io::Writer* w) const;
+  Status LoadState(io::Reader* r);
 
   /// Parallelism of Generate (and of the token-cache build inside it).
   /// Results are bit-identical at any setting: rows are written into a

@@ -1,0 +1,56 @@
+#ifndef AUTOEM_IO_MODEL_IO_H_
+#define AUTOEM_IO_MODEL_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "em/matcher.h"
+
+namespace autoem {
+namespace io {
+
+/// Versioned binary container for a *fitted* end-to-end matcher
+/// (feature plan + preprocessing state + trained classifier). Layout:
+///
+///   magic "AEMM" | u32 format version | u32 section count
+///   per section:  u32 id | u64 payload size | u32 crc32(payload) | payload
+///
+/// All integers little-endian; doubles stored by IEEE-754 bit pattern (see
+/// serialize.h). Sections carry their own CRC so a flipped byte anywhere in
+/// a payload is detected before any of it is interpreted. Readers reject
+/// unknown magic, unknown format versions, duplicate/missing sections, and
+/// truncation at any offset with a non-OK Status — never UB. The format
+/// version covers the *payload encodings* too: any change to a section's
+/// internal layout bumps kFormatVersion (no in-place compatibility shims;
+/// old binaries refuse new files and vice versa, Cache-style versioning as
+/// in CalicoDB). See DESIGN.md §8 for the full policy.
+inline constexpr char kModelMagic[4] = {'A', 'E', 'M', 'M'};
+inline constexpr uint32_t kModelFormatVersion = 1;
+
+/// Section ids of format version 1.
+enum class ModelSection : uint32_t {
+  kMeta = 1,       // producer string, best validation F1
+  kGenerator = 2,  // feature generator name + fitted plan
+  kPipeline = 3,   // configuration + fitted transform/classifier state
+};
+
+/// Serializes a trained matcher to `path`. Returns Unimplemented when the
+/// pipeline contains a component without persistence support (every
+/// model-space default — the random forest family — is supported), IOError
+/// on filesystem failures.
+Status SaveModel(const EntityMatcher& matcher, const std::string& path);
+
+/// Loads a matcher saved by SaveModel. The returned matcher scores pairs
+/// bit-identically to the instance that was saved, at any thread count.
+/// Corrupted, truncated, or version-mismatched files yield a non-OK Status.
+Result<EntityMatcher> LoadModel(const std::string& path);
+
+/// In-memory variants (the file API is a thin wrapper; tests use these to
+/// corrupt bytes deterministically).
+Status SerializeModel(const EntityMatcher& matcher, std::string* out);
+Result<EntityMatcher> DeserializeModel(const std::string& bytes);
+
+}  // namespace io
+}  // namespace autoem
+
+#endif  // AUTOEM_IO_MODEL_IO_H_

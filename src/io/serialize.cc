@@ -1,0 +1,168 @@
+#include "io/serialize.h"
+
+#include <cstring>
+
+namespace autoem {
+namespace io {
+
+namespace {
+
+/// Reflected CRC-32 table for polynomial 0xEDB88320, built once.
+const uint32_t* CrcTable() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// True on big-endian targets; the encoders byte-swap there so the on-disk
+/// format is little-endian everywhere.
+bool HostIsBigEndian() {
+  const uint32_t probe = 1;
+  unsigned char first;
+  std::memcpy(&first, &probe, 1);
+  return first == 0;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len) {
+  const uint32_t* table = CrcTable();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void Writer::AppendLe(const void* p, size_t n) {
+  const char* bytes = static_cast<const char*>(p);
+  if (HostIsBigEndian()) {
+    for (size_t i = n; i > 0; --i) buf_.push_back(bytes[i - 1]);
+  } else {
+    buf_.append(bytes, n);
+  }
+}
+
+void Writer::F64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void Writer::Str(std::string_view s) {
+  U64(s.size());
+  buf_.append(s.data(), s.size());
+}
+
+void Writer::VecF64(const std::vector<double>& v) {
+  U64(v.size());
+  for (double x : v) F64(x);
+}
+
+void Writer::VecIdx(const std::vector<size_t>& v) {
+  U64(v.size());
+  for (size_t x : v) U64(static_cast<uint64_t>(x));
+}
+
+Status Reader::Need(size_t n) {
+  if (remaining() < n) {
+    return Status::InvalidArgument("truncated stream: need " +
+                                   std::to_string(n) + " bytes, have " +
+                                   std::to_string(remaining()));
+  }
+  return Status::OK();
+}
+
+Status Reader::ReadLe(void* p, size_t n) {
+  AUTOEM_RETURN_IF_ERROR(Need(n));
+  char* out = static_cast<char*>(p);
+  if (HostIsBigEndian()) {
+    for (size_t i = 0; i < n; ++i) out[n - 1 - i] = data_[pos_ + i];
+  } else {
+    std::memcpy(out, data_.data() + pos_, n);
+  }
+  pos_ += n;
+  return Status::OK();
+}
+
+Status Reader::U8(uint8_t* v) { return ReadLe(v, sizeof(*v)); }
+Status Reader::U32(uint32_t* v) { return ReadLe(v, sizeof(*v)); }
+Status Reader::U64(uint64_t* v) { return ReadLe(v, sizeof(*v)); }
+
+Status Reader::I32(int32_t* v) {
+  uint32_t u;
+  AUTOEM_RETURN_IF_ERROR(U32(&u));
+  *v = static_cast<int32_t>(u);
+  return Status::OK();
+}
+
+Status Reader::I64(int64_t* v) {
+  uint64_t u;
+  AUTOEM_RETURN_IF_ERROR(U64(&u));
+  *v = static_cast<int64_t>(u);
+  return Status::OK();
+}
+
+Status Reader::F64(double* v) {
+  uint64_t bits;
+  AUTOEM_RETURN_IF_ERROR(U64(&bits));
+  std::memcpy(v, &bits, sizeof(*v));
+  return Status::OK();
+}
+
+Status Reader::Len(uint64_t* count, size_t min_elem_size) {
+  AUTOEM_RETURN_IF_ERROR(U64(count));
+  if (min_elem_size > 0 && *count > remaining() / min_elem_size) {
+    return Status::InvalidArgument(
+        "corrupt stream: declared length " + std::to_string(*count) +
+        " exceeds remaining payload");
+  }
+  return Status::OK();
+}
+
+Status Reader::Skip(size_t n) {
+  AUTOEM_RETURN_IF_ERROR(Need(n));
+  pos_ += n;
+  return Status::OK();
+}
+
+Status Reader::Str(std::string* s) {
+  uint64_t len;
+  AUTOEM_RETURN_IF_ERROR(Len(&len, 1));
+  s->assign(data_.data() + pos_, static_cast<size_t>(len));
+  pos_ += static_cast<size_t>(len);
+  return Status::OK();
+}
+
+Status Reader::VecF64(std::vector<double>* v) {
+  uint64_t len;
+  AUTOEM_RETURN_IF_ERROR(Len(&len, sizeof(double)));
+  v->resize(static_cast<size_t>(len));
+  for (auto& x : *v) AUTOEM_RETURN_IF_ERROR(F64(&x));
+  return Status::OK();
+}
+
+Status Reader::VecIdx(std::vector<size_t>* v) {
+  uint64_t len;
+  AUTOEM_RETURN_IF_ERROR(Len(&len, sizeof(uint64_t)));
+  v->resize(static_cast<size_t>(len));
+  for (auto& x : *v) {
+    uint64_t u;
+    AUTOEM_RETURN_IF_ERROR(U64(&u));
+    x = static_cast<size_t>(u);
+  }
+  return Status::OK();
+}
+
+}  // namespace io
+}  // namespace autoem

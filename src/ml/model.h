@@ -11,6 +11,11 @@
 
 namespace autoem {
 
+namespace io {
+class Writer;
+class Reader;
+}  // namespace io
+
 /// Binary classifier interface. Inputs are dense feature matrices; missing
 /// values (NaN) must be imputed upstream except for tree-based models, which
 /// route NaN down the left branch deterministically.
@@ -52,6 +57,22 @@ class Classifier {
 
   /// Stable model name, e.g. "random_forest".
   virtual std::string name() const = 0;
+
+  /// Model persistence (src/io): writes/restores the *fitted* state only
+  /// (trees, coefficients). Hyperparameters travel in the pipeline
+  /// Configuration and are re-applied by EmPipeline::Compile before
+  /// LoadFitted runs. A loaded model must PredictProba bit-identically to
+  /// the saved one. The default keeps models without persistence honest:
+  /// SaveModel on such a pipeline reports Unimplemented instead of writing
+  /// a file that cannot be loaded.
+  virtual Status SaveFitted(io::Writer* w) const {
+    (void)w;
+    return Status::Unimplemented(name() + ": model persistence not supported");
+  }
+  virtual Status LoadFitted(io::Reader* r) {
+    (void)r;
+    return Status::Unimplemented(name() + ": model persistence not supported");
+  }
 };
 
 /// Validates (X, y, weights) agreement; shared by Fit implementations.

@@ -1,5 +1,7 @@
 #include "ml/models/decision_tree.h"
 
+#include "io/serialize.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -395,6 +397,41 @@ std::vector<double> RegressionTree::Predict(const Matrix& X) const {
   std::vector<double> out(X.rows());
   for (size_t r = 0; r < X.rows(); ++r) out[r] = PredictRow(X.RowPtr(r));
   return out;
+}
+
+
+Status DecisionTreeClassifier::SaveFitted(io::Writer* w) const {
+  w->U64(nodes_.size());
+  for (const Node& n : nodes_) {
+    w->I32(n.feature);
+    w->F64(n.threshold);
+    w->I32(n.left);
+    w->I32(n.right);
+    w->F64(n.prob_positive);
+  }
+  return Status::OK();
+}
+
+Status DecisionTreeClassifier::LoadFitted(io::Reader* r) {
+  uint64_t count;
+  // 28 bytes per encoded node: 2 doubles + 3 i32.
+  AUTOEM_RETURN_IF_ERROR(r->Len(&count, 28));
+  nodes_.assign(static_cast<size_t>(count), Node{});
+  for (Node& n : nodes_) {
+    AUTOEM_RETURN_IF_ERROR(r->I32(&n.feature));
+    AUTOEM_RETURN_IF_ERROR(r->F64(&n.threshold));
+    AUTOEM_RETURN_IF_ERROR(r->I32(&n.left));
+    AUTOEM_RETURN_IF_ERROR(r->I32(&n.right));
+    AUTOEM_RETURN_IF_ERROR(r->F64(&n.prob_positive));
+    // Child ids must stay inside the node array (-1 = leaf) so a crafted or
+    // corrupted payload cannot make PredictRowProba walk out of bounds.
+    int64_t limit = static_cast<int64_t>(count);
+    if (n.left < -1 || n.left >= limit || n.right < -1 || n.right >= limit ||
+        n.feature < -1) {
+      return Status::InvalidArgument("decision_tree: node index out of range");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace autoem

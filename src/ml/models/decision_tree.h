@@ -49,6 +49,8 @@ class DecisionTreeClassifier : public Classifier {
   std::vector<double> PredictProba(const Matrix& X) const override;
   std::unique_ptr<Classifier> CloneConfig() const override;
   std::string name() const override { return "decision_tree"; }
+  Status SaveFitted(io::Writer* w) const override;
+  Status LoadFitted(io::Reader* r) override;
 
   /// P(y=1) for a single feature row.
   double PredictRowProba(const double* row) const;

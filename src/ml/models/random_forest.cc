@@ -1,5 +1,7 @@
 #include "ml/models/random_forest.h"
 
+#include "io/serialize.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -164,6 +166,28 @@ std::vector<double> RandomForestClassifier::VoteConfidence(
 
 std::unique_ptr<Classifier> RandomForestClassifier::CloneConfig() const {
   return std::make_unique<RandomForestClassifier>(options_);
+}
+
+
+Status RandomForestClassifier::SaveFitted(io::Writer* w) const {
+  w->U64(trees_.size());
+  for (const auto& tree : trees_) {
+    AUTOEM_RETURN_IF_ERROR(tree.SaveFitted(w));
+  }
+  return Status::OK();
+}
+
+Status RandomForestClassifier::LoadFitted(io::Reader* r) {
+  uint64_t count;
+  // Every encoded tree carries at least its 8-byte node count.
+  AUTOEM_RETURN_IF_ERROR(r->Len(&count, 8));
+  // Prediction only walks the stored nodes, so loaded trees are built with
+  // default TreeOptions; the forest-level options_ came from Compile.
+  trees_.assign(static_cast<size_t>(count), DecisionTreeClassifier());
+  for (auto& tree : trees_) {
+    AUTOEM_RETURN_IF_ERROR(tree.LoadFitted(r));
+  }
+  return Status::OK();
 }
 
 }  // namespace autoem

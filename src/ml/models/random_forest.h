@@ -46,6 +46,8 @@ class RandomForestClassifier : public Classifier {
              const std::vector<double>* sample_weights = nullptr) override;
   std::vector<double> PredictProba(const Matrix& X) const override;
   std::unique_ptr<Classifier> CloneConfig() const override;
+  Status SaveFitted(io::Writer* w) const override;
+  Status LoadFitted(io::Reader* r) override;
   void SetParallelism(const Parallelism& parallelism) override {
     options_.parallelism = parallelism;
   }

@@ -1,5 +1,7 @@
 #include "preprocess/feature_agglomeration.h"
 
+#include "io/serialize.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -118,6 +120,29 @@ std::vector<std::string> FeatureAgglomeration::OutputNames(
     out.push_back("agglo" + std::to_string(k));
   }
   return out;
+}
+
+
+Status FeatureAgglomeration::SaveState(io::Writer* w) const {
+  w->U64(num_clusters_);
+  w->VecIdx(cluster_of_);
+  return Status::OK();
+}
+
+Status FeatureAgglomeration::LoadState(io::Reader* r) {
+  uint64_t n;
+  AUTOEM_RETURN_IF_ERROR(r->U64(&n));
+  num_clusters_ = static_cast<size_t>(n);
+  AUTOEM_RETURN_IF_ERROR(r->VecIdx(&cluster_of_));
+  // Apply indexes per-cluster accumulators with cluster_of_; reject ids
+  // outside [0, num_clusters) so corrupt data cannot index out of bounds.
+  for (size_t c : cluster_of_) {
+    if (c >= num_clusters_) {
+      return Status::InvalidArgument(
+          "feature_agglomeration: cluster id out of range");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace autoem

@@ -21,6 +21,8 @@ class FeatureAgglomeration : public Transform {
   std::vector<std::string> OutputNames(
       const std::vector<std::string>& input_names) const override;
   std::string name() const override { return "feature_agglomeration"; }
+  Status SaveState(io::Writer* w) const override;
+  Status LoadState(io::Reader* r) override;
 
   /// cluster_of()[f] = output cluster id of input feature f.
   const std::vector<size_t>& cluster_of() const { return cluster_of_; }

@@ -1,5 +1,7 @@
 #include "preprocess/feature_selection.h"
 
+#include "io/serialize.h"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>
@@ -159,6 +161,34 @@ Matrix VarianceThreshold::Apply(const Matrix& X) const {
 std::vector<std::string> VarianceThreshold::OutputNames(
     const std::vector<std::string>& input_names) const {
   return SelectNames(input_names, selected_);
+}
+
+
+Status SelectPercentile::SaveState(io::Writer* w) const {
+  w->VecIdx(selected_);
+  return Status::OK();
+}
+
+Status SelectPercentile::LoadState(io::Reader* r) {
+  return r->VecIdx(&selected_);
+}
+
+Status SelectRates::SaveState(io::Writer* w) const {
+  w->VecIdx(selected_);
+  return Status::OK();
+}
+
+Status SelectRates::LoadState(io::Reader* r) {
+  return r->VecIdx(&selected_);
+}
+
+Status VarianceThreshold::SaveState(io::Writer* w) const {
+  w->VecIdx(selected_);
+  return Status::OK();
+}
+
+Status VarianceThreshold::LoadState(io::Reader* r) {
+  return r->VecIdx(&selected_);
 }
 
 }  // namespace autoem

@@ -21,6 +21,8 @@ class SelectPercentile : public Transform {
   std::vector<std::string> OutputNames(
       const std::vector<std::string>& input_names) const override;
   std::string name() const override { return "select_percentile"; }
+  Status SaveState(io::Writer* w) const override;
+  Status LoadState(io::Reader* r) override;
 
   const std::vector<size_t>& selected() const { return selected_; }
 
@@ -44,6 +46,8 @@ class SelectRates : public Transform {
   std::vector<std::string> OutputNames(
       const std::vector<std::string>& input_names) const override;
   std::string name() const override { return "select_rates"; }
+  Status SaveState(io::Writer* w) const override;
+  Status LoadState(io::Reader* r) override;
 
   const std::vector<size_t>& selected() const { return selected_; }
 
@@ -64,6 +68,8 @@ class VarianceThreshold : public Transform {
   std::vector<std::string> OutputNames(
       const std::vector<std::string>& input_names) const override;
   std::string name() const override { return "variance_threshold"; }
+  Status SaveState(io::Writer* w) const override;
+  Status LoadState(io::Reader* r) override;
 
   const std::vector<size_t>& selected() const { return selected_; }
 

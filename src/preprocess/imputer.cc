@@ -1,5 +1,7 @@
 #include "preprocess/imputer.h"
 
+#include "io/serialize.h"
+
 #include <algorithm>
 #include <cmath>
 #include <map>
@@ -56,6 +58,16 @@ Matrix SimpleImputer::Apply(const Matrix& X) const {
     }
   }
   return out;
+}
+
+
+Status SimpleImputer::SaveState(io::Writer* w) const {
+  w->VecF64(fill_);
+  return Status::OK();
+}
+
+Status SimpleImputer::LoadState(io::Reader* r) {
+  return r->VecF64(&fill_);
 }
 
 }  // namespace autoem

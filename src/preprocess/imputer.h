@@ -21,6 +21,8 @@ class SimpleImputer : public Transform {
   Status Fit(const Matrix& X, const std::vector<int>& y) override;
   Matrix Apply(const Matrix& X) const override;
   std::string name() const override { return "imputer_" + strategy_; }
+  Status SaveState(io::Writer* w) const override;
+  Status LoadState(io::Reader* r) override;
 
   const std::vector<double>& fill_values() const { return fill_; }
 

@@ -1,5 +1,7 @@
 #include "preprocess/pca.h"
 
+#include "io/serialize.h"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>
@@ -167,6 +169,24 @@ std::vector<std::string> Pca::OutputNames(
     out.push_back("pc" + std::to_string(k));
   }
   return out;
+}
+
+
+Status Pca::SaveState(io::Writer* w) const {
+  w->VecF64(mean_);
+  w->U64(components_.size());
+  for (const auto& axis : components_) w->VecF64(axis);
+  w->VecF64(explained_variance_);
+  return Status::OK();
+}
+
+Status Pca::LoadState(io::Reader* r) {
+  AUTOEM_RETURN_IF_ERROR(r->VecF64(&mean_));
+  uint64_t n_components;
+  AUTOEM_RETURN_IF_ERROR(r->Len(&n_components, sizeof(uint64_t)));
+  components_.assign(static_cast<size_t>(n_components), {});
+  for (auto& axis : components_) AUTOEM_RETURN_IF_ERROR(r->VecF64(&axis));
+  return r->VecF64(&explained_variance_);
 }
 
 }  // namespace autoem

@@ -22,6 +22,8 @@ class Pca : public Transform {
   std::vector<std::string> OutputNames(
       const std::vector<std::string>& input_names) const override;
   std::string name() const override { return "pca"; }
+  Status SaveState(io::Writer* w) const override;
+  Status LoadState(io::Reader* r) override;
 
   size_t num_components() const { return components_.size(); }
   const std::vector<double>& explained_variance() const {

@@ -1,5 +1,7 @@
 #include "preprocess/scalers.h"
 
+#include "io/serialize.h"
+
 #include <cmath>
 
 #include "ml/stats.h"
@@ -95,6 +97,40 @@ Status RobustScaler::Fit(const Matrix& X, const std::vector<int>& y) {
 
 Matrix RobustScaler::Apply(const Matrix& X) const {
   return AffineApply(X, center_, inv_scale_);
+}
+
+
+Status StandardScaler::SaveState(io::Writer* w) const {
+  w->VecF64(mean_);
+  w->VecF64(inv_std_);
+  return Status::OK();
+}
+
+Status StandardScaler::LoadState(io::Reader* r) {
+  AUTOEM_RETURN_IF_ERROR(r->VecF64(&mean_));
+  return r->VecF64(&inv_std_);
+}
+
+Status MinMaxScaler::SaveState(io::Writer* w) const {
+  w->VecF64(min_);
+  w->VecF64(inv_range_);
+  return Status::OK();
+}
+
+Status MinMaxScaler::LoadState(io::Reader* r) {
+  AUTOEM_RETURN_IF_ERROR(r->VecF64(&min_));
+  return r->VecF64(&inv_range_);
+}
+
+Status RobustScaler::SaveState(io::Writer* w) const {
+  w->VecF64(center_);
+  w->VecF64(inv_scale_);
+  return Status::OK();
+}
+
+Status RobustScaler::LoadState(io::Reader* r) {
+  AUTOEM_RETURN_IF_ERROR(r->VecF64(&center_));
+  return r->VecF64(&inv_scale_);
 }
 
 }  // namespace autoem

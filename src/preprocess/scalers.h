@@ -14,6 +14,8 @@ class StandardScaler : public Transform {
   Status Fit(const Matrix& X, const std::vector<int>& y) override;
   Matrix Apply(const Matrix& X) const override;
   std::string name() const override { return "standard_scaler"; }
+  Status SaveState(io::Writer* w) const override;
+  Status LoadState(io::Reader* r) override;
 
  private:
   std::vector<double> mean_;
@@ -27,6 +29,8 @@ class MinMaxScaler : public Transform {
   Status Fit(const Matrix& X, const std::vector<int>& y) override;
   Matrix Apply(const Matrix& X) const override;
   std::string name() const override { return "minmax_scaler"; }
+  Status SaveState(io::Writer* w) const override;
+  Status LoadState(io::Reader* r) override;
 
  private:
   std::vector<double> min_;
@@ -43,6 +47,8 @@ class RobustScaler : public Transform {
   Status Fit(const Matrix& X, const std::vector<int>& y) override;
   Matrix Apply(const Matrix& X) const override;
   std::string name() const override { return "robust_scaler"; }
+  Status SaveState(io::Writer* w) const override;
+  Status LoadState(io::Reader* r) override;
 
   double q_min() const { return q_min_; }
   double q_max() const { return q_max_; }

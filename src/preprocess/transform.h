@@ -10,6 +10,11 @@
 
 namespace autoem {
 
+namespace io {
+class Writer;
+class Reader;
+}  // namespace io
+
 /// A fit-then-apply feature transform (scikit-learn transformer semantics).
 /// Fit learns statistics from training data only; Apply re-applies them to
 /// any matrix with the same width, which keeps validation/test leakage-free.
@@ -34,6 +39,19 @@ class Transform {
 
   /// Stable component name, e.g. "robust_scaler".
   virtual std::string name() const = 0;
+
+  /// Model persistence (src/io): writes the *fitted* statistics — never the
+  /// hyperparameters, which the pipeline Compile step reconstructs from the
+  /// saved Configuration. A loaded transform must Apply bit-identically to
+  /// the instance that was saved.
+  virtual Status SaveState(io::Writer* w) const {
+    (void)w;
+    return Status::Unimplemented(name() + ": persistence not supported");
+  }
+  virtual Status LoadState(io::Reader* r) {
+    (void)r;
+    return Status::Unimplemented(name() + ": persistence not supported");
+  }
 };
 
 }  // namespace autoem

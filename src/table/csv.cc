@@ -54,8 +54,8 @@ Result<std::vector<std::vector<std::string>>> ParseCells(
       } else if (c == ',') {
         end_cell();
         ++i;
-      } else if (c == '\r') {
-        ++i;  // tolerate CRLF
+      } else if (c == '\r' && i + 1 < n && text[i + 1] == '\n') {
+        ++i;  // CRLF: drop the '\r'; the '\n' ends the row below
       } else if (c == '\n') {
         end_row();
         ++i;

@@ -1,7 +1,12 @@
 #include "text/tfidf.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "io/serialize.h"
 
 namespace autoem {
 
@@ -66,6 +71,53 @@ double TfIdfModel::SimilarityTokens(
   }
   if (norm_a <= 0.0 || norm_b <= 0.0) return 0.0;
   return dot / std::sqrt(norm_a * norm_b);
+}
+
+
+Status TfIdfModel::SaveState(io::Writer* w) const {
+  w->U32(static_cast<uint32_t>(tokenizer_));
+  w->U64(num_documents_);
+  w->U8(fitted_ ? 1 : 0);
+  std::vector<std::pair<std::string, size_t>> sorted(
+      document_frequency_.begin(), document_frequency_.end());
+  std::sort(sorted.begin(), sorted.end());
+  w->U64(sorted.size());
+  for (const auto& [token, df] : sorted) {
+    w->Str(token);
+    w->U64(df);
+  }
+  return Status::OK();
+}
+
+Status TfIdfModel::LoadState(io::Reader* r) {
+  uint32_t tok;
+  AUTOEM_RETURN_IF_ERROR(r->U32(&tok));
+  if (tok > static_cast<uint32_t>(TokenizerKind::kQGram3)) {
+    return Status::InvalidArgument("tfidf: unknown tokenizer kind");
+  }
+  tokenizer_ = static_cast<TokenizerKind>(tok);
+  uint64_t docs;
+  AUTOEM_RETURN_IF_ERROR(r->U64(&docs));
+  num_documents_ = static_cast<size_t>(docs);
+  uint8_t was_fitted;
+  AUTOEM_RETURN_IF_ERROR(r->U8(&was_fitted));
+  uint64_t vocab;
+  // Each entry is at least a string length prefix plus the df (16 bytes).
+  AUTOEM_RETURN_IF_ERROR(r->Len(&vocab, 16));
+  document_frequency_.clear();
+  document_frequency_.reserve(static_cast<size_t>(vocab));
+  std::string token;
+  for (uint64_t i = 0; i < vocab; ++i) {
+    AUTOEM_RETURN_IF_ERROR(r->Str(&token));
+    uint64_t df;
+    AUTOEM_RETURN_IF_ERROR(r->U64(&df));
+    document_frequency_[token] = static_cast<size_t>(df);
+  }
+  idf_.clear();
+  oov_idf_ = 1.0;
+  fitted_ = false;
+  if (was_fitted) Fit();
+  return Status::OK();
 }
 
 }  // namespace autoem

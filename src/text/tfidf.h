@@ -6,9 +6,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "text/tokenizer.h"
 
 namespace autoem {
+
+namespace io {
+class Writer;
+class Reader;
+}  // namespace io
 
 /// Corpus-fitted TF-IDF similarity — the weighted token measure Magellan's
 /// py_stringmatching library offers next to the unweighted set measures.
@@ -44,6 +50,13 @@ class TfIdfModel {
 
   /// IDF of one token (for tests/inspection); OOV tokens get max IDF.
   double Idf(const std::string& token) const;
+
+  /// Model persistence (src/io): serializes the document-frequency table
+  /// (in sorted token order, so equal models produce equal bytes) and
+  /// re-derives the IDF weights via Fit() on load — the IDF formula is a
+  /// pure per-token function, so the loaded model scores bit-identically.
+  Status SaveState(io::Writer* w) const;
+  Status LoadState(io::Reader* r);
 
  private:
   TokenizerKind tokenizer_;

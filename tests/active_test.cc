@@ -202,6 +202,26 @@ TEST(ActiveLearnerTest, InvalidInputsRejected) {
   EXPECT_FALSE(RunAutoMlEmActive(pool, &oracle, options).ok());
 }
 
+// Regression: n_init == 0 must surface as InvalidArgument, never reach the
+// α = positives / n_init division (which would silently produce NaN and
+// poison every downstream class-ratio decision).
+TEST(ActiveLearnerTest, ZeroInitialSampleIsInvalidArgumentNotNaN) {
+  Dataset pool = MakePool(50, 11);
+  GroundTruthOracle oracle(pool.y);
+  ActiveLearningOptions options = FastOptions();
+
+  options.init_size = 0;
+  auto zero_init = RunAutoMlEmActive(pool, &oracle, options);
+  ASSERT_FALSE(zero_init.ok());
+  EXPECT_EQ(zero_init.status().code(), StatusCode::kInvalidArgument);
+
+  options = FastOptions();
+  auto empty_pool = RunAutoMlEmActive(Dataset{}, &oracle, options);
+  ASSERT_FALSE(empty_pool.ok());
+  EXPECT_EQ(empty_pool.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(oracle.num_queries(), 0u);  // rejected before any labeling
+}
+
 TEST(ActiveLearnerTest, PoolExhaustionStopsGracefully) {
   Dataset pool = MakePool(80, 12);  // tiny pool, generous budget
   GroundTruthOracle oracle(pool.y);

@@ -113,6 +113,73 @@ TEST(CsvTest, CrLfTolerated) {
   EXPECT_EQ(t->num_rows(), 1u);
 }
 
+// A '\r' not followed by '\n' is cell data, not a line-ending artifact.
+// (A previous parser revision dropped every bare '\r', silently turning
+// "x\ry" into "xy".)
+TEST(CsvTest, BareCarriageReturnPreservedInCell) {
+  auto t = ParseCsv("a,b\nx\ry,2\n", "t");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->cell(0, 0).AsString(), "x\ry");
+  EXPECT_DOUBLE_EQ(t->cell(0, 1).AsNumber(), 2.0);
+}
+
+TEST(CsvTest, BareCarriageReturnAndCrLfMixed) {
+  auto t = ParseCsv("a,b\r\n1,x\ry\r\n", "t");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->cell(0, 1).AsString(), "x\ry");
+}
+
+TEST(CsvTest, EmptyTrailingFieldKept) {
+  auto t = ParseCsv("a,b,c\n1,2,\n", "t");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_TRUE(t->cell(0, 2).is_null());
+}
+
+// Property: any table whose cells draw from the CSV-hostile alphabet
+// (bare '\r', '\n', '"', ',', empty cells) survives ToCsvString -> ParseCsv
+// unchanged. Deterministic xorshift so failures replay.
+TEST(CsvTest, RoundTripPropertyOverHostileAlphabet) {
+  const char alphabet[] = {'x', 'y', 'z', 'q', ' ', '\r', '\n', '"', ','};
+  uint64_t state = 0x9E3779B97F4A7C15ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t cols = 1 + next() % 4;
+    std::vector<std::string> names;
+    for (size_t c = 0; c < cols; ++c) names.push_back("c" + std::to_string(c));
+    Table t("prop", Schema(names));
+    size_t rows = 1 + next() % 5;
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<Value> cells;
+      for (size_t c = 0; c < cols; ++c) {
+        size_t len = next() % 6;  // 0 = empty cell (round-trips as null)
+        std::string s;
+        for (size_t k = 0; k < len; ++k) {
+          s += alphabet[next() % sizeof(alphabet)];
+        }
+        cells.push_back(s.empty() ? Value::Null() : Value(s));
+      }
+      ASSERT_TRUE(t.Append(Record(std::move(cells))).ok());
+    }
+    auto back = ParseCsv(ToCsvString(t), "prop");
+    ASSERT_TRUE(back.ok()) << "trial " << trial << ": "
+                           << back.status().ToString();
+    ASSERT_EQ(back->num_rows(), rows) << "trial " << trial;
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        EXPECT_EQ(back->cell(r, c).ToString(), t.cell(r, c).ToString())
+            << "trial " << trial << " cell (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
 TEST(CsvTest, MissingTrailingNewline) {
   auto t = ParseCsv("a,b\n1,2", "t");
   ASSERT_TRUE(t.ok());
