@@ -9,6 +9,8 @@
 // per-chunk dispatch overhead is amortized at the default 4096).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <utility>
 
@@ -33,13 +35,21 @@ Workload& SharedWorkload() {
     auto* out = new Workload;
     auto data = GenerateBenchmarkByName("Walmart-Amazon", /*seed=*/11,
                                         /*scale=*/0.1);
-    if (!data.ok()) return out;
+    if (!data.ok()) {
+      std::fprintf(stderr, "benchmark generation failed: %s\n",
+                   data.status().ToString().c_str());
+      std::exit(1);
+    }
     EntityMatcher::Options options;
     options.automl.max_evaluations = 2;
     options.automl.seed = 17;
     options.automl.parallelism = Parallelism::Threads(0);
     auto matcher = EntityMatcher::Train(data->train, options);
-    if (!matcher.ok()) return out;
+    if (!matcher.ok()) {
+      std::fprintf(stderr, "matcher training failed: %s\n",
+                   matcher.status().ToString().c_str());
+      std::exit(1);
+    }
     out->data = std::move(*data);
     out->matcher = std::make_unique<EntityMatcher>(std::move(*matcher));
     out->ok = true;
@@ -62,7 +72,8 @@ void RunScoring(benchmark::State& state, size_t chunk_size) {
                       ? w.matcher->ScorePairs(w.data.test)
                       : w.matcher->ScorePairsBatched(w.data.test, chunk_size);
     if (!scores.ok()) {
-      state.SkipWithError("scoring failed");
+      state.SkipWithError(
+          ("scoring failed: " + scores.status().ToString()).c_str());
       return;
     }
     benchmark::DoNotOptimize(scores->data());

@@ -1,0 +1,85 @@
+// Overhead of the autoem::fault layer when no fault is armed.
+//
+// Failpoints and cancellation checks are compiled into production hot paths
+// (evaluator trials, RF tree loops, ParallelFor chunks), so the acceptance
+// bar is "a few nanoseconds per check when disabled":
+//
+//   1. AUTOEM_FAILPOINT with nothing armed must cost one relaxed atomic load
+//      of the global armed-count — it must not take the registry mutex.
+//   2. CancelToken::Check on a default (null) token must be a pointer test.
+//   3. CancelToken::Check on a live far-deadline token reads a steady clock —
+//      reported for contrast, since that is the price the RF inner loop pays
+//      when --max-trial-seconds is set.
+//
+// The armed-site case is also measured: arming an *unrelated* site flips the
+// global gate, so every site now takes the slow path. That cost only exists
+// while a test/CI run has faults armed, never in production.
+#include <benchmark/benchmark.h>
+
+#include "common/status.h"
+#include "fault/cancel.h"
+#include "fault/failpoint.h"
+
+namespace autoem {
+namespace {
+
+Status GuardedFunction() {
+  AUTOEM_FAILPOINT("bench.fault_overhead");
+  return Status::OK();
+}
+
+void BM_FailpointDisabled(benchmark::State& state) {
+  fault::FailpointRegistry::Global().DisarmAll();
+  for (auto _ : state) {
+    Status st = GuardedFunction();
+    benchmark::DoNotOptimize(st.ok());
+  }
+}
+BENCHMARK(BM_FailpointDisabled);
+
+void BM_FailpointOtherSiteArmed(benchmark::State& state) {
+  // Arming any site flips the global gate: every AUTOEM_FAILPOINT now pays a
+  // mutex + map lookup. Acceptable for fault-injection runs only.
+  fault::FailpointRegistry::Global().Arm("bench.unrelated_site",
+                                         fault::FailpointSpec::Error());
+  for (auto _ : state) {
+    Status st = GuardedFunction();
+    benchmark::DoNotOptimize(st.ok());
+  }
+  fault::FailpointRegistry::Global().DisarmAll();
+}
+BENCHMARK(BM_FailpointOtherSiteArmed);
+
+void BM_CancelCheckDisabled(benchmark::State& state) {
+  fault::CancelToken token;  // default: no deadline, no cancellation
+  for (auto _ : state) {
+    Status st = token.Check("bench.stage");
+    benchmark::DoNotOptimize(st.ok());
+  }
+}
+BENCHMARK(BM_CancelCheckDisabled);
+
+void BM_CancelCheckLiveDeadline(benchmark::State& state) {
+  // A deadline far enough out that it never fires during the bench.
+  fault::CancelToken token = fault::CancelToken::WithDeadline(3600.0);
+  for (auto _ : state) {
+    Status st = token.Check("bench.stage");
+    benchmark::DoNotOptimize(st.ok());
+  }
+}
+BENCHMARK(BM_CancelCheckLiveDeadline);
+
+void BM_CancelledFlagOnly(benchmark::State& state) {
+  // The cheap form used inside tight loops that cannot afford a clock read
+  // per iteration: Cancelled() latches after Check() has seen the deadline.
+  fault::CancelToken token = fault::CancelToken::WithDeadline(3600.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(token.Cancelled());
+  }
+}
+BENCHMARK(BM_CancelledFlagOnly);
+
+}  // namespace
+}  // namespace autoem
+
+BENCHMARK_MAIN();

@@ -70,18 +70,24 @@ int main(int argc, char** argv) {
       HoldoutEvaluator evaluator(split.train, split.test);
       evaluator.SetTestSet(fb.test);
       ConfigurationSpace config_space = BuildEmSearchSpace(space);
-      SearchOutcome outcome;
-      if (algorithm == SearchAlgorithm::kSmac) {
-        SmacOptions smac;
-        smac.base.max_evaluations = args.evals;
-        smac.base.seed = args.seed;
-        outcome = SmacSearch(config_space, &evaluator, smac);
-      } else {
+      Result<SearchOutcome> searched = [&]() -> Result<SearchOutcome> {
+        if (algorithm == SearchAlgorithm::kSmac) {
+          SmacOptions smac;
+          smac.base.max_evaluations = args.evals;
+          smac.base.seed = args.seed;
+          return SmacSearch(config_space, &evaluator, smac);
+        }
         SearchOptions ropts;
         ropts.max_evaluations = args.evals;
         ropts.seed = args.seed;
-        outcome = RandomSearch(config_space, &evaluator, ropts);
+        return RandomSearch(config_space, &evaluator, ropts);
+      }();
+      if (!searched.ok()) {
+        std::fprintf(stderr, "search failed: %s\n",
+                     searched.status().ToString().c_str());
+        std::exit(1);
       }
+      SearchOutcome outcome = std::move(*searched);
 
       const char* label = space == ModelSpace::kAllModels
                               ? "all-model    "

@@ -12,6 +12,8 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -37,10 +39,13 @@ Workload& SharedWorkload() {
     auto* out = new Workload;
     auto data = GenerateBenchmarkByName("Walmart-Amazon", /*seed=*/11,
                                         /*scale=*/0.05);
-    if (data.ok()) {
-      out->data = std::move(*data);
-      out->ok = true;
+    if (!data.ok()) {
+      std::fprintf(stderr, "benchmark generation failed: %s\n",
+                   data.status().ToString().c_str());
+      std::exit(1);
     }
+    out->data = std::move(*data);
+    out->ok = true;
     return out;
   }();
   return *w;
@@ -50,7 +55,14 @@ double MeasureSerialSeconds(bool include_tfidf) {
   Workload& w = SharedWorkload();
   AutoMlEmFeatureGenerator gen(include_tfidf);
   gen.set_parallelism(Parallelism::Serial());
-  if (!gen.Plan(w.data.train.left, w.data.train.right).ok()) return 0.0;
+  Status planned = gen.Plan(w.data.train.left, w.data.train.right);
+  if (!planned.ok()) {
+    // A silent 0.0 baseline would report speedup_vs_serial == 0 and look
+    // like a perf regression; refuse to run instead.
+    std::fprintf(stderr, "serial baseline plan failed: %s\n",
+                 planned.ToString().c_str());
+    std::exit(1);
+  }
   gen.Generate(w.data.train);  // warm-up
   auto start = std::chrono::steady_clock::now();
   constexpr int kReps = 3;
@@ -79,8 +91,9 @@ void RunFeatureGen(benchmark::State& state, bool include_tfidf) {
   int threads = static_cast<int>(state.range(0));
   AutoMlEmFeatureGenerator gen(include_tfidf);
   gen.set_parallelism(Parallelism::Threads(threads));
-  if (!gen.Plan(w.data.train.left, w.data.train.right).ok()) {
-    state.SkipWithError("plan failed");
+  Status planned = gen.Plan(w.data.train.left, w.data.train.right);
+  if (!planned.ok()) {
+    state.SkipWithError(("plan failed: " + planned.ToString()).c_str());
     return;
   }
   for (auto _ : state) {

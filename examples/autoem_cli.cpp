@@ -34,6 +34,7 @@
 
 #include "automl/config_io.h"
 #include "em/blocking.h"
+#include "fault/failpoint.h"
 #include "em/matcher.h"
 #include "em/pairs_io.h"
 #include "io/model_io.h"
@@ -47,7 +48,9 @@ namespace {
 struct Flags {
   std::map<std::string, std::string> values;
 
-  // Accepts both `--key value` and `--key=value`.
+  // Accepts `--key value`, `--key=value`, and bare boolean flags
+  // (`--resume`): a flag whose next token is absent or itself a flag
+  // stores "1".
   static Flags Parse(int argc, char** argv, int first) {
     Flags flags;
     for (int i = first; i < argc; ++i) {
@@ -56,8 +59,10 @@ struct Flags {
       size_t eq = arg.find('=');
       if (eq != std::string::npos) {
         flags.values[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
-      } else if (i + 1 < argc) {
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
         flags.values[arg.substr(2)] = argv[++i];
+      } else {
+        flags.values[arg.substr(2)] = "1";
       }
     }
     return flags;
@@ -139,6 +144,17 @@ EntityMatcher TrainMatcher(const Flags& flags, PairSet* train_out) {
   options.automl.parallelism.threads =
       std::atoi(flags.Get("threads", "1").c_str());
   options.automl.obs = ObsFromFlags(flags);
+  // Fault tolerance: per-trial deadline plus crash-safe checkpoint/resume.
+  options.automl.max_trial_seconds =
+      std::atof(flags.Get("max-trial-seconds", "0").c_str());
+  options.automl.checkpoint.path = flags.Get("checkpoint");
+  options.automl.checkpoint.every_n_trials =
+      std::atoi(flags.Get("checkpoint-every", "5").c_str());
+  options.automl.checkpoint.resume = flags.Has("resume");
+  if (options.automl.checkpoint.resume &&
+      options.automl.checkpoint.path.empty()) {
+    Fail("--resume requires --checkpoint=path");
+  }
   if (flags.Has("warm-start")) {
     auto config = LoadConfiguration(flags.Get("warm-start"));
     if (!config.ok()) Fail(config.status().ToString());
@@ -329,6 +345,9 @@ void PrintUsage() {
       "[--save-config cfg.txt] [--warm-start cfg.txt]\n"
       "             [--save-trajectory curve.csv] [--save-model model.aem]\n"
       "             [--score-out scores.csv]   (`train` is an alias)\n"
+      "             [--checkpoint ckpt.aemk] [--checkpoint-every N] "
+      "[--resume]\n"
+      "             [--max-trial-seconds S]\n"
       "  autoem_cli match --train-a A.csv --train-b B.csv --train-pairs "
       "P.csv\n"
       "             --cand-a CA.csv --cand-b CB.csv [--block-on attr]\n"
@@ -349,6 +368,15 @@ void PrintUsage() {
       "  training (0 = all hardware threads; default 1). Output is\n"
       "  bit-identical at any thread count.\n"
       "\n"
+      "fault tolerance (train-eval):\n"
+      "  --checkpoint F        write a crash-safe search checkpoint to F\n"
+      "                        every --checkpoint-every trials (default 5)\n"
+      "  --resume              continue a killed run from --checkpoint; the\n"
+      "                        final model is bit-identical to an\n"
+      "                        uninterrupted run\n"
+      "  --max-trial-seconds S cancel and quarantine any single pipeline\n"
+      "                        trial running past S seconds\n"
+      "\n"
       "observability (both subcommands; flags accept --k v or --k=v):\n"
       "  --log-level L     trace|debug|info|warn|error|off (default warn)\n"
       "  --trace-out F     write a Chrome trace_event JSON (open in\n"
@@ -364,6 +392,13 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     PrintUsage();
     return 1;
+  }
+  // Fault injection for CI/dev runs, e.g.
+  // AUTOEM_FAILPOINTS="evaluator.fit=sleep:200" slows every trial so a
+  // kill-and-resume test can land its SIGKILL between checkpoints.
+  if (const char* failpoints = std::getenv("AUTOEM_FAILPOINTS")) {
+    Status st = fault::FailpointRegistry::Global().ArmFromSpec(failpoints);
+    if (!st.ok()) Fail("AUTOEM_FAILPOINTS: " + st.ToString());
   }
   Flags flags = Flags::Parse(argc, argv, 2);
   // Top-level session: owns the trace for the whole invocation (the nested

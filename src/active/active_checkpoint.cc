@@ -1,0 +1,95 @@
+#include "active/active_checkpoint.h"
+
+#include "automl/checkpoint.h"
+#include "io/serialize.h"
+#include "obs/obs.h"
+
+namespace autoem {
+
+Status SaveActiveCheckpoint(const ActiveCheckpoint& state,
+                            const std::string& path) {
+  obs::Span span("active_checkpoint.save");
+  if (span.active()) {
+    span.Arg("path", path);
+    span.Arg("iteration", state.iteration);
+  }
+  io::Writer payload;
+  payload.U64(state.seed);
+  payload.Str(state.rng_state);
+  payload.U64(state.model_seed);
+  payload.U64(state.iteration);
+  payload.F64(state.alpha);
+  payload.U64(state.human_used);
+  payload.U64(state.machine_added);
+  payload.U64(state.machine_correct);
+  payload.U64(state.labeled.size());
+  for (const ActiveLabeledRow& row : state.labeled) {
+    payload.U64(row.pool_index);
+    payload.I32(row.label);
+    payload.U8(row.machine ? 1 : 0);
+  }
+  payload.U64(state.unlabeled.size());
+  for (uint64_t idx : state.unlabeled) payload.U64(idx);
+  payload.U64(state.stats.size());
+  for (const ActiveIterationStats& s : state.stats) {
+    payload.U64(s.iteration);
+    payload.U64(s.human_labels);
+    payload.U64(s.machine_labels);
+    payload.F64(s.iteration_model_test_f1);
+  }
+  AUTOEM_RETURN_IF_ERROR(
+      WriteCheckpointFile(kActiveCheckpointKind, payload, path));
+  AUTOEM_LOG(DEBUG) << "active_checkpoint: saved iteration "
+                    << state.iteration << " to " << path;
+  return Status::OK();
+}
+
+Result<ActiveCheckpoint> LoadActiveCheckpoint(const std::string& path) {
+  auto payload = ReadCheckpointFile(kActiveCheckpointKind, path);
+  if (!payload.ok()) return payload.status();
+  io::Reader r(*payload);
+  ActiveCheckpoint state;
+  AUTOEM_RETURN_IF_ERROR(r.U64(&state.seed));
+  AUTOEM_RETURN_IF_ERROR(r.Str(&state.rng_state));
+  AUTOEM_RETURN_IF_ERROR(r.U64(&state.model_seed));
+  AUTOEM_RETURN_IF_ERROR(r.U64(&state.iteration));
+  AUTOEM_RETURN_IF_ERROR(r.F64(&state.alpha));
+  AUTOEM_RETURN_IF_ERROR(r.U64(&state.human_used));
+  AUTOEM_RETURN_IF_ERROR(r.U64(&state.machine_added));
+  AUTOEM_RETURN_IF_ERROR(r.U64(&state.machine_correct));
+  uint64_t n_labeled;
+  AUTOEM_RETURN_IF_ERROR(r.Len(&n_labeled, 13));  // u64 + i32 + u8
+  state.labeled.resize(static_cast<size_t>(n_labeled));
+  for (ActiveLabeledRow& row : state.labeled) {
+    AUTOEM_RETURN_IF_ERROR(r.U64(&row.pool_index));
+    AUTOEM_RETURN_IF_ERROR(r.I32(&row.label));
+    uint8_t machine;
+    AUTOEM_RETURN_IF_ERROR(r.U8(&machine));
+    row.machine = machine != 0;
+  }
+  uint64_t n_unlabeled;
+  AUTOEM_RETURN_IF_ERROR(r.Len(&n_unlabeled, 8));
+  state.unlabeled.resize(static_cast<size_t>(n_unlabeled));
+  for (uint64_t& idx : state.unlabeled) {
+    AUTOEM_RETURN_IF_ERROR(r.U64(&idx));
+  }
+  uint64_t n_stats;
+  AUTOEM_RETURN_IF_ERROR(r.Len(&n_stats, 32));  // 3x u64 + f64
+  state.stats.resize(static_cast<size_t>(n_stats));
+  for (ActiveIterationStats& s : state.stats) {
+    uint64_t iteration, human, machine;
+    AUTOEM_RETURN_IF_ERROR(r.U64(&iteration));
+    AUTOEM_RETURN_IF_ERROR(r.U64(&human));
+    AUTOEM_RETURN_IF_ERROR(r.U64(&machine));
+    s.iteration = static_cast<size_t>(iteration);
+    s.human_labels = static_cast<size_t>(human);
+    s.machine_labels = static_cast<size_t>(machine);
+    AUTOEM_RETURN_IF_ERROR(r.F64(&s.iteration_model_test_f1));
+  }
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("corrupt checkpoint: trailing bytes");
+  }
+  return state;
+}
+
+}  // namespace autoem

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <sstream>
 
+#include "active/active_checkpoint.h"
 #include "ml/metrics.h"
 #include "obs/obs.h"
 
@@ -81,43 +83,109 @@ Result<ActiveLearningResult> RunAutoMlEmActive(
   Rng rng(options.seed);
   ActiveLearningResult result;
 
-  // Unlabeled pool U as an index set.
-  std::vector<size_t> unlabeled(pool.size());
-  std::iota(unlabeled.begin(), unlabeled.end(), 0);
-  rng.Shuffle(&unlabeled);
-
-  // ---- Algorithm 1, lines 1-4: initial human-labeled sample ----
+  std::vector<size_t> unlabeled;
   std::vector<LabeledRow> labeled;
-  size_t n_init = std::min(options.init_size, pool.size());
-  // α below divides by n_init; guard here (not only at the entry checks) so
-  // no future clamp of n_init can reintroduce the NaN that would poison the
-  // Remark-2 positive-ratio preservation and the active.positive_ratio gauge.
-  if (n_init == 0) {
-    return Status::InvalidArgument("empty initial sample (n_init == 0)");
-  }
-  for (size_t k = 0; k < n_init; ++k) {
-    size_t idx = unlabeled.back();
-    unlabeled.pop_back();
-    labeled.push_back({idx, oracle->Label(idx), /*machine=*/false});
-  }
-  size_t human_used = n_init;
-  oracle_labels->Add(n_init);
+  size_t human_used = 0;
+  size_t machine_added = 0;
+  size_t machine_correct = 0;
+  double alpha = 0.0;
+  uint64_t model_seed = 0;
+  int start_iter = 1;
+  bool resumed = false;
 
-  // α: positive ratio of the initial training data (Remark 2).
-  size_t init_pos = 0;
-  for (const auto& r : labeled) init_pos += (r.label == 1);
-  double alpha = static_cast<double>(init_pos) / static_cast<double>(n_init);
+  const CheckpointOptions& ckpt = options.checkpoint;
+  if (!ckpt.path.empty() && ckpt.resume) {
+    auto loaded = LoadActiveCheckpoint(ckpt.path);
+    if (!loaded.ok()) {
+      if (loaded.status().code() != StatusCode::kNotFound) {
+        return loaded.status();
+      }
+      // Killed before the first checkpoint: start fresh.
+      AUTOEM_LOG(INFO) << "active: no checkpoint at " << ckpt.path
+                       << ", starting fresh";
+    } else {
+      ActiveCheckpoint& state = *loaded;
+      if (state.seed != options.seed) {
+        return Status::InvalidArgument(
+            "checkpoint seed " + std::to_string(state.seed) +
+            " does not match run seed " + std::to_string(options.seed) +
+            "; refusing to resume a different run");
+      }
+      {
+        std::istringstream in(state.rng_state);
+        in >> rng.engine();
+        if (in.fail()) {
+          return Status::InvalidArgument("checkpoint: unreadable RNG state");
+        }
+      }
+      for (const ActiveLabeledRow& row : state.labeled) {
+        if (row.pool_index >= pool.size()) {
+          return Status::InvalidArgument(
+              "checkpoint does not match this pool (row index out of range)");
+        }
+        labeled.push_back({static_cast<size_t>(row.pool_index), row.label,
+                           row.machine});
+      }
+      for (uint64_t idx : state.unlabeled) {
+        if (idx >= pool.size()) {
+          return Status::InvalidArgument(
+              "checkpoint does not match this pool (pool index out of range)");
+        }
+        unlabeled.push_back(static_cast<size_t>(idx));
+      }
+      model_seed = state.model_seed;
+      alpha = state.alpha;
+      human_used = static_cast<size_t>(state.human_used);
+      machine_added = static_cast<size_t>(state.machine_added);
+      machine_correct = static_cast<size_t>(state.machine_correct);
+      result.iterations = state.stats;
+      start_iter = static_cast<int>(state.iteration) + 1;
+      resumed = true;
+      AUTOEM_LOG(INFO) << "active: resumed iteration " << state.iteration
+                       << " from " << ckpt.path << " (" << labeled.size()
+                       << " labels, " << unlabeled.size()
+                       << " pool rows left)";
+    }
+  }
+
+  if (!resumed) {
+    // Unlabeled pool U as an index set.
+    unlabeled.resize(pool.size());
+    std::iota(unlabeled.begin(), unlabeled.end(), 0);
+    rng.Shuffle(&unlabeled);
+
+    // ---- Algorithm 1, lines 1-4: initial human-labeled sample ----
+    size_t n_init = std::min(options.init_size, pool.size());
+    // α below divides by n_init; guard here (not only at the entry checks)
+    // so no future clamp of n_init can reintroduce the NaN that would poison
+    // the Remark-2 positive-ratio preservation and the
+    // active.positive_ratio gauge.
+    if (n_init == 0) {
+      return Status::InvalidArgument("empty initial sample (n_init == 0)");
+    }
+    for (size_t k = 0; k < n_init; ++k) {
+      size_t idx = unlabeled.back();
+      unlabeled.pop_back();
+      labeled.push_back({idx, oracle->Label(idx), /*machine=*/false});
+    }
+    human_used = n_init;
+    oracle_labels->Add(n_init);
+
+    // α: positive ratio of the initial training data (Remark 2).
+    size_t init_pos = 0;
+    for (const auto& r : labeled) init_pos += (r.label == 1);
+    alpha = static_cast<double>(init_pos) / static_cast<double>(n_init);
+    AUTOEM_LOG(INFO) << "active: init " << n_init << " labels, alpha="
+                     << alpha;
+    model_seed = rng.engine()();
+  }
   positive_ratio->Set(alpha);
-  AUTOEM_LOG(INFO) << "active: init " << n_init << " labels, alpha=" << alpha;
 
   RandomForestOptions model_opt = options.model;
-  model_opt.seed = rng.engine()();
+  model_opt.seed = model_seed;
   model_opt.parallelism = options.parallelism;
   RandomForestClassifier model(model_opt);
   AUTOEM_RETURN_IF_ERROR(FitIterationModel(&model, BuildDataset(pool, labeled)));
-
-  size_t machine_added = 0;
-  size_t machine_correct = 0;
 
   auto record_iteration = [&](size_t iter) {
     ActiveIterationStats stats;
@@ -130,10 +198,46 @@ Result<ActiveLearningResult> RunAutoMlEmActive(
     }
     result.iterations.push_back(stats);
   };
-  record_iteration(0);
+
+  // Checkpoint after every iteration: human labels are too expensive to
+  // lose, so there is no every-N cadence here. A failed write degrades
+  // resume granularity but never kills a healthy run.
+  auto save_checkpoint = [&](size_t iter) {
+    if (ckpt.path.empty()) return;
+    ActiveCheckpoint state;
+    state.seed = options.seed;
+    {
+      std::ostringstream out;
+      out << rng.engine();
+      state.rng_state = out.str();
+    }
+    state.model_seed = model_seed;
+    state.iteration = iter;
+    state.alpha = alpha;
+    state.human_used = human_used;
+    state.machine_added = machine_added;
+    state.machine_correct = machine_correct;
+    state.labeled.reserve(labeled.size());
+    for (const auto& r : labeled) {
+      state.labeled.push_back({static_cast<uint64_t>(r.pool_index),
+                               static_cast<int32_t>(r.label), r.machine});
+    }
+    state.unlabeled.assign(unlabeled.begin(), unlabeled.end());
+    state.stats = result.iterations;
+    Status st = SaveActiveCheckpoint(state, ckpt.path);
+    if (!st.ok()) {
+      AUTOEM_LOG(WARN) << "active: checkpoint write to " << ckpt.path
+                       << " failed: " << st.ToString();
+    }
+  };
+
+  if (!resumed) {
+    record_iteration(0);
+    save_checkpoint(0);
+  }
 
   // ---- Algorithm 1, lines 5-12: the labeling loop ----
-  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+  for (int iter = start_iter; iter <= options.max_iterations; ++iter) {
     if (unlabeled.empty() || human_used >= options.label_budget) break;
 
     obs::Span iter_span("active.iteration");
@@ -232,6 +336,7 @@ Result<ActiveLearningResult> RunAutoMlEmActive(
     AUTOEM_RETURN_IF_ERROR(
         FitIterationModel(&model, BuildDataset(pool, labeled)));
     record_iteration(static_cast<size_t>(iter));
+    save_checkpoint(static_cast<size_t>(iter));
 
     oracle_labels->Add(ac_take);
     self_train_labels->Add(machine_added - machine_before);

@@ -53,6 +53,12 @@ struct ActiveLearningOptions {
   /// AutoML-EM search). Empty by default; never affects which pairs are
   /// queried or the resulting model.
   obs::ObsOptions obs;
+  /// Crash-safe checkpoint/resume of the labeling loop. A checkpoint is
+  /// written after every iteration (every_n_trials is ignored here — human
+  /// labels are too expensive to ever lose); resuming replays no oracle
+  /// queries and reproduces the uninterrupted run bit-identically. The
+  /// final AutoML-EM search has its own knob (`automl.checkpoint`).
+  CheckpointOptions checkpoint;
 
   /// Final AutoML-EM run on the collected labels (Algorithm 1, line 13).
   AutoMlEmOptions automl;

@@ -59,18 +59,31 @@ Result<AutoMlEmResult> RunAutoMlEm(const Dataset& train, const Dataset& valid,
   search_options.max_evaluations = options.max_evaluations;
   search_options.max_seconds = options.max_seconds;
   search_options.seed = options.seed;
+  search_options.max_trial_seconds = options.max_trial_seconds;
+  search_options.checkpoint = options.checkpoint;
 
-  SearchOutcome outcome;
-  if (options.algorithm == SearchAlgorithm::kSmac) {
-    SmacOptions smac;
-    smac.base = search_options;
-    smac.initial_configs = options.warm_start_configs;
-    outcome = SmacSearch(space, &evaluator, smac);
-  } else {
-    outcome = RandomSearch(space, &evaluator, search_options);
-  }
+  Result<SearchOutcome> searched = [&]() -> Result<SearchOutcome> {
+    if (options.algorithm == SearchAlgorithm::kSmac) {
+      SmacOptions smac;
+      smac.base = search_options;
+      smac.initial_configs = options.warm_start_configs;
+      return SmacSearch(space, &evaluator, smac);
+    }
+    return RandomSearch(space, &evaluator, search_options);
+  }();
+  if (!searched.ok()) return searched.status();
+  SearchOutcome outcome = std::move(*searched);
   if (outcome.trajectory.empty()) {
     return Status::Internal("search produced no evaluations");
+  }
+  if (outcome.trials_failed > 0) {
+    AUTOEM_LOG(WARN) << "automl: " << outcome.trials_failed << " of "
+                     << outcome.trajectory.size()
+                     << " trials were quarantined";
+  }
+  if (outcome.best_config.empty()) {
+    return Status::Internal(
+        "every trial failed: no usable configuration was found");
   }
 
   auto compiled = EmPipeline::Compile(outcome.best_config);
@@ -78,7 +91,8 @@ Result<AutoMlEmResult> RunAutoMlEm(const Dataset& train, const Dataset& valid,
 
   AutoMlEmResult result{std::move(outcome.best_config),
                         outcome.best_valid_f1, std::move(*compiled),
-                        std::move(outcome.trajectory)};
+                        std::move(outcome.trajectory),
+                        outcome.trials_failed};
   result.model.SetParallelism(options.parallelism);
   {
     obs::Span refit_span("automl.refit");

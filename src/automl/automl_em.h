@@ -39,6 +39,12 @@ struct AutoMlEmOptions {
   /// Warm-start configurations evaluated before the search proper (simple
   /// meta-learning: carry over winners from similar past datasets).
   std::vector<Configuration> warm_start_configs;
+  /// Per-trial deadline; <= 0 disables. Runaway candidate pipelines are
+  /// cooperatively cancelled at the deadline and quarantined as timeouts
+  /// instead of stalling the whole search.
+  double max_trial_seconds = 0.0;
+  /// Crash-safe checkpoint/resume of the search (see automl/checkpoint.h).
+  CheckpointOptions checkpoint;
   /// Parallelism of the hot paths inside the run: featurization (the
   /// RunAutoMlEmOnPairs overload), every candidate pipeline's forest fit,
   /// and the final refit. The search trajectory and the returned model are
@@ -58,6 +64,8 @@ struct AutoMlEmResult {
   double best_valid_f1 = 0.0;
   EmPipeline model;  // fitted, ready for Predict
   std::vector<EvalRecord> trajectory;
+  /// Trials quarantined by the search (errors, timeouts, non-finite scores).
+  size_t trials_failed = 0;
 
   /// Fig. 11-style printable pipeline.
   std::string BestPipelineString() const { return model.ToString(); }

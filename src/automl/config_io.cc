@@ -8,6 +8,8 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "io/atomic_file.h"
+#include "io/serialize.h"
 
 namespace autoem {
 
@@ -109,11 +111,8 @@ Result<Configuration> ParseConfiguration(const std::string& text) {
 
 Status SaveConfiguration(const Configuration& config,
                          const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out << "# AutoEM pipeline configuration\n" << SerializeConfiguration(config);
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return io::AtomicWriteFile(path, "# AutoEM pipeline configuration\n" +
+                                       SerializeConfiguration(config));
 }
 
 Result<Configuration> LoadConfiguration(const std::string& path) {
@@ -122,6 +121,84 @@ Result<Configuration> LoadConfiguration(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return ParseConfiguration(buf.str());
+}
+
+namespace {
+
+// Tagged ParamValue encoding for the binary codec below.
+enum class ParamTag : uint8_t { kBool = 0, kInt = 1, kDouble = 2, kString = 3 };
+
+void WriteParamValue(io::Writer* w, const ParamValue& v) {
+  if (v.is_bool()) {
+    w->U8(static_cast<uint8_t>(ParamTag::kBool));
+    w->U8(v.AsBool() ? 1 : 0);
+  } else if (v.is_int()) {
+    w->U8(static_cast<uint8_t>(ParamTag::kInt));
+    w->I64(v.AsInt());
+  } else if (v.is_double()) {
+    w->U8(static_cast<uint8_t>(ParamTag::kDouble));
+    w->F64(v.AsDouble());
+  } else {
+    w->U8(static_cast<uint8_t>(ParamTag::kString));
+    w->Str(v.AsString());
+  }
+}
+
+Status ReadParamValue(io::Reader* r, ParamValue* v) {
+  uint8_t tag;
+  AUTOEM_RETURN_IF_ERROR(r->U8(&tag));
+  switch (static_cast<ParamTag>(tag)) {
+    case ParamTag::kBool: {
+      uint8_t b;
+      AUTOEM_RETURN_IF_ERROR(r->U8(&b));
+      *v = ParamValue(b != 0);
+      return Status::OK();
+    }
+    case ParamTag::kInt: {
+      int64_t i;
+      AUTOEM_RETURN_IF_ERROR(r->I64(&i));
+      *v = ParamValue(i);
+      return Status::OK();
+    }
+    case ParamTag::kDouble: {
+      double d;
+      AUTOEM_RETURN_IF_ERROR(r->F64(&d));
+      *v = ParamValue(d);
+      return Status::OK();
+    }
+    case ParamTag::kString: {
+      std::string s;
+      AUTOEM_RETURN_IF_ERROR(r->Str(&s));
+      *v = ParamValue(std::move(s));
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("configuration: unknown param tag");
+}
+
+}  // namespace
+
+void WriteConfigurationBinary(io::Writer* w, const Configuration& config) {
+  w->U64(config.size());
+  for (const auto& [key, value] : config) {
+    w->Str(key);
+    WriteParamValue(w, value);
+  }
+}
+
+Status ReadConfigurationBinary(io::Reader* r, Configuration* config) {
+  config->clear();
+  uint64_t count;
+  // Each entry is at least a key length prefix plus a tag byte.
+  AUTOEM_RETURN_IF_ERROR(r->Len(&count, 9));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key;
+    ParamValue value;
+    AUTOEM_RETURN_IF_ERROR(r->Str(&key));
+    AUTOEM_RETURN_IF_ERROR(ReadParamValue(r, &value));
+    (*config)[std::move(key)] = std::move(value);
+  }
+  return Status::OK();
 }
 
 uint64_t ConfigurationHash(const Configuration& config) {
@@ -152,11 +229,7 @@ std::string SerializeTrajectoryCsv(const std::vector<EvalRecord>& trajectory) {
 
 Status SaveTrajectory(const std::vector<EvalRecord>& trajectory,
                       const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out << SerializeTrajectoryCsv(trajectory);
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return io::AtomicWriteFile(path, SerializeTrajectoryCsv(trajectory));
 }
 
 }  // namespace autoem

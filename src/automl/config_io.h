@@ -11,6 +11,11 @@
 
 namespace autoem {
 
+namespace io {
+class Writer;
+class Reader;
+}  // namespace io
+
 /// Serializes a configuration to a stable, human-editable text form:
 /// one `key = value` per line, keys sorted; strings single-quoted,
 /// booleans as true/false, numbers in round-trip precision.
@@ -34,6 +39,13 @@ Result<Configuration> LoadConfiguration(const std::string& path);
 /// pipeline identifier used by trace spans and trajectory dumps. Identical
 /// configurations hash identically across runs and processes.
 uint64_t ConfigurationHash(const Configuration& config);
+
+/// Binary Configuration codec shared by the model container
+/// (EmPipeline::SaveFitted) and search checkpoints. std::map iterates in key
+/// order, so equal configurations encode to equal bytes — which is what
+/// makes byte-identical models/checkpoints possible.
+void WriteConfigurationBinary(io::Writer* w, const Configuration& config);
+Status ReadConfigurationBinary(io::Reader* r, Configuration* config);
 
 /// Serializes a search trajectory (AutoMlEmResult::trajectory) as CSV with
 /// header

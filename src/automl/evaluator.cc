@@ -1,18 +1,96 @@
 #include "automl/evaluator.h"
 
+#include <cmath>
+#include <exception>
+#include <new>
+
 #include "automl/config_io.h"
 #include "common/rng.h"
+#include "fault/failpoint.h"
 #include "ml/metrics.h"
 #include "obs/obs.h"
 
 namespace autoem {
 
+const char* TrialFailureName(TrialFailure failure) {
+  switch (failure) {
+    case TrialFailure::kNone:
+      return "ok";
+    case TrialFailure::kError:
+      return "error";
+    case TrialFailure::kTimeout:
+      return "timeout";
+    case TrialFailure::kNonFinite:
+      return "non_finite";
+  }
+  return "unknown";
+}
+
+Status ValidateTrialScore(double score, const Configuration& config) {
+  if (std::isfinite(score)) return Status::OK();
+  return Status::Internal(
+      "non-finite score " + std::to_string(score) + " for config hash " +
+      std::to_string(ConfigurationHash(config)));
+}
+
 HoldoutEvaluator::HoldoutEvaluator(Dataset train, Dataset valid)
     : train_(std::move(train)), valid_(std::move(valid)) {}
+
+Status HoldoutEvaluator::FitAndScore(const Configuration& config,
+                                     EvalRecord* record) {
+  // The library itself reports failures through Status, but a pathological
+  // configuration can still blow memory inside the STL (and the bad_alloc
+  // failpoint simulates exactly that); catch here so one trial's OOM becomes
+  // a quarantined record, not a dead search.
+  try {
+    AUTOEM_FAILPOINT("evaluator.fit");
+    auto compiled = EmPipeline::Compile(config);
+    AUTOEM_RETURN_IF_ERROR(compiled.status());
+    EmPipeline& pipeline = *compiled;
+    pipeline.SetParallelism(parallelism_);
+
+    fault::CancelToken cancel;
+    if (trial_options_.max_trial_seconds > 0.0) {
+      cancel =
+          fault::CancelToken::WithDeadline(trial_options_.max_trial_seconds);
+      pipeline.SetCancelToken(cancel);
+    }
+
+    AUTOEM_RETURN_IF_ERROR(pipeline.Fit(train_));
+    AUTOEM_FAILPOINT("evaluator.score");
+    AUTOEM_RETURN_IF_ERROR(cancel.Check("evaluator.score"));
+    double valid_f1 = F1Score(valid_.y, pipeline.Predict(valid_.X));
+    Status finite = ValidateTrialScore(valid_f1, config);
+    if (!finite.ok()) {
+      record->failure = TrialFailure::kNonFinite;
+      return finite;
+    }
+    record->valid_f1 = valid_f1;
+    if (has_test_) {
+      double test_f1 = F1Score(test_.y, pipeline.Predict(test_.X));
+      record->test_f1 = std::isfinite(test_f1) ? test_f1 : -1.0;
+    }
+  } catch (const std::bad_alloc&) {
+    return Status::Internal("out of memory evaluating config hash " +
+                            std::to_string(ConfigurationHash(config)));
+  } catch (const std::exception& e) {
+    return Status::Internal("exception evaluating config hash " +
+                            std::to_string(ConfigurationHash(config)) + ": " +
+                            e.what());
+  }
+  return Status::OK();
+}
 
 EvalRecord HoldoutEvaluator::Evaluate(const Configuration& config) {
   static obs::Counter* trials =
       obs::MetricsRegistry::Global().GetCounter("automl.trials");
+  static obs::Counter* failed_error =
+      obs::MetricsRegistry::Global().GetCounter("automl.trials_failed.error");
+  static obs::Counter* failed_timeout =
+      obs::MetricsRegistry::Global().GetCounter("automl.trials_failed.timeout");
+  static obs::Counter* failed_non_finite =
+      obs::MetricsRegistry::Global().GetCounter(
+          "automl.trials_failed.non_finite");
   static obs::Histogram* eval_ms =
       obs::MetricsRegistry::Global().GetHistogram("automl.pipeline_eval_ms");
   obs::Span span("automl.pipeline_eval");
@@ -22,20 +100,35 @@ EvalRecord HoldoutEvaluator::Evaluate(const Configuration& config) {
   record.trial = static_cast<int>(trajectory_.size());
 
   Stopwatch timer;
-  auto compiled = EmPipeline::Compile(config);
-  if (compiled.ok()) {
-    EmPipeline& pipeline = *compiled;
-    pipeline.SetParallelism(parallelism_);
-    Status st = pipeline.Fit(train_);
-    if (st.ok()) {
-      record.valid_f1 = F1Score(valid_.y, pipeline.Predict(valid_.X));
-      if (has_test_) {
-        record.test_f1 = F1Score(test_.y, pipeline.Predict(test_.X));
-      }
+  Status st = FitAndScore(config, &record);
+  if (!st.ok()) {
+    // Quarantine: impute the worst score so the surrogate learns this region
+    // is bad, and classify the failure so the search never re-proposes it.
+    record.valid_f1 = 0.0;
+    record.test_f1 = -1.0;
+    if (record.failure == TrialFailure::kNone) {
+      record.failure = st.code() == StatusCode::kDeadlineExceeded
+                           ? TrialFailure::kTimeout
+                           : TrialFailure::kError;
     }
+    record.failure_message = st.ToString();
+    switch (record.failure) {
+      case TrialFailure::kTimeout:
+        failed_timeout->Add();
+        break;
+      case TrialFailure::kNonFinite:
+        failed_non_finite->Add();
+        break;
+      default:
+        failed_error->Add();
+        break;
+    }
+    AUTOEM_LOG(WARN) << "trial " << record.trial << " quarantined ("
+                     << TrialFailureName(record.failure)
+                     << "): " << record.failure_message;
   }
   record.fit_seconds = timer.ElapsedSeconds();
-  record.elapsed_seconds = lifetime_.ElapsedSeconds();
+  record.elapsed_seconds = lifetime_.ElapsedSeconds() + elapsed_offset_;
 
   trials->Add();
   eval_ms->Observe(record.fit_seconds * 1000.0);
@@ -44,6 +137,7 @@ EvalRecord HoldoutEvaluator::Evaluate(const Configuration& config) {
     span.Arg("config_hash", ConfigurationHash(config));
     span.Arg("valid_f1", record.valid_f1);
     span.Arg("fit_ms", record.fit_seconds * 1000.0);
+    span.Arg("failure", TrialFailureName(record.failure));
   }
   AUTOEM_LOG(DEBUG) << "trial " << record.trial << " valid_f1="
                     << record.valid_f1 << " fit_s=" << record.fit_seconds;
@@ -54,6 +148,18 @@ EvalRecord HoldoutEvaluator::Evaluate(const Configuration& config) {
   }
   trajectory_.push_back(record);
   return record;
+}
+
+void HoldoutEvaluator::RestoreTrajectory(std::vector<EvalRecord> history,
+                                         double elapsed_offset) {
+  trajectory_ = std::move(history);
+  elapsed_offset_ = elapsed_offset;
+  best_index_ = 0;
+  for (size_t i = 1; i < trajectory_.size(); ++i) {
+    if (trajectory_[i].valid_f1 > trajectory_[best_index_].valid_f1) {
+      best_index_ = i;
+    }
+  }
 }
 
 const EvalRecord& HoldoutEvaluator::best() const {

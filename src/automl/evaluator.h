@@ -6,9 +6,23 @@
 
 #include "automl/pipeline.h"
 #include "common/timer.h"
+#include "fault/cancel.h"
 #include "ml/dataset.h"
 
 namespace autoem {
+
+/// Why a trial was quarantined (SMAC treats failed evaluations as
+/// first-class data: worst-score imputation, never re-proposed).
+enum class TrialFailure : uint8_t {
+  kNone = 0,       // trial completed with a finite score
+  kError = 1,      // compile/fit/score returned an error or threw
+  kTimeout = 2,    // per-trial deadline (TrialOptions::max_trial_seconds)
+  kNonFinite = 3,  // score came back NaN/Inf
+};
+
+/// Stable short name ("ok", "error", "timeout", "non_finite") — used for
+/// metric suffixes (automl.trials_failed.<name>) and checkpoint logs.
+const char* TrialFailureName(TrialFailure failure);
 
 /// One completed pipeline evaluation.
 struct EvalRecord {
@@ -23,7 +37,27 @@ struct EvalRecord {
   /// tuning curve (best F1 vs time) that SaveTrajectory/FormatTuningCurve
   /// can serialize without re-running the search.
   double elapsed_seconds = 0.0;
+  /// kNone for a clean trial. Anything else means valid_f1 is the imputed
+  /// worst score (0.0), not a measurement, and the search must quarantine
+  /// this configuration.
+  TrialFailure failure = TrialFailure::kNone;
+  /// Human-readable cause for quarantined trials (Status message); empty on
+  /// success. Not serialized into trajectories.
+  std::string failure_message;
 };
+
+/// Per-trial resource limits applied by the evaluator.
+struct TrialOptions {
+  /// Cooperative wall-clock deadline per evaluation; <= 0 disables. A trial
+  /// past its deadline is cancelled (forest fits bail at the next tree/node
+  /// boundary) and recorded as TrialFailure::kTimeout.
+  double max_trial_seconds = 0.0;
+};
+
+/// Satellite guard against silent NaN propagation into the surrogate mean:
+/// OK for finite scores, Status::Internal naming the offending config hash
+/// otherwise.
+Status ValidateTrialScore(double score, const Configuration& config);
 
 /// One-hold-out evaluation (the paper's validation protocol, §V-A): fit the
 /// candidate pipeline on `train`, score F1 on `valid`. A `test` set may be
@@ -42,8 +76,15 @@ class HoldoutEvaluator {
     parallelism_ = parallelism;
   }
 
-  /// Fits and scores one configuration. Pipelines that fail to fit score
-  /// 0.0 (the search treats them as bad, not fatal).
+  /// Per-trial limits (deadline). Applies to subsequent Evaluate calls.
+  void SetTrialOptions(const TrialOptions& options) {
+    trial_options_ = options;
+  }
+
+  /// Fits and scores one configuration. Never throws and never aborts the
+  /// search: a trial that errors, exceeds its deadline, or produces a
+  /// non-finite score comes back with the worst score imputed (0.0) and
+  /// `failure` set, so callers can quarantine the config and continue.
   EvalRecord Evaluate(const Configuration& config);
 
   size_t num_evaluations() const { return trajectory_.size(); }
@@ -52,17 +93,31 @@ class HoldoutEvaluator {
   /// Best record so far by validation F1 (ties: earliest wins).
   const EvalRecord& best() const;
 
+  /// Checkpoint resume: seeds the trajectory with `history` (recomputing the
+  /// best index) and offsets future elapsed_seconds by `elapsed_offset` so a
+  /// resumed run's tuning curve continues the killed run's clock instead of
+  /// restarting at zero. Must be called before the first Evaluate.
+  void RestoreTrajectory(std::vector<EvalRecord> history,
+                         double elapsed_offset);
+
   const Dataset& train() const { return train_; }
   const Dataset& valid() const { return valid_; }
 
  private:
+  /// The fallible core of Evaluate: compile, fit under the trial deadline,
+  /// score, validate finiteness. Sets record fields on success; on failure
+  /// may tag record->failure (non-finite detection) and returns the error.
+  Status FitAndScore(const Configuration& config, EvalRecord* record);
+
   Dataset train_;
   Dataset valid_;
   Dataset test_;
   Parallelism parallelism_;
+  TrialOptions trial_options_;
   bool has_test_ = false;
   std::vector<EvalRecord> trajectory_;
   size_t best_index_ = 0;
+  double elapsed_offset_ = 0.0;  // prior run's clock, from RestoreTrajectory
   Stopwatch lifetime_;  // feeds EvalRecord::elapsed_seconds
 };
 

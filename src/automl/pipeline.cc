@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "automl/config_io.h"
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 #include "io/serialize.h"
 #include "ml/models/model_registry.h"
 #include "preprocess/balancing.h"
@@ -81,82 +83,6 @@ Result<std::unique_ptr<Transform>> MakeScaler(const std::string& choice,
   return Status::NotFound("unknown rescaling choice: " + choice);
 }
 
-// --- Configuration (ParamMap) encoding for the model file. std::map
-// iterates in key order, so equal configurations encode to equal bytes.
-
-enum class ParamTag : uint8_t { kBool = 0, kInt = 1, kDouble = 2, kString = 3 };
-
-void WriteParamValue(io::Writer* w, const ParamValue& v) {
-  if (v.is_bool()) {
-    w->U8(static_cast<uint8_t>(ParamTag::kBool));
-    w->U8(v.AsBool() ? 1 : 0);
-  } else if (v.is_int()) {
-    w->U8(static_cast<uint8_t>(ParamTag::kInt));
-    w->I64(v.AsInt());
-  } else if (v.is_double()) {
-    w->U8(static_cast<uint8_t>(ParamTag::kDouble));
-    w->F64(v.AsDouble());
-  } else {
-    w->U8(static_cast<uint8_t>(ParamTag::kString));
-    w->Str(v.AsString());
-  }
-}
-
-Status ReadParamValue(io::Reader* r, ParamValue* v) {
-  uint8_t tag;
-  AUTOEM_RETURN_IF_ERROR(r->U8(&tag));
-  switch (static_cast<ParamTag>(tag)) {
-    case ParamTag::kBool: {
-      uint8_t b;
-      AUTOEM_RETURN_IF_ERROR(r->U8(&b));
-      *v = ParamValue(b != 0);
-      return Status::OK();
-    }
-    case ParamTag::kInt: {
-      int64_t i;
-      AUTOEM_RETURN_IF_ERROR(r->I64(&i));
-      *v = ParamValue(i);
-      return Status::OK();
-    }
-    case ParamTag::kDouble: {
-      double d;
-      AUTOEM_RETURN_IF_ERROR(r->F64(&d));
-      *v = ParamValue(d);
-      return Status::OK();
-    }
-    case ParamTag::kString: {
-      std::string s;
-      AUTOEM_RETURN_IF_ERROR(r->Str(&s));
-      *v = ParamValue(std::move(s));
-      return Status::OK();
-    }
-  }
-  return Status::InvalidArgument("configuration: unknown param tag");
-}
-
-void WriteConfiguration(io::Writer* w, const Configuration& config) {
-  w->U64(config.size());
-  for (const auto& [key, value] : config) {
-    w->Str(key);
-    WriteParamValue(w, value);
-  }
-}
-
-Status ReadConfiguration(io::Reader* r, Configuration* config) {
-  config->clear();
-  uint64_t count;
-  // Each entry is at least a key length prefix plus a tag byte.
-  AUTOEM_RETURN_IF_ERROR(r->Len(&count, 9));
-  for (uint64_t i = 0; i < count; ++i) {
-    std::string key;
-    ParamValue value;
-    AUTOEM_RETURN_IF_ERROR(r->Str(&key));
-    AUTOEM_RETURN_IF_ERROR(ReadParamValue(r, &value));
-    (*config)[std::move(key)] = std::move(value);
-  }
-  return Status::OK();
-}
-
 /// Reads a component name tag written by SaveFitted and checks it against
 /// the component Compile produced — catching file/configuration divergence
 /// before any fitted state is interpreted against the wrong component.
@@ -177,7 +103,7 @@ Status EmPipeline::SaveFitted(io::Writer* w) const {
   if (classifier_ == nullptr || imputer_ == nullptr) {
     return Status::FailedPrecondition("pipeline is not compiled");
   }
-  WriteConfiguration(w, config_);
+  WriteConfigurationBinary(w, config_);
   w->U64(active_feature_names_.size());
   for (const auto& name : active_feature_names_) w->Str(name);
 
@@ -199,7 +125,7 @@ Status EmPipeline::SaveFitted(io::Writer* w) const {
 
 Result<EmPipeline> EmPipeline::LoadFitted(io::Reader* r) {
   Configuration config;
-  AUTOEM_RETURN_IF_ERROR(ReadConfiguration(r, &config));
+  AUTOEM_RETURN_IF_ERROR(ReadConfigurationBinary(r, &config));
   auto compiled = Compile(config);
   if (!compiled.ok()) return compiled.status();
   EmPipeline pipeline = std::move(*compiled);
@@ -277,19 +203,25 @@ Result<EmPipeline> EmPipeline::Compile(const Configuration& config) {
 
 Status EmPipeline::Fit(const Dataset& train) {
   if (train.size() == 0) return Status::InvalidArgument("empty training set");
+  AUTOEM_FAILPOINT("pipeline.fit");
 
   AUTOEM_RETURN_IF_ERROR(imputer_->Fit(train.X, train.y));
   Matrix X = imputer_->Apply(train.X);
   active_feature_names_ = train.feature_names;
 
+  // Cancellation is checked at every stage boundary; the classifier fit
+  // below additionally polls the token internally (forest ensembles).
+  AUTOEM_RETURN_IF_ERROR(cancel_.Check("pipeline.impute"));
   if (scaler_) {
     AUTOEM_RETURN_IF_ERROR(scaler_->Fit(X, train.y));
     X = scaler_->Apply(X);
+    AUTOEM_RETURN_IF_ERROR(cancel_.Check("pipeline.rescale"));
   }
   if (preprocessor_) {
     AUTOEM_RETURN_IF_ERROR(preprocessor_->Fit(X, train.y));
     X = preprocessor_->Apply(X);
     active_feature_names_ = preprocessor_->OutputNames(active_feature_names_);
+    AUTOEM_RETURN_IF_ERROR(cancel_.Check("pipeline.preprocess"));
   }
 
   std::vector<int> y = train.y;

@@ -32,6 +32,15 @@ class EmPipeline {
   }
   const Parallelism& parallelism() const { return parallelism_; }
 
+  /// Per-trial cancellation (fault/cancel.h): Fit checks the token between
+  /// stages and forwards it to the classifier so long forest fits bail out
+  /// mid-ensemble. A cancelled Fit returns DeadlineExceeded and leaves the
+  /// pipeline half-trained — discard it.
+  void SetCancelToken(const fault::CancelToken& cancel) {
+    cancel_ = cancel;
+    if (classifier_) classifier_->SetCancelToken(cancel);
+  }
+
   /// P(match) per row of X (same feature width as the training data).
   std::vector<double> PredictProba(const Matrix& X) const;
   std::vector<int> Predict(const Matrix& X, double threshold = 0.5) const;
@@ -69,6 +78,7 @@ class EmPipeline {
 
   Configuration config_;
   Parallelism parallelism_;
+  fault::CancelToken cancel_;
   std::string balancing_ = "none";
   std::unique_ptr<Transform> imputer_;
   std::unique_ptr<Transform> scaler_;        // may be null

@@ -1,62 +1,39 @@
 #include "automl/random_search.h"
 
+#include "automl/search_driver.h"
 #include "automl/search_space.h"
-#include "common/timer.h"
 #include "obs/obs.h"
 
 namespace autoem {
 
-SearchOutcome RandomSearch(const ConfigurationSpace& space,
-                           HoldoutEvaluator* evaluator,
-                           const SearchOptions& options) {
-  AUTOEM_CHECK_MSG(options.max_evaluations > 0 || options.max_seconds > 0.0,
-                   "search needs an evaluation or time budget");
-  Rng rng(options.seed);
-  Stopwatch timer;
-  SearchOutcome outcome;
+Result<SearchOutcome> RandomSearch(const ConfigurationSpace& space,
+                                   HoldoutEvaluator* evaluator,
+                                   const SearchOptions& options) {
+  if (options.max_evaluations <= 0 && options.max_seconds <= 0.0) {
+    return Status::InvalidArgument(
+        "search needs an evaluation or time budget");
+  }
+  SearchDriver driver(space, evaluator, options, "random_search");
+  AUTOEM_RETURN_IF_ERROR(driver.Init());
 
-  size_t start_evals = evaluator->num_evaluations();
-  auto budget_left = [&] {
-    if (options.max_evaluations > 0 &&
-        evaluator->num_evaluations() - start_evals >=
-            static_cast<size_t>(options.max_evaluations)) {
-      return false;
-    }
-    if (options.max_seconds > 0.0 &&
-        timer.ElapsedSeconds() >= options.max_seconds) {
-      return false;
-    }
-    return true;
-  };
-
-  bool first = true;
-  while (budget_left()) {
+  while (driver.BudgetLeft()) {
     Configuration config;
-    if (first && options.include_default) {
+    if (driver.trials_done() == 0 && options.include_default) {
       // The default must be valid in restricted spaces too; Complete keeps
       // its in-domain entries and samples the rest.
       config = space.Complete(DefaultEmConfiguration(ModelSpace::kAllModels),
-                              &rng);
+                              driver.rng());
     } else {
-      config = space.Sample(&rng);
+      config = driver.Propose(space.Sample(driver.rng()));
     }
-    first = false;
     obs::Span span("random_search.trial");
-    EvalRecord record = evaluator->Evaluate(config);
+    EvalRecord record = driver.Evaluate(config);
     if (span.active()) {
       span.Arg("trial", record.trial);
       span.Arg("valid_f1", record.valid_f1);
     }
-    if (outcome.trajectory.empty() ||
-        record.valid_f1 > outcome.best_valid_f1) {
-      outcome.best_valid_f1 = record.valid_f1;
-      outcome.best_config = record.config;
-      AUTOEM_LOG(INFO) << "random_search: new best valid_f1="
-                       << record.valid_f1 << " at trial " << record.trial;
-    }
-    outcome.trajectory.push_back(std::move(record));
   }
-  return outcome;
+  return driver.Finish();
 }
 
 }  // namespace autoem

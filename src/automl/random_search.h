@@ -9,6 +9,20 @@
 
 namespace autoem {
 
+/// Crash-safe checkpointing knobs shared by the searchers and the active
+/// learner (see automl/checkpoint.h for the on-disk format).
+struct CheckpointOptions {
+  /// Checkpoint file path; empty disables checkpointing.
+  std::string path;
+  /// Trials between checkpoints (the active learner checkpoints every
+  /// iteration regardless). Values < 1 behave as 1.
+  int every_n_trials = 5;
+  /// Resume from `path` if it exists. A missing file starts fresh (the run
+  /// was killed before its first checkpoint); a corrupt or mismatched file
+  /// is an error — never silently ignored.
+  bool resume = false;
+};
+
 /// Shared knobs for the pipeline searchers. A search stops at whichever of
 /// the two budgets is hit first (a zero budget disables that bound; at least
 /// one must be set).
@@ -18,19 +32,29 @@ struct SearchOptions {
   uint64_t seed = 1;
   /// When true, evaluation #1 is the default configuration (warm start).
   bool include_default = true;
+  /// Per-trial deadline forwarded to the evaluator; <= 0 disables. A trial
+  /// past the deadline is cancelled and quarantined (TrialFailure::kTimeout)
+  /// without consuming the rest of the global budget.
+  double max_trial_seconds = 0.0;
+  CheckpointOptions checkpoint;
 };
 
 struct SearchOutcome {
   Configuration best_config;
   double best_valid_f1 = 0.0;
   std::vector<EvalRecord> trajectory;
+  /// Trials quarantined by failure class (worst-score imputed, config hash
+  /// blacklisted). Sums over TrialFailureName categories.
+  size_t trials_failed = 0;
 };
 
 /// Pure random search over the configuration space (the simplest pipeline
-/// searcher; the SMAC ablation baseline in bench_fig10).
-SearchOutcome RandomSearch(const ConfigurationSpace& space,
-                           HoldoutEvaluator* evaluator,
-                           const SearchOptions& options);
+/// searcher; the SMAC ablation baseline in bench_fig10). Individual trial
+/// failures are quarantined, never fatal; the error return is reserved for
+/// infrastructure faults (unusable checkpoint, seed mismatch on resume).
+Result<SearchOutcome> RandomSearch(const ConfigurationSpace& space,
+                                   HoldoutEvaluator* evaluator,
+                                   const SearchOptions& options);
 
 }  // namespace autoem
 

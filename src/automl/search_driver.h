@@ -1,0 +1,91 @@
+#ifndef AUTOEM_AUTOML_SEARCH_DRIVER_H_
+#define AUTOEM_AUTOML_SEARCH_DRIVER_H_
+
+#include <set>
+#include <string>
+
+#include "automl/random_search.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace autoem {
+
+/// Shared fault-tolerance chassis of RandomSearch and SmacSearch: trial
+/// bookkeeping, quarantine of failed configurations, per-trial deadlines,
+/// and checkpoint/resume. The searchers own their proposal logic; the
+/// driver owns everything that must behave identically for a resumed run to
+/// be bit-identical to an uninterrupted one.
+///
+/// Usage:
+///   SearchDriver driver(space, evaluator, options, "smac");
+///   AUTOEM_RETURN_IF_ERROR(driver.Init());
+///   while (driver.BudgetLeft()) {
+///     driver.set_interleave_random(...);     // phase flags BEFORE Evaluate
+///     driver.Evaluate(driver.Propose(candidate));
+///   }
+///   return driver.Finish();
+class SearchDriver {
+ public:
+  SearchDriver(const ConfigurationSpace& space, HoldoutEvaluator* evaluator,
+               const SearchOptions& options, const char* name);
+
+  /// Applies trial options and, when requested, resumes from the
+  /// checkpoint: restores the RNG stream, trajectory, best-so-far,
+  /// quarantine set, phase flag, and elapsed clock. A missing checkpoint
+  /// file starts fresh; a corrupt one or a seed mismatch is an error.
+  Status Init();
+
+  /// False once the evaluation count or the time budget (including time
+  /// consumed before a resume) is exhausted.
+  bool BudgetLeft() const;
+
+  /// Trials completed so far, counting resumed history — the searchers'
+  /// positional index for warm-start / initial-design phases.
+  size_t trials_done() const { return outcome_.trajectory.size(); }
+
+  /// Quarantine filter for proposals: returns `candidate` unless its config
+  /// hash previously failed, in which case up to 16 fresh random samples are
+  /// drawn. When nothing has failed, no extra RNG draws happen — the stream
+  /// matches the pre-fault-tolerance behavior exactly.
+  Configuration Propose(Configuration candidate);
+
+  /// True when `config` is quarantined (used by SMAC's EI ranking to skip
+  /// failed candidates without consuming proposal retries).
+  bool IsQuarantined(const Configuration& config) const;
+
+  /// Runs one trial: evaluate, quarantine on failure, update best, advance
+  /// the checkpoint cadence. Returns the (possibly imputed) record.
+  EvalRecord Evaluate(const Configuration& config);
+
+  /// Writes a final checkpoint (when enabled) and releases the outcome.
+  SearchOutcome Finish();
+
+  Rng* rng() { return &rng_; }
+  const SearchOutcome& outcome() const { return outcome_; }
+
+  /// SMAC's random-interleave phase flag, checkpointed with the rest of the
+  /// state. Must be set to the *next* step's value before Evaluate so a
+  /// resume continues the phase pattern correctly.
+  bool interleave_random() const { return interleave_random_; }
+  void set_interleave_random(bool v) { interleave_random_ = v; }
+
+ private:
+  void MaybeCheckpoint(bool force);
+
+  const ConfigurationSpace& space_;
+  HoldoutEvaluator* evaluator_;
+  const SearchOptions& options_;
+  const char* name_;
+
+  Rng rng_;
+  Stopwatch timer_;
+  SearchOutcome outcome_;
+  std::set<uint64_t> failed_;  // sorted => deterministic checkpoint bytes
+  bool interleave_random_ = false;
+  double elapsed_offset_ = 0.0;  // clock consumed before resume
+  int trials_since_checkpoint_ = 0;
+};
+
+}  // namespace autoem
+
+#endif  // AUTOEM_AUTOML_SEARCH_DRIVER_H_

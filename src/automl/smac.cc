@@ -1,8 +1,10 @@
 #include "automl/smac.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "automl/config_io.h"
+#include "automl/search_driver.h"
 #include "automl/search_space.h"
 #include "automl/surrogate.h"
 #include "common/timer.h"
@@ -10,87 +12,78 @@
 
 namespace autoem {
 
-SearchOutcome SmacSearch(const ConfigurationSpace& space,
-                         HoldoutEvaluator* evaluator,
-                         const SmacOptions& options) {
+Result<SearchOutcome> SmacSearch(const ConfigurationSpace& space,
+                                 HoldoutEvaluator* evaluator,
+                                 const SmacOptions& options) {
   const SearchOptions& base = options.base;
-  AUTOEM_CHECK_MSG(base.max_evaluations > 0 || base.max_seconds > 0.0,
-                   "search needs an evaluation or time budget");
-  Rng rng(base.seed);
-  Stopwatch timer;
-  SearchOutcome outcome;
+  if (base.max_evaluations <= 0 && base.max_seconds <= 0.0) {
+    return Status::InvalidArgument(
+        "search needs an evaluation or time budget");
+  }
+  SearchDriver driver(space, evaluator, base, "smac");
+  AUTOEM_RETURN_IF_ERROR(driver.Init());
+  Rng& rng = *driver.rng();
 
-  size_t start_evals = evaluator->num_evaluations();
-  auto budget_left = [&] {
-    if (base.max_evaluations > 0 &&
-        evaluator->num_evaluations() - start_evals >=
-            static_cast<size_t>(base.max_evaluations)) {
-      return false;
-    }
-    if (base.max_seconds > 0.0 &&
-        timer.ElapsedSeconds() >= base.max_seconds) {
-      return false;
-    }
-    return true;
-  };
-
-  static obs::Gauge* best_gauge =
-      obs::MetricsRegistry::Global().GetGauge("automl.best_valid_f1");
-  auto record_result = [&](EvalRecord record) {
-    if (outcome.trajectory.empty() ||
-        record.valid_f1 > outcome.best_valid_f1) {
-      outcome.best_valid_f1 = record.valid_f1;
-      outcome.best_config = record.config;
-      AUTOEM_LOG(INFO) << "smac: new best valid_f1=" << record.valid_f1
-                       << " at trial " << record.trial;
-    }
-    best_gauge->Set(outcome.best_valid_f1);
-    outcome.trajectory.push_back(std::move(record));
-  };
-
-  // Observed history for the surrogate.
+  // Observed history for the surrogate. Quarantined trials stay in with
+  // their imputed worst score — the surrogate should learn to avoid that
+  // region, not forget it. On resume the history is rebuilt from the
+  // checkpointed trajectory.
   std::vector<std::vector<double>> encoded;
   std::vector<double> scores;
-  auto evaluate = [&](const Configuration& config) {
-    EvalRecord record = evaluator->Evaluate(config);
-    encoded.push_back(space.Encode(config));
+  for (const EvalRecord& record : driver.outcome().trajectory) {
+    encoded.push_back(space.Encode(record.config));
     scores.push_back(record.valid_f1);
-    record_result(std::move(record));
+  }
+
+  auto evaluate = [&](const Configuration& config) {
+    EvalRecord record = driver.Evaluate(config);
+    encoded.push_back(space.Encode(record.config));
+    scores.push_back(record.valid_f1);
   };
 
-  // ---- warm start: caller-provided configurations first ----
-  for (const Configuration& warm : options.initial_configs) {
-    if (!budget_left()) break;
-    evaluate(space.Complete(warm, &rng));
-  }
+  const size_t n_warm = options.initial_configs.size();
+  const size_t n_init = static_cast<size_t>(std::max(options.n_init, 2));
 
-  // ---- initial design: default + random samples ----
-  int n_init = std::max(options.n_init, 2);
-  for (int i = 0; i < n_init && budget_left(); ++i) {
-    Configuration config =
-        (i == 0 && base.include_default)
-            ? space.Complete(DefaultEmConfiguration(ModelSpace::kAllModels),
-                             &rng)
-            : space.Sample(&rng);
-    evaluate(config);
-  }
-
-  // ---- surrogate-guided loop ----
   static obs::Histogram* surrogate_fit_ms =
       obs::MetricsRegistry::Global().GetHistogram("automl.surrogate_fit_ms");
   static obs::Histogram* ei_rank_ms =
       obs::MetricsRegistry::Global().GetHistogram("automl.ei_rank_ms");
-  bool interleave_random = false;
-  while (budget_left()) {
-    if (interleave_random) {
+
+  // The loop is positional in trials_done() so a resumed run re-enters the
+  // correct phase directly: skipped phases' RNG draws are already reflected
+  // in the restored stream.
+  while (driver.BudgetLeft()) {
+    const size_t t = driver.trials_done();
+
+    // ---- warm start: caller-provided configurations first ----
+    if (t < n_warm) {
+      evaluate(
+          driver.Propose(space.Complete(options.initial_configs[t], &rng)));
+      continue;
+    }
+
+    // ---- initial design: default + random samples ----
+    if (t < n_warm + n_init) {
+      const size_t i = t - n_warm;
+      Configuration config =
+          (i == 0 && base.include_default)
+              ? space.Complete(DefaultEmConfiguration(ModelSpace::kAllModels),
+                               &rng)
+              : driver.Propose(space.Sample(&rng));
+      evaluate(config);
+      continue;
+    }
+
+    // ---- surrogate-guided loop ----
+    if (driver.interleave_random()) {
       // SMAC's random interleaving step keeps the search from collapsing
       // onto the surrogate's blind spots.
       obs::Span span("smac.random_interleave");
-      evaluate(space.Sample(&rng));
-      interleave_random = false;
+      driver.set_interleave_random(false);
+      evaluate(driver.Propose(space.Sample(&rng)));
       continue;
     }
-    interleave_random = true;
+    driver.set_interleave_random(true);
 
     obs::Span trial_span("smac.trial");
 
@@ -114,11 +107,13 @@ SearchOutcome SmacSearch(const ConfigurationSpace& space,
     double fit_ms = fit_timer.ElapsedMillis();
     surrogate_fit_ms->Observe(fit_ms);
     if (!surrogate_ok) {
-      evaluate(space.Sample(&rng));
+      evaluate(driver.Propose(space.Sample(&rng)));
       continue;
     }
 
     // Build the candidate pool and rank by expected improvement.
+    // Quarantined configurations are excluded here (hash lookups consume no
+    // RNG), so a failed pipeline is never re-proposed by the surrogate.
     Stopwatch rank_timer;
     Configuration best_candidate;
     double best_ei = -1.0;
@@ -129,13 +124,16 @@ SearchOutcome SmacSearch(const ConfigurationSpace& space,
       }
       int n_neighbors = static_cast<int>(options.n_candidates *
                                          options.neighbor_fraction);
+      const Configuration& incumbent = driver.outcome().best_config;
       for (int k = 0; k < options.n_candidates; ++k) {
-        Configuration candidate =
-            k < n_neighbors ? space.Neighbor(outcome.best_config, &rng)
-                            : space.Sample(&rng);
+        Configuration candidate = k < n_neighbors
+                                      ? space.Neighbor(incumbent, &rng)
+                                      : space.Sample(&rng);
+        if (driver.IsQuarantined(candidate)) continue;
         double mean = 0.0, variance = 0.0;
         surrogate.PredictMeanVar(space.Encode(candidate), &mean, &variance);
-        double ei = ExpectedImprovement(mean, variance, outcome.best_valid_f1);
+        double ei = ExpectedImprovement(mean, variance,
+                                        driver.outcome().best_valid_f1);
         if (ei > best_ei) {
           best_ei = ei;
           best_candidate = std::move(candidate);
@@ -144,6 +142,10 @@ SearchOutcome SmacSearch(const ConfigurationSpace& space,
     }
     double rank_ms = rank_timer.ElapsedMillis();
     ei_rank_ms->Observe(rank_ms);
+    if (best_candidate.empty()) {
+      // Every candidate was quarantined — fall back to exploration.
+      best_candidate = driver.Propose(space.Sample(&rng));
+    }
     if (trial_span.active()) {
       trial_span.Arg("surrogate_fit_ms", fit_ms);
       trial_span.Arg("ei_rank_ms", rank_ms);
@@ -152,7 +154,7 @@ SearchOutcome SmacSearch(const ConfigurationSpace& space,
     }
     evaluate(best_candidate);
   }
-  return outcome;
+  return driver.Finish();
 }
 
 }  // namespace autoem

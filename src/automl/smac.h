@@ -28,9 +28,14 @@ struct SmacOptions {
 /// a candidate pool by expected improvement, and evaluate the most promising
 /// pipeline. Every 2nd evaluation is pure random for exploration, matching
 /// SMAC's interleaving.
-SearchOutcome SmacSearch(const ConfigurationSpace& space,
-                         HoldoutEvaluator* evaluator,
-                         const SmacOptions& options);
+///
+/// Trial failures are quarantined (worst-score imputation; quarantined
+/// configs are skipped by the EI ranking and never re-proposed). The error
+/// return is reserved for infrastructure faults — an unusable checkpoint or
+/// a seed mismatch on resume.
+Result<SearchOutcome> SmacSearch(const ConfigurationSpace& space,
+                                 HoldoutEvaluator* evaluator,
+                                 const SmacOptions& options);
 
 }  // namespace autoem
 

@@ -63,4 +63,25 @@ void ParallelFor(const Parallelism& par, size_t n,
       trace_label);
 }
 
+Status ParallelFor(const Parallelism& par, size_t n,
+                   const fault::CancelToken& cancel,
+                   const std::function<void(size_t)>& fn,
+                   const char* trace_label) {
+  if (!cancel.enabled()) {
+    ParallelFor(par, n, fn, trace_label);
+    return Status::OK();
+  }
+  // Wrap fn with a per-iteration cancellation gate. Workers that observe the
+  // fired token skip their remaining iterations; the final Check() converts
+  // the partial run into DeadlineExceeded so callers discard the outputs.
+  ParallelFor(
+      par, n,
+      [&fn, &cancel](size_t i) {
+        if (cancel.Cancelled()) return;
+        fn(i);
+      },
+      trace_label);
+  return cancel.Check(trace_label != nullptr ? trace_label : "parallel_for");
+}
+
 }  // namespace autoem

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "fault/cancel.h"
+
 namespace autoem {
 
 /// The single knob that controls intra-process parallelism of the hot paths
@@ -52,6 +54,16 @@ struct Parallelism {
 void ParallelFor(const Parallelism& par, size_t n,
                  const std::function<void(size_t)>& fn,
                  const char* trace_label = nullptr);
+
+/// Cancellable variant: once `cancel` fires, remaining iterations are
+/// skipped (already-running ones finish) and the call returns
+/// DeadlineExceeded. A disabled token adds one null check per iteration.
+/// Skipped iterations mean partial results — callers must treat any
+/// non-OK return as "outputs are garbage" and discard them.
+Status ParallelFor(const Parallelism& par, size_t n,
+                   const fault::CancelToken& cancel,
+                   const std::function<void(size_t)>& fn,
+                   const char* trace_label = nullptr);
 
 /// True while the calling thread is executing inside a ParallelFor worker.
 /// Exposed for tests and for code that wants to assert it is not nested.

@@ -22,6 +22,8 @@ const char* CodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

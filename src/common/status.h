@@ -18,6 +18,7 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kUnimplemented,
+  kDeadlineExceeded,
 };
 
 /// A lightweight success-or-error value. Cheap to copy in the OK case.
@@ -49,6 +50,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

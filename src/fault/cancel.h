@@ -1,0 +1,96 @@
+#ifndef AUTOEM_FAULT_CANCEL_H_
+#define AUTOEM_FAULT_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace autoem {
+namespace fault {
+
+/// Cooperative cancellation handle threaded through a pipeline evaluation
+/// (Evaluator -> EmPipeline::Fit -> forest/tree inner loops -> ParallelFor).
+///
+/// A default-constructed token is *disabled*: Cancelled() is a single null
+/// pointer check (sub-nanosecond), so the hot paths can test it
+/// unconditionally. An enabled token carries an optional monotonic deadline
+/// plus a manual cancel flag in shared state; copies observe the same state,
+/// so the evaluator can hand one token to every stage of a trial and cancel
+/// them all at once.
+///
+/// Cancellation is cooperative and best-effort: work already dispatched
+/// finishes its current unit (a tree node batch, a ParallelFor iteration)
+/// and the enclosing Status-returning layer converts the cancelled state
+/// into Status::DeadlineExceeded. Nothing is ever killed mid-write.
+class CancelToken {
+ public:
+  /// Disabled token: never cancelled, never expires, costs one null check.
+  CancelToken() = default;
+
+  /// Token that auto-cancels `seconds` from now (steady clock).
+  static CancelToken WithDeadline(double seconds) {
+    CancelToken token;
+    token.state_ = std::make_shared<State>();
+    token.state_->has_deadline = true;
+    token.state_->deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    return token;
+  }
+
+  /// Token with no deadline that only fires when Cancel() is called.
+  static CancelToken Manual() {
+    CancelToken token;
+    token.state_ = std::make_shared<State>();
+    return token;
+  }
+
+  bool enabled() const { return state_ != nullptr; }
+
+  /// Fires the token; every copy observes the cancellation.
+  void Cancel() const {
+    if (state_ != nullptr) {
+      state_->cancelled.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// True once cancelled or past the deadline. Disabled tokens return false
+  /// after a single null check; enabled ones pay a relaxed atomic load and,
+  /// until the first firing, a steady_clock read — call sites inside tight
+  /// loops should throttle checks to every few dozen iterations.
+  bool Cancelled() const {
+    if (state_ == nullptr) return false;
+    if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+    if (state_->has_deadline && Clock::now() >= state_->deadline) {
+      // Latch, so later checks skip the clock read.
+      state_->cancelled.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Status form for AUTOEM_RETURN_IF_ERROR chains: OK while running,
+  /// DeadlineExceeded (tagged with `site`) once cancelled.
+  Status Check(const char* site) const {
+    if (!Cancelled()) return Status::OK();
+    return Status::DeadlineExceeded(std::string(site) +
+                                    ": trial cancelled or deadline exceeded");
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct State {
+    std::atomic<bool> cancelled{false};
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+  };
+  std::shared_ptr<State> state_;  // null = disabled
+};
+
+}  // namespace fault
+}  // namespace autoem
+
+#endif  // AUTOEM_FAULT_CANCEL_H_

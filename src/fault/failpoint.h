@@ -1,0 +1,172 @@
+#ifndef AUTOEM_FAULT_FAILPOINT_H_
+#define AUTOEM_FAULT_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace autoem {
+namespace fault {
+
+/// Fault-injection framework (the TiKV/RocksDB failpoint idiom): named sites
+/// compiled into production code paths that tests, benches, and CI can arm
+/// to inject errors, allocation failures, delays, or hard process aborts.
+///
+/// A site is declared where a failure could really happen:
+///
+///   Status HoldoutEvaluator::FitAndScore(...) {
+///     AUTOEM_FAILPOINT("evaluator.fit");
+///     ...
+///   }
+///
+/// and armed from a test (or the AUTOEM_FAILPOINTS environment variable):
+///
+///   FailpointRegistry::Global().Arm("evaluator.fit",
+///                                   FailpointSpec::Error());
+///
+/// Disarmed cost is two relaxed atomic loads (the function-local site
+/// registration guard plus the global armed counter) — low single-digit
+/// nanoseconds, measured by bench_fault_overhead. Sites self-register on
+/// first execution, so FailpointRegistry::Global().Sites() enumerates every
+/// site the process has passed through; fault_test arms each one in a loop
+/// to prove the whole search stack degrades to quarantined trials instead
+/// of crashes.
+struct FailpointSpec {
+  enum class Action : uint8_t {
+    kError,     // return `code`/`message` as a Status
+    kBadAlloc,  // throw std::bad_alloc (simulated OOM)
+    kSleep,     // sleep `sleep_ms` then continue OK (drives timeouts)
+    kAbort,     // std::abort() (simulated crash; pair with checkpoint tests)
+  };
+
+  Action action = Action::kError;
+  StatusCode code = StatusCode::kInternal;
+  std::string message;  // empty: synthesized as "failpoint <site> armed"
+  int sleep_ms = 0;
+  /// Pass through the site this many times before firing.
+  int skip = 0;
+  /// Fire at most this many times; < 0 means every hit. Spent specs stay
+  /// armed but inert (hit counting continues).
+  int max_fires = -1;
+
+  static FailpointSpec Error(StatusCode code = StatusCode::kInternal,
+                             std::string message = "") {
+    FailpointSpec spec;
+    spec.action = Action::kError;
+    spec.code = code;
+    spec.message = std::move(message);
+    return spec;
+  }
+  static FailpointSpec BadAlloc() {
+    FailpointSpec spec;
+    spec.action = Action::kBadAlloc;
+    return spec;
+  }
+  static FailpointSpec Sleep(int ms) {
+    FailpointSpec spec;
+    spec.action = Action::kSleep;
+    spec.sleep_ms = ms;
+    return spec;
+  }
+  static FailpointSpec Abort() {
+    FailpointSpec spec;
+    spec.action = Action::kAbort;
+    return spec;
+  }
+};
+
+namespace internal {
+/// Number of currently armed sites, process-wide. Inline so the disarmed
+/// check compiles to one relaxed load with no function call.
+inline std::atomic<int> g_armed_failpoints{0};
+
+inline bool AnyArmed() {
+  return g_armed_failpoints.load(std::memory_order_relaxed) != 0;
+}
+
+/// Static-local tag object inside AUTOEM_FAILPOINT; its constructor records
+/// the site name in the global registry exactly once per site.
+struct SiteRegistration {
+  explicit SiteRegistration(const char* site);
+};
+}  // namespace internal
+
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Global();
+
+  /// Arms `site`. Re-arming replaces the previous spec and resets counters.
+  /// The site does not need to have registered yet (it may live in a code
+  /// path not executed so far).
+  void Arm(const std::string& site, FailpointSpec spec);
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// Every site the process has executed through (sorted), whether armed or
+  /// not. Arming a name outside this list is allowed but usually a typo, so
+  /// tests iterate this instead.
+  std::vector<std::string> Sites() const;
+
+  /// Times `site` has been evaluated while armed (fired or not); 0 for
+  /// unarmed/unknown sites. Counters reset on (re-)Arm.
+  uint64_t HitCount(const std::string& site) const;
+
+  /// Arms sites from a spec string, the format of the AUTOEM_FAILPOINTS
+  /// environment variable:
+  ///   site=action[:arg][,site=action[:arg]...]
+  /// where action is one of
+  ///   error            inject Status::Internal
+  ///   io_error         inject Status::IOError
+  ///   bad_alloc        throw std::bad_alloc
+  ///   sleep:<ms>       sleep <ms> milliseconds, then continue
+  ///   abort            std::abort()
+  /// e.g. AUTOEM_FAILPOINTS="evaluator.fit=sleep:200,checkpoint.write=error".
+  /// Returns InvalidArgument on malformed entries (earlier entries stay
+  /// armed).
+  Status ArmFromSpec(const std::string& spec);
+
+  /// Evaluates `site`: no-op Status::OK when the site is unarmed; otherwise
+  /// applies the armed action (may sleep, throw std::bad_alloc, or abort the
+  /// process). Called via AUTOEM_FAILPOINT, never directly.
+  Status Evaluate(const char* site);
+
+  /// Used by SiteRegistration only.
+  void RegisterSite(const char* site);
+
+ private:
+  FailpointRegistry() = default;
+
+  struct Armed {
+    FailpointSpec spec;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<std::string> sites_;               // registration order
+  std::map<std::string, Armed> armed_;
+};
+
+}  // namespace fault
+}  // namespace autoem
+
+/// Declares a failpoint site. Must appear in a function returning Status or
+/// Result<T> (an injected error propagates via `return`). Disarmed cost: two
+/// relaxed atomic loads.
+#define AUTOEM_FAILPOINT(site)                                              \
+  do {                                                                      \
+    static const ::autoem::fault::internal::SiteRegistration                \
+        autoem_failpoint_site{site};                                        \
+    if (::autoem::fault::internal::AnyArmed()) {                            \
+      ::autoem::Status autoem_failpoint_status =                            \
+          ::autoem::fault::FailpointRegistry::Global().Evaluate(site);      \
+      if (!autoem_failpoint_status.ok()) return autoem_failpoint_status;    \
+    }                                                                       \
+  } while (0)
+
+#endif  // AUTOEM_FAULT_FAILPOINT_H_

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "features/feature_gen.h"
+#include "io/atomic_file.h"
 #include "io/serialize.h"
 #include "obs/obs.h"
 
@@ -155,11 +156,7 @@ Status SaveModel(const EntityMatcher& matcher, const std::string& path) {
   if (span.active()) span.Arg("path", path);
   std::string bytes;
   AUTOEM_RETURN_IF_ERROR(SerializeModel(matcher, &bytes));
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) return Status::IOError("write failed: " + path);
+  AUTOEM_RETURN_IF_ERROR(AtomicWriteFile(path, bytes));
   AUTOEM_LOG(INFO) << "saved model (" << bytes.size() << " bytes) to "
                    << path;
   return Status::OK();

@@ -7,6 +7,7 @@
 
 #include "common/parallelism.h"
 #include "common/status.h"
+#include "fault/cancel.h"
 #include "ml/dataset.h"
 
 namespace autoem {
@@ -53,6 +54,17 @@ class Classifier {
   /// — only wall-clock.
   virtual void SetParallelism(const Parallelism& parallelism) {
     (void)parallelism;
+  }
+
+  /// Cooperative-cancellation hook for per-trial deadlines (fault/cancel.h).
+  /// Models with long inner loops (the forest ensembles) poll the token
+  /// during Fit and return DeadlineExceeded once it fires; the default
+  /// ignores it, which only means cancellation takes effect at the next
+  /// pipeline stage boundary instead of mid-fit. A fit that was cancelled
+  /// leaves the model in an unusable half-trained state — callers must
+  /// discard it.
+  virtual void SetCancelToken(const fault::CancelToken& cancel) {
+    (void)cancel;
   }
 
   /// Stable model name, e.g. "random_forest".

@@ -76,7 +76,7 @@ Status DecisionTreeClassifier::Fit(const Matrix& X, const std::vector<int>& y,
   }
   Rng rng(options_.seed);
   BuildNode(X, y, w, &indices, 0, &rng);
-  return Status::OK();
+  return options_.cancel.Check("tree.fit");
 }
 
 int DecisionTreeClassifier::BuildNode(const Matrix& X,
@@ -95,6 +95,11 @@ int DecisionTreeClassifier::BuildNode(const Matrix& X,
   int node_id = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
   nodes_[node_id].prob_positive = w_total > 0.0 ? w_pos / w_total : 0.0;
+
+  // Once the trial deadline fires, stop splitting: the subtree collapses to
+  // this leaf and Fit reports DeadlineExceeded. One check per node keeps the
+  // poll cost far below the split-search work it gates.
+  if (options_.cancel.Cancelled()) return node_id;
 
   const bool is_pure = (w_pos <= 0.0 || w_pos >= w_total);
   const bool depth_capped =
@@ -284,7 +289,7 @@ Status RegressionTree::Fit(const Matrix& X, const std::vector<double>& y,
   }
   Rng rng(options_.seed);
   BuildNode(X, y, w, &indices, 0, &rng);
-  return Status::OK();
+  return options_.cancel.Check("regression_tree.fit");
 }
 
 int RegressionTree::BuildNode(const Matrix& X, const std::vector<double>& y,
@@ -301,6 +306,8 @@ int RegressionTree::BuildNode(const Matrix& X, const std::vector<double>& y,
   int node_id = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
   nodes_[node_id].value = w_total > 0.0 ? w_sum / w_total : 0.0;
+
+  if (options_.cancel.Cancelled()) return node_id;
 
   double parent_sse = w_sum_sq - (w_total > 0 ? w_sum * w_sum / w_total : 0.0);
   const bool depth_capped =

@@ -30,6 +30,10 @@ struct TreeOptions {
   /// feature min and max (Extra-Trees style) instead of exhaustive scan.
   bool random_thresholds = false;
   uint64_t seed = 13;
+  /// Per-trial cancellation (fault/cancel.h). Checked once per node build;
+  /// once fired, remaining subtrees collapse to leaves and Fit returns
+  /// DeadlineExceeded. Default-constructed = disabled (one null check).
+  fault::CancelToken cancel;
 };
 
 /// CART binary classification tree with sample weights and NaN routing

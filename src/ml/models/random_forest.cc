@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "common/timer.h"
+#include "fault/failpoint.h"
 #include "obs/obs.h"
 
 namespace autoem {
@@ -36,6 +37,7 @@ std::unique_ptr<Classifier> RandomForestClassifier::FromParams(
 Status RandomForestClassifier::Fit(const Matrix& X, const std::vector<int>& y,
                                    const std::vector<double>* sample_weights) {
   AUTOEM_RETURN_IF_ERROR(ValidateFitInputs(X, y, sample_weights));
+  AUTOEM_FAILPOINT("rf.fit");
   if (options_.n_estimators <= 0) {
     return Status::InvalidArgument("n_estimators must be positive");
   }
@@ -64,6 +66,7 @@ Status RandomForestClassifier::Fit(const Matrix& X, const std::vector<int>& y,
           : std::sqrt(static_cast<double>(X.cols())) / X.cols();
   tree_opt.min_impurity_decrease = options_.min_impurity_decrease;
   tree_opt.random_thresholds = options_.random_thresholds;
+  tree_opt.cancel = cancel_;
 
   Rng rng(options_.seed);
   const size_t n = X.rows();
@@ -99,11 +102,15 @@ Status RandomForestClassifier::Fit(const Matrix& X, const std::vector<int>& y,
   }
 
   std::vector<Status> tree_status(n_trees);
-  ParallelFor(
-      options_.parallelism, n_trees,
+  // Cancellable dispatch: once the trial deadline fires, pending trees are
+  // skipped entirely and in-flight trees bail at their next node; the
+  // DeadlineExceeded from the ParallelFor wrapper wins over per-tree status
+  // so the half-built forest is reported unusable.
+  Status loop_status = ParallelFor(
+      options_.parallelism, n_trees, cancel_,
       [&](size_t t) {
         Status st = trees_[t].Fit(X, y, &tree_weights[t]);
-        if (!st.ok()) {
+        if (!st.ok() && st.code() != StatusCode::kDeadlineExceeded) {
           // A degenerate bootstrap (all weight on one class w/ zero weights)
           // is retried once with the unresampled weights.
           st = trees_[t].Fit(X, y, &base_w);
@@ -111,6 +118,7 @@ Status RandomForestClassifier::Fit(const Matrix& X, const std::vector<int>& y,
         tree_status[t] = st;
       },
       "rf.fit_trees");
+  if (!loop_status.ok()) return loop_status;
   for (const Status& st : tree_status) {
     if (!st.ok()) return st;
   }

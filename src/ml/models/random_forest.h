@@ -51,6 +51,9 @@ class RandomForestClassifier : public Classifier {
   void SetParallelism(const Parallelism& parallelism) override {
     options_.parallelism = parallelism;
   }
+  void SetCancelToken(const fault::CancelToken& cancel) override {
+    cancel_ = cancel;
+  }
   std::string name() const override {
     return options_.random_thresholds ? "extra_trees" : "random_forest";
   }
@@ -65,6 +68,7 @@ class RandomForestClassifier : public Classifier {
 
  private:
   RandomForestOptions options_;
+  fault::CancelToken cancel_;
   std::vector<DecisionTreeClassifier> trees_;
 };
 

@@ -368,7 +368,9 @@ TEST(RandomSearchTest, RespectsEvaluationBudget) {
       BuildEmSearchSpace(ModelSpace::kRandomForestOnly);
   SearchOptions options;
   options.max_evaluations = 7;
-  SearchOutcome outcome = RandomSearch(space, &evaluator, options);
+  auto searched = RandomSearch(space, &evaluator, options);
+  ASSERT_TRUE(searched.ok()) << searched.status().ToString();
+  SearchOutcome outcome = std::move(*searched);
   EXPECT_EQ(outcome.trajectory.size(), 7u);
   EXPECT_EQ(evaluator.num_evaluations(), 7u);
   EXPECT_TRUE(space.Validate(outcome.best_config).ok());
@@ -382,7 +384,9 @@ TEST(RandomSearchTest, BestIsMaxOfTrajectory) {
       BuildEmSearchSpace(ModelSpace::kRandomForestOnly);
   SearchOptions options;
   options.max_evaluations = 6;
-  SearchOutcome outcome = RandomSearch(space, &evaluator, options);
+  auto searched = RandomSearch(space, &evaluator, options);
+  ASSERT_TRUE(searched.ok()) << searched.status().ToString();
+  SearchOutcome outcome = std::move(*searched);
   double max_f1 = 0.0;
   for (const auto& r : outcome.trajectory) {
     max_f1 = std::max(max_f1, r.valid_f1);
@@ -399,7 +403,9 @@ TEST(SmacSearchTest, RespectsBudgetAndImprovesOverInit) {
   SmacOptions options;
   options.base.max_evaluations = 12;
   options.n_init = 4;
-  SearchOutcome outcome = SmacSearch(space, &evaluator, options);
+  auto searched = SmacSearch(space, &evaluator, options);
+  ASSERT_TRUE(searched.ok()) << searched.status().ToString();
+  SearchOutcome outcome = std::move(*searched);
   EXPECT_EQ(outcome.trajectory.size(), 12u);
   // Best-so-far must be monotone and final >= first evaluation.
   EXPECT_GE(outcome.best_valid_f1, outcome.trajectory[0].valid_f1);
@@ -415,8 +421,11 @@ TEST(SmacSearchTest, DeterministicWithSeed) {
   Dataset valid = MakeEmLikeData(60, 32);
   HoldoutEvaluator e1(train, valid);
   HoldoutEvaluator e2(train, valid);
-  SearchOutcome o1 = SmacSearch(space, &e1, options);
-  SearchOutcome o2 = SmacSearch(space, &e2, options);
+  auto r1 = SmacSearch(space, &e1, options);
+  auto r2 = SmacSearch(space, &e2, options);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  SearchOutcome o1 = std::move(*r1);
+  SearchOutcome o2 = std::move(*r2);
   EXPECT_DOUBLE_EQ(o1.best_valid_f1, o2.best_valid_f1);
   EXPECT_EQ(o1.best_config, o2.best_config);
 }

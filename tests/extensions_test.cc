@@ -187,7 +187,9 @@ TEST(WarmStartTest, WarmConfigIsEvaluatedFirst) {
   options.base.max_evaluations = 5;
   options.base.include_default = false;
   options.initial_configs = {warm};
-  SearchOutcome outcome = SmacSearch(space, &evaluator, options);
+  auto searched = SmacSearch(space, &evaluator, options);
+  ASSERT_TRUE(searched.ok()) << searched.status().ToString();
+  SearchOutcome outcome = std::move(*searched);
   ASSERT_FALSE(outcome.trajectory.empty());
   EXPECT_EQ(GetInt(outcome.trajectory[0].config,
                    "classifier:random_forest:n_estimators", 0),
