@@ -68,6 +68,13 @@ int main(int argc, char** argv) {
                   algo == SearchAlgorithm::kSmac ? "smac" : "random");
       for (double v : at_checkpoint) std::printf("  %6.1f", v);
       std::printf("\n");
+      BenchCase c = DatasetCase("ablation_smac_vs_random", name, args);
+      c.params["search"] = algo == SearchAlgorithm::kSmac ? "smac" : "random";
+      for (size_t i = 0; i < std::size(kCheckpoints); ++i) {
+        c.counters["valid_f1_ev" + std::to_string(kCheckpoints[i])] =
+            at_checkpoint[i];
+      }
+      ReportBenchCase(std::move(c));
     }
   }
   std::printf("expected: smac >= random as the budget grows; at small budgets\n"
@@ -99,6 +106,9 @@ int main(int argc, char** argv) {
     std::printf("\n");
     for (bool warm : {false, true}) {
       std::printf("%-12s", warm ? "warm-start" : "cold-start");
+      BenchCase c = DatasetCase("ablation_warm_start", "Amazon-Google", args);
+      c.params["source_dataset"] = "Walmart-Amazon";
+      c.params["arm"] = warm ? "warm_start" : "cold_start";
       for (size_t budget : kSmallBudgets) {
         double total = 0.0;
         for (uint64_t trial = 0; trial < 3; ++trial) {
@@ -114,8 +124,10 @@ int main(int argc, char** argv) {
           if (run.ok()) total += run->best_valid_f1 * 100.0 / 3.0;
         }
         std::printf("  %6.1f", total);
+        c.counters["valid_f1_ev" + std::to_string(budget)] = total;
       }
       std::printf("\n");
+      ReportBenchCase(std::move(c));
     }
     std::printf("note: the warm config is evaluated first, so the seeded arm\n"
                 "can never end below its transferred score; whether it beats\n"
@@ -146,6 +158,10 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("%-20s %10.1f %12.1f\n", name, f1[0], f1[1]);
+    BenchCase c = DatasetCase("ablation_tfidf_features", name, args);
+    c.counters["table2_test_f1"] = f1[0];
+    c.counters["table2_tfidf_test_f1"] = f1[1];
+    ReportBenchCase(std::move(c));
   }
   std::printf("expected: within noise overall; helps where rare shared tokens\n"
               "are decisive (e.g. Amazon-Google version strings)\n");

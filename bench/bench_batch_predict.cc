@@ -14,6 +14,7 @@
 #include <memory>
 #include <utility>
 
+#include "bench/bench_gbench_report.h"
 #include "common/parallelism.h"
 #include "datagen/benchmark_gen.h"
 #include "em/matcher.h"
@@ -104,4 +105,6 @@ BENCHMARK(BM_ScorePairsBatchedSmallChunks)->Arg(4);
 }  // namespace
 }  // namespace autoem
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return autoem::bench::RunGBenchMain(argc, argv);
+}

@@ -16,6 +16,7 @@
 // while a test/CI run has faults armed, never in production.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_gbench_report.h"
 #include "common/status.h"
 #include "fault/cancel.h"
 #include "fault/failpoint.h"
@@ -82,4 +83,6 @@ BENCHMARK(BM_CancelledFlagOnly);
 }  // namespace
 }  // namespace autoem
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return autoem::bench::RunGBenchMain(argc, argv);
+}

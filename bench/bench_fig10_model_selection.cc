@@ -118,6 +118,19 @@ int main(int argc, char** argv) {
       std::printf("   test:");
       for (double v : test_row) std::printf(" %5.1f", v * 100.0);
       std::printf("\n");
+      BenchCase c =
+          DatasetCase("fig10_model_selection", profile.name, args);
+      c.params["model_space"] = space == ModelSpace::kAllModels
+                                    ? "all_models"
+                                    : "random_forest_only";
+      c.params["search"] =
+          algorithm == SearchAlgorithm::kSmac ? "smac" : "random";
+      for (size_t i = 0; i < std::size(kCheckpoints); ++i) {
+        std::string ev = std::to_string(kCheckpoints[i]);
+        c.counters["valid_f1_ev" + ev] = valid_row[i] * 100.0;
+        c.counters["test_f1_ev" + ev] = test_row[i] * 100.0;
+      }
+      ReportBenchCase(std::move(c));
     }
   }
 

@@ -67,6 +67,11 @@ int main(int argc, char** argv) {
                 sum_no_both / completed * 100.0,
                 sum_no_dp / completed * 100.0,
                 sum_full / completed * 100.0);
+    BenchCase c = DatasetCase("fig12_ablation", name, args);
+    c.counters["excl_dp_fp_valid_f1"] = sum_no_both / completed * 100.0;
+    c.counters["excl_dp_valid_f1"] = sum_no_dp / completed * 100.0;
+    c.counters["full_valid_f1"] = sum_full / completed * 100.0;
+    ReportBenchCase(std::move(c));
   }
 
   std::printf("\npaper reference: Amazon-Google 59.3 / 60.1 / 63.7;"

@@ -35,6 +35,9 @@ int main(int argc, char** argv) {
     for (bool self_training : {false, true}) {
       std::printf("%-16s %-18s", name,
                   self_training ? "AutoML-EM-Active" : "AC + AutoML-EM");
+      BenchCase c = DatasetCase("fig13_active_budget", name, args);
+      c.params["method"] =
+          self_training ? "automl_em_active" : "ac_automl_em";
       for (size_t paper_budget : kAcLabelBudgets) {
         ActiveLearningOptions options = BaseActiveOptions(args);
         options.init_size = ScaledKnob(500, args.scale, 30);
@@ -45,10 +48,13 @@ int main(int argc, char** argv) {
         options.label_budget = options.init_size + ac_labels;
         options.max_iterations =
             static_cast<int>((ac_labels + ac_batch - 1) / ac_batch);
-        std::printf(" %8.1f", RunActiveArm(fb, options));
+        double f1 = RunActiveArm(fb, options);
+        std::printf(" %8.1f", f1);
         std::fflush(stdout);
+        c.counters["test_f1_labels" + std::to_string(paper_budget)] = f1;
       }
       std::printf("\n");
+      ReportBenchCase(std::move(c));
     }
   }
 

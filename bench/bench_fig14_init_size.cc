@@ -36,6 +36,9 @@ int main(int argc, char** argv) {
     for (bool self_training : {false, true}) {
       std::printf("%-16s %-18s", name,
                   self_training ? "AutoML-EM-Active" : "AC + AutoML-EM");
+      BenchCase c = DatasetCase("fig14_init_size", name, args);
+      c.params["method"] =
+          self_training ? "automl_em_active" : "ac_automl_em";
       for (size_t paper_init : kInitSizes) {
         ActiveLearningOptions options = BaseActiveOptions(args);
         options.init_size = ScaledKnob(paper_init, args.scale, 10);
@@ -45,10 +48,13 @@ int main(int argc, char** argv) {
         options.max_iterations = iterations;
         options.label_budget =
             options.init_size + iterations * options.ac_batch;
-        std::printf(" %8.1f", RunActiveArm(fb, options));
+        double f1 = RunActiveArm(fb, options);
+        std::printf(" %8.1f", f1);
         std::fflush(stdout);
+        c.counters["test_f1_init" + std::to_string(paper_init)] = f1;
       }
       std::printf("\n");
+      ReportBenchCase(std::move(c));
     }
   }
 

@@ -41,6 +41,8 @@ int main(int argc, char** argv) {
     FeaturizedBenchmark fb = Featurize(data, &generator, args.parallelism());
 
     std::printf("%-16s", name);
+    BenchCase c = DatasetCase("fig15_st_batch", name, args);
+    c.params["preserve_class_ratio"] = naive_st ? "false" : "true";
     for (size_t paper_st : kStBatches) {
       ActiveLearningOptions options = BaseActiveOptions(args);
       options.init_size = ScaledKnob(500, args.scale, 30);
@@ -51,10 +53,13 @@ int main(int argc, char** argv) {
       options.label_budget =
           options.init_size + 20 * options.ac_batch;
       options.preserve_class_ratio = !naive_st;
-      std::printf(" %7.1f", RunActiveArm(fb, options));
+      double f1 = RunActiveArm(fb, options);
+      std::printf(" %7.1f", f1);
       std::fflush(stdout);
+      c.counters["test_f1_st" + std::to_string(paper_st)] = f1;
     }
     std::printf("\n");
+    ReportBenchCase(std::move(c));
   }
 
   std::printf(

@@ -55,6 +55,10 @@ int main(int argc, char** argv) {
 
     std::printf("%-20s %12.1f %12.1f\n", profile.name.c_str(), deep_f1,
                 automl_f1);
+    BenchCase c = DatasetCase("fig8_deepmatcher", profile.name, args);
+    c.counters["deepmatcher_f1"] = deep_f1;
+    c.counters["automl_f1"] = automl_f1;
+    ReportBenchCase(std::move(c));
   }
 
   std::printf("\npaper reference (copied from Fig. 8):\n");

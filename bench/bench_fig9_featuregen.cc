@@ -55,6 +55,13 @@ int main(int argc, char** argv) {
     std::printf("%-20s | %8zu %8.1f | %8zu %8.1f | %+6.1f\n",
                 profile.name.c_str(), arms[0].num_features, arms[0].f1,
                 arms[1].num_features, arms[1].f1, arms[1].f1 - arms[0].f1);
+    BenchCase c = DatasetCase("fig9_featuregen", profile.name, args);
+    c.counters["magellan_features"] = static_cast<double>(arms[0].num_features);
+    c.counters["magellan_f1"] = arms[0].f1;
+    c.counters["automl_em_features"] =
+        static_cast<double>(arms[1].num_features);
+    c.counters["automl_em_f1"] = arms[1].f1;
+    ReportBenchCase(std::move(c));
   }
 
   std::printf(

@@ -3,6 +3,7 @@
 // cost, so regressions here slow every experiment.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_gbench_report.h"
 #include "common/rng.h"
 #include "datagen/benchmark_gen.h"
 #include "features/feature_gen.h"
@@ -108,4 +109,6 @@ BENCHMARK(BM_GenerateBenchmark)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace autoem
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return autoem::bench::RunGBenchMain(argc, argv);
+}

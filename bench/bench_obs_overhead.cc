@@ -20,12 +20,14 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_gbench_report.h"
 #include "common/parallelism.h"
 #include "datagen/benchmark_gen.h"
 #include "features/feature_gen.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace autoem {
@@ -75,6 +77,49 @@ void BM_HistogramObserve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HistogramObserve);
+
+void BM_ResourceProbeDisabled(benchmark::State& state) {
+  // Without --resources every probe placed on a trial/fold/iteration must
+  // collapse to one relaxed atomic load plus a branch (same bar as the
+  // disabled span: single-nanosecond range).
+  obs::SetResourceProbesEnabled(false);
+  for (auto _ : state) {
+    obs::ResourceProbe probe;
+    benchmark::DoNotOptimize(probe.active());
+  }
+}
+BENCHMARK(BM_ResourceProbeDisabled);
+
+void BM_ResourceProbeEnabled(benchmark::State& state) {
+  // The *enabled* cost for contrast: two thread-CPU clock reads, a
+  // getrusage, and an RSS sample per construct+Take pair.
+  obs::SetResourceProbesEnabled(true);
+  for (auto _ : state) {
+    obs::ResourceProbe probe;
+    obs::ResourceUsage usage = probe.Take();
+    benchmark::DoNotOptimize(usage.cpu_seconds);
+  }
+  obs::SetResourceProbesEnabled(false);
+}
+BENCHMARK(BM_ResourceProbeEnabled);
+
+void BM_ThreadPoolGaugeDisabled(benchmark::State& state) {
+  // The exact code shape ThreadPool::Submit / RunTask use to gate their
+  // queue-depth gauge and tasks-executed counter updates: a relaxed load,
+  // branch not taken when probes are off.
+  obs::SetResourceProbesEnabled(false);
+  obs::Gauge* depth =
+      obs::MetricsRegistry::Global().GetGauge("bench.overhead_queue_depth");
+  uint64_t updates = 0;
+  for (auto _ : state) {
+    if (obs::ResourceProbesEnabled()) {
+      depth->Set(static_cast<double>(++updates));
+    }
+    benchmark::DoNotOptimize(updates);
+  }
+  if (updates != 0) state.SkipWithError("disabled gauge path executed");
+}
+BENCHMARK(BM_ThreadPoolGaugeDisabled);
 
 void BM_SpanEnabled(benchmark::State& state) {
   // The *enabled* cost, for contrast: clock reads + one mutex push per span.
@@ -172,22 +217,5 @@ BENCHMARK(BM_FeatureGenTracingOn)
 }  // namespace autoem
 
 int main(int argc, char** argv) {
-  autoem::obs::ObsOptions obs;
-  std::vector<char*> passthrough;
-  passthrough.reserve(static_cast<size_t>(argc));
-  for (int i = 0; i < argc; ++i) {
-    if (!autoem::obs::ParseObsFlag(argv[i], &obs)) {
-      passthrough.push_back(argv[i]);
-    }
-  }
-  autoem::obs::ObsSession session(obs);
-  int filtered_argc = static_cast<int>(passthrough.size());
-  benchmark::Initialize(&filtered_argc, passthrough.data());
-  if (benchmark::ReportUnrecognizedArguments(filtered_argc,
-                                             passthrough.data())) {
-    return 1;
-  }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return autoem::bench::RunGBenchMain(argc, argv);
 }

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_gbench_report.h"
 #include "common/parallelism.h"
 #include "datagen/benchmark_gen.h"
 #include "features/feature_gen.h"
@@ -146,26 +147,6 @@ BENCHMARK(BM_ParallelFeatureGenTfIdf)
 }  // namespace
 }  // namespace autoem
 
-// Custom main: peel off the shared obs flags (--log-level= / --trace-out= /
-// --metrics-out=) before google-benchmark sees (and rejects) them. The
-// session writes trace/metrics at process exit.
 int main(int argc, char** argv) {
-  autoem::obs::ObsOptions obs;
-  std::vector<char*> passthrough;
-  passthrough.reserve(static_cast<size_t>(argc));
-  for (int i = 0; i < argc; ++i) {
-    if (!autoem::obs::ParseObsFlag(argv[i], &obs)) {
-      passthrough.push_back(argv[i]);
-    }
-  }
-  autoem::obs::ObsSession session(obs);
-  int filtered_argc = static_cast<int>(passthrough.size());
-  benchmark::Initialize(&filtered_argc, passthrough.data());
-  if (benchmark::ReportUnrecognizedArguments(filtered_argc,
-                                             passthrough.data())) {
-    return 1;
-  }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return autoem::bench::RunGBenchMain(argc, argv);
 }

@@ -68,6 +68,10 @@ int main(int argc, char** argv) {
     ++rows;
     std::printf("%-20s %10.1f %10.1f %+10.1f\n", profile.name.c_str(),
                 magellan_f1, automl_f1, automl_f1 - magellan_f1);
+    BenchCase c = DatasetCase("table4_end_to_end", profile.name, args);
+    c.counters["magellan_f1"] = magellan_f1;
+    c.counters["automl_f1"] = automl_f1;
+    ReportBenchCase(std::move(c));
   }
   if (rows > 0) {
     std::printf("%-20s %10.1f %10.1f %+10.1f\n", "Average",

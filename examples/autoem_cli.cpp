@@ -24,6 +24,13 @@
 //       streams the candidate pairs through chunked batch scoring.
 //       Predictions are bit-identical to the training process's.
 //
+//   autoem_cli report --trajectory curve.csv [--metrics metrics.json]
+//                     [--trace trace.json] [--out report.html] [--title T]
+//       Joins a profiled run's artifacts (train-eval --save-trajectory,
+//       --metrics-out, --trace-out) into one self-contained HTML report:
+//       tuning curve, per-trial resource table, failure summary,
+//       thread-pool timeline, cache stats.
+//
 // Pairs CSVs use the export_datasets layout: ltable_id,rtable_id,label.
 #include <cstdio>
 #include <cstdlib>
@@ -37,8 +44,10 @@
 #include "fault/failpoint.h"
 #include "em/matcher.h"
 #include "em/pairs_io.h"
+#include "io/atomic_file.h"
 #include "io/model_io.h"
 #include "obs/obs.h"
+#include "obs/report.h"
 #include "table/csv.h"
 
 using namespace autoem;
@@ -76,7 +85,9 @@ struct Flags {
 };
 
 [[noreturn]] void Fail(const std::string& message) {
-  std::fprintf(stderr, "error: %s\n", message.c_str());
+  // Through the structured sink: the message lands in the JSONL log file
+  // when one is open, and on stderr (leveled, timestamped) otherwise.
+  AUTOEM_LOG(ERROR) << message;
   std::exit(1);
 }
 
@@ -85,6 +96,12 @@ obs::ObsOptions ObsFromFlags(const Flags& flags) {
   obs.log_level = flags.Get("log-level");
   obs.trace_path = flags.Get("trace-out");
   obs.metrics_path = flags.Get("metrics-out");
+  std::string resources = flags.Get("resources", "0");
+  obs.resources =
+      !(resources == "0" || resources == "false" || resources == "off");
+  obs.metrics_flush_interval =
+      std::atof(flags.Get("metrics-flush-interval", "0").c_str());
+  obs.metrics_format = flags.Get("metrics-format");
   return obs;
 }
 
@@ -335,6 +352,34 @@ int RunMatch(const Flags& flags) {
   return 0;
 }
 
+int RunReport(const Flags& flags) {
+  if (!flags.Has("trajectory")) Fail("report requires --trajectory");
+
+  obs::ReportInputs inputs;
+  inputs.title = flags.Get("title");
+  Status st = io::ReadFileToString(flags.Get("trajectory"),
+                                   &inputs.trajectory_csv);
+  if (!st.ok()) Fail(st.ToString());
+  if (flags.Has("metrics")) {
+    st = io::ReadFileToString(flags.Get("metrics"), &inputs.metrics_text);
+    if (!st.ok()) Fail(st.ToString());
+  }
+  if (flags.Has("trace")) {
+    st = io::ReadFileToString(flags.Get("trace"), &inputs.trace_json);
+    if (!st.ok()) Fail(st.ToString());
+  }
+
+  std::string html = obs::BuildRunReportHtml(inputs);
+  std::string out_path = flags.Get("out", "report.html");
+  st = io::AtomicWriteFile(out_path, html);
+  if (!st.ok()) Fail(st.ToString());
+  std::printf("wrote run report (%zu bytes%s%s) to %s\n", html.size(),
+              inputs.metrics_text.empty() ? "" : ", with metrics",
+              inputs.trace_json.empty() ? "" : ", with trace",
+              out_path.c_str());
+  return 0;
+}
+
 void PrintUsage() {
   std::printf(
       "usage:\n"
@@ -357,6 +402,8 @@ void PrintUsage() {
       "             [--pairs P.csv | --block-on attr] [--out "
       "predictions.csv]\n"
       "             [--chunk-size N] [--threshold T] [--threads N]\n"
+      "  autoem_cli report --trajectory curve.csv [--metrics metrics.json]\n"
+      "             [--trace trace.json] [--out report.html] [--title T]\n"
       "\n"
       "  predict loads a model saved by train-eval --save-model and scores\n"
       "  pairs without any training data; given --pairs it scores exactly\n"
@@ -377,13 +424,28 @@ void PrintUsage() {
       "  --max-trial-seconds S cancel and quarantine any single pipeline\n"
       "                        trial running past S seconds\n"
       "\n"
-      "observability (both subcommands; flags accept --k v or --k=v):\n"
+      "observability (all subcommands; flags accept --k v or --k=v):\n"
       "  --log-level L     trace|debug|info|warn|error|off (default warn)\n"
       "  --trace-out F     write a Chrome trace_event JSON (open in\n"
       "                    chrome://tracing or https://ui.perfetto.dev)\n"
-      "  --metrics-out F   write a counters/gauges/histograms JSON snapshot\n"
-      "  Tracing never changes results: search output is bit-identical\n"
-      "  with tracing on or off.\n");
+      "  --metrics-out F   write a counters/gauges/histograms snapshot\n"
+      "  --metrics-format F json (default) | jsonl | openmetrics\n"
+      "  --metrics-flush-interval S\n"
+      "                    rewrite the metrics file atomically every S\n"
+      "                    seconds while running (live telemetry; jsonl\n"
+      "                    accumulates an append-only time series)\n"
+      "  --resources       attach resource probes: per-trial/fold/iteration\n"
+      "                    CPU, wall, peak-RSS delta, allocation counts\n"
+      "                    (flows into trajectory CSV, checkpoints, report)\n"
+      "  Instrumentation never changes results: search output is\n"
+      "  bit-identical with tracing and probes on or off.\n"
+      "\n"
+      "  report joins those artifacts into one self-contained HTML file:\n"
+      "    autoem_cli train-eval ... --resources --save-trajectory t.csv\n"
+      "        --metrics-out m.jsonl --metrics-format=jsonl\n"
+      "        --metrics-flush-interval=1 --trace-out tr.json\n"
+      "    autoem_cli report --trajectory t.csv --metrics m.jsonl\n"
+      "        --trace tr.json --out report.html\n");
 }
 
 }  // namespace
@@ -411,6 +473,7 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "match") == 0) return RunMatch(flags);
   if (std::strcmp(argv[1], "predict") == 0) return RunPredict(flags);
+  if (std::strcmp(argv[1], "report") == 0) return RunReport(flags);
   PrintUsage();
   return 1;
 }

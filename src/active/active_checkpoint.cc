@@ -47,7 +47,7 @@ Status SaveActiveCheckpoint(const ActiveCheckpoint& state,
 Result<ActiveCheckpoint> LoadActiveCheckpoint(const std::string& path) {
   auto payload = ReadCheckpointFile(kActiveCheckpointKind, path);
   if (!payload.ok()) return payload.status();
-  io::Reader r(*payload);
+  io::Reader r(payload->bytes);
   ActiveCheckpoint state;
   AUTOEM_RETURN_IF_ERROR(r.U64(&state.seed));
   AUTOEM_RETURN_IF_ERROR(r.Str(&state.rng_state));

@@ -242,6 +242,7 @@ Result<ActiveLearningResult> RunAutoMlEmActive(
 
     obs::Span iter_span("active.iteration");
     if (iter_span.active()) iter_span.Arg("iteration", iter);
+    obs::ResourceProbe iter_probe;
     size_t machine_before = machine_added;
 
     // Confidence of every unlabeled pair under the current model.
@@ -341,6 +342,18 @@ Result<ActiveLearningResult> RunAutoMlEmActive(
     oracle_labels->Add(ac_take);
     self_train_labels->Add(machine_added - machine_before);
     pool_remaining->Set(static_cast<double>(unlabeled.size()));
+    if (iter_probe.active()) {
+      static obs::Histogram* iter_cpu_ms =
+          obs::MetricsRegistry::Global().GetHistogram(
+              "active.iteration_cpu_ms");
+      obs::ResourceUsage used = iter_probe.Take();
+      iter_cpu_ms->Observe(used.cpu_seconds * 1000.0);
+      if (iter_span.active()) {
+        iter_span.Arg("cpu_ms", used.cpu_seconds * 1000.0);
+        iter_span.Arg("rss_delta_kb", used.peak_rss_delta_kb);
+        iter_span.Arg("allocs", used.allocs);
+      }
+    }
     if (iter_span.active()) {
       iter_span.Arg("human_labels", human_used);
       iter_span.Arg("machine_labels", machine_added);

@@ -24,7 +24,8 @@ Status WriteCheckpointFile(uint8_t kind, const io::Writer& payload,
   return io::AtomicWriteFile(path, file.data());
 }
 
-Result<std::string> ReadCheckpointFile(uint8_t kind, const std::string& path) {
+Result<CheckpointPayload> ReadCheckpointFile(uint8_t kind,
+                                             const std::string& path) {
   AUTOEM_FAILPOINT("checkpoint.read");
   std::string bytes;
   AUTOEM_RETURN_IF_ERROR(io::ReadFileToString(path, &bytes));
@@ -40,10 +41,12 @@ Result<std::string> ReadCheckpointFile(uint8_t kind, const std::string& path) {
   }
   uint32_t version;
   AUTOEM_RETURN_IF_ERROR(r.U32(&version));
-  if (version != kCheckpointFormatVersion) {
+  if (version < kCheckpointMinReadVersion ||
+      version > kCheckpointFormatVersion) {
     return Status::InvalidArgument(
         "unsupported checkpoint format version " + std::to_string(version) +
-        " (this build reads version " +
+        " (this build reads versions " +
+        std::to_string(kCheckpointMinReadVersion) + ".." +
         std::to_string(kCheckpointFormatVersion) + ")");
   }
   uint8_t file_kind;
@@ -60,8 +63,10 @@ Result<std::string> ReadCheckpointFile(uint8_t kind, const std::string& path) {
   if (size != r.remaining()) {
     return Status::InvalidArgument("truncated checkpoint file");
   }
-  std::string payload = bytes.substr(r.pos());
-  if (io::Crc32(payload) != crc) {
+  CheckpointPayload payload;
+  payload.bytes = bytes.substr(r.pos());
+  payload.version = version;
+  if (io::Crc32(payload.bytes) != crc) {
     return Status::InvalidArgument("corrupt checkpoint file: CRC mismatch");
   }
   return payload;
@@ -76,9 +81,17 @@ void WriteEvalRecord(io::Writer* w, const EvalRecord& record) {
   w->F64(record.elapsed_seconds);
   w->U8(static_cast<uint8_t>(record.failure));
   w->Str(record.failure_message);
+  // v2 resource attribution. Written even when unsampled (all zeros +
+  // sampled=0): fixed layout keeps the codec trivially seekable and lets a
+  // resumed run tell "free" from "not measured".
+  w->U8(record.resources.sampled ? 1 : 0);
+  w->F64(record.resources.cpu_seconds);
+  w->F64(record.resources.wall_seconds);
+  w->I64(record.resources.peak_rss_delta_kb);
+  w->U64(record.resources.allocs);
 }
 
-Status ReadEvalRecord(io::Reader* r, EvalRecord* record) {
+Status ReadEvalRecord(io::Reader* r, uint32_t version, EvalRecord* record) {
   AUTOEM_RETURN_IF_ERROR(ReadConfigurationBinary(r, &record->config));
   AUTOEM_RETURN_IF_ERROR(r->F64(&record->valid_f1));
   AUTOEM_RETURN_IF_ERROR(r->F64(&record->test_f1));
@@ -93,6 +106,16 @@ Status ReadEvalRecord(io::Reader* r, EvalRecord* record) {
   }
   record->failure = static_cast<TrialFailure>(failure);
   AUTOEM_RETURN_IF_ERROR(r->Str(&record->failure_message));
+  record->resources = TrialResources{};
+  if (version >= 2) {
+    uint8_t sampled;
+    AUTOEM_RETURN_IF_ERROR(r->U8(&sampled));
+    record->resources.sampled = sampled != 0;
+    AUTOEM_RETURN_IF_ERROR(r->F64(&record->resources.cpu_seconds));
+    AUTOEM_RETURN_IF_ERROR(r->F64(&record->resources.wall_seconds));
+    AUTOEM_RETURN_IF_ERROR(r->I64(&record->resources.peak_rss_delta_kb));
+    AUTOEM_RETURN_IF_ERROR(r->U64(&record->resources.allocs));
+  }
   return Status::OK();
 }
 
@@ -124,7 +147,7 @@ Status SaveSearchCheckpoint(const SearchCheckpoint& state,
 Result<SearchCheckpoint> LoadSearchCheckpoint(const std::string& path) {
   auto payload = ReadCheckpointFile(kSearchCheckpointKind, path);
   if (!payload.ok()) return payload.status();
-  io::Reader r(*payload);
+  io::Reader r(payload->bytes);
   SearchCheckpoint state;
   AUTOEM_RETURN_IF_ERROR(r.U64(&state.seed));
   AUTOEM_RETURN_IF_ERROR(r.Str(&state.rng_state));
@@ -138,7 +161,7 @@ Result<SearchCheckpoint> LoadSearchCheckpoint(const std::string& path) {
   AUTOEM_RETURN_IF_ERROR(r.Len(&n_history, 8));
   state.history.resize(static_cast<size_t>(n_history));
   for (EvalRecord& record : state.history) {
-    AUTOEM_RETURN_IF_ERROR(ReadEvalRecord(&r, &record));
+    AUTOEM_RETURN_IF_ERROR(ReadEvalRecord(&r, payload->version, &record));
   }
   uint64_t n_failed;
   AUTOEM_RETURN_IF_ERROR(r.Len(&n_failed, 8));

@@ -25,7 +25,12 @@ class Reader;
 /// unknown versions and any CRC/structure damage with InvalidArgument.
 
 inline constexpr char kCheckpointMagic[4] = {'A', 'E', 'M', 'K'};
-inline constexpr uint32_t kCheckpointFormatVersion = 1;
+/// v1: original container. v2: EvalRecord carries TrialResources (per-trial
+/// CPU/wall/RSS/alloc attribution). Writers emit the current version;
+/// readers accept [kCheckpointMinReadVersion, kCheckpointFormatVersion] so
+/// a v2 build resumes a v1 run (resources read as "not sampled").
+inline constexpr uint32_t kCheckpointFormatVersion = 2;
+inline constexpr uint32_t kCheckpointMinReadVersion = 1;
 
 /// Payload discriminator inside the container, so a search never resumes
 /// from an active-learning checkpoint (or vice versa).
@@ -69,11 +74,21 @@ Result<SearchCheckpoint> LoadSearchCheckpoint(const std::string& path);
 /// corruption detection.
 Status WriteCheckpointFile(uint8_t kind, const io::Writer& payload,
                            const std::string& path);
-Result<std::string> ReadCheckpointFile(uint8_t kind, const std::string& path);
 
-/// EvalRecord codec shared by checkpoint payloads.
+/// Unwrapped checkpoint payload plus the container version it was written
+/// under, so payload codecs can apply version-specific field sets.
+struct CheckpointPayload {
+  std::string bytes;
+  uint32_t version = kCheckpointFormatVersion;
+};
+Result<CheckpointPayload> ReadCheckpointFile(uint8_t kind,
+                                             const std::string& path);
+
+/// EvalRecord codec shared by checkpoint payloads. The writer always emits
+/// the current format; the reader decodes the field set of `version`
+/// (resources are v2+, so a v1 record loads with resources.sampled=false).
 void WriteEvalRecord(io::Writer* w, const EvalRecord& record);
-Status ReadEvalRecord(io::Reader* r, EvalRecord* record);
+Status ReadEvalRecord(io::Reader* r, uint32_t version, EvalRecord* record);
 
 }  // namespace autoem
 

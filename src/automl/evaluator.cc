@@ -93,7 +93,10 @@ EvalRecord HoldoutEvaluator::Evaluate(const Configuration& config) {
           "automl.trials_failed.non_finite");
   static obs::Histogram* eval_ms =
       obs::MetricsRegistry::Global().GetHistogram("automl.pipeline_eval_ms");
+  static obs::Histogram* trial_cpu_ms =
+      obs::MetricsRegistry::Global().GetHistogram("automl.trial_cpu_ms");
   obs::Span span("automl.pipeline_eval");
+  obs::ResourceProbe probe;
 
   EvalRecord record;
   record.config = config;
@@ -129,15 +132,24 @@ EvalRecord HoldoutEvaluator::Evaluate(const Configuration& config) {
   }
   record.fit_seconds = timer.ElapsedSeconds();
   record.elapsed_seconds = lifetime_.ElapsedSeconds() + elapsed_offset_;
+  record.resources = probe.Take();
 
   trials->Add();
   eval_ms->Observe(record.fit_seconds * 1000.0);
+  if (record.resources.sampled) {
+    trial_cpu_ms->Observe(record.resources.cpu_seconds * 1000.0);
+  }
   if (span.active()) {
     span.Arg("trial", record.trial);
     span.Arg("config_hash", ConfigurationHash(config));
     span.Arg("valid_f1", record.valid_f1);
     span.Arg("fit_ms", record.fit_seconds * 1000.0);
     span.Arg("failure", TrialFailureName(record.failure));
+    if (record.resources.sampled) {
+      span.Arg("cpu_ms", record.resources.cpu_seconds * 1000.0);
+      span.Arg("rss_delta_kb", record.resources.peak_rss_delta_kb);
+      span.Arg("allocs", record.resources.allocs);
+    }
   }
   AUTOEM_LOG(DEBUG) << "trial " << record.trial << " valid_f1="
                     << record.valid_f1 << " fit_s=" << record.fit_seconds;
@@ -204,6 +216,8 @@ Result<double> CrossValidatedF1(const Configuration& config,
       obs::MetricsRegistry::Global().GetCounter("automl.cv_folds");
   static obs::Histogram* cv_fold_ms =
       obs::MetricsRegistry::Global().GetHistogram("automl.cv_fold_ms");
+  static obs::Histogram* cv_fold_cpu_ms =
+      obs::MetricsRegistry::Global().GetHistogram("automl.cv_fold_cpu_ms");
   obs::Span cv_span("automl.cv");
   if (cv_span.active()) {
     cv_span.Arg("folds", folds);
@@ -213,6 +227,7 @@ Result<double> CrossValidatedF1(const Configuration& config,
   ParallelFor(parallelism, static_cast<size_t>(folds), [&](size_t fold) {
     obs::Span fold_span("automl.cv_fold");
     if (fold_span.active()) fold_span.Arg("fold", fold);
+    obs::ResourceProbe fold_probe;
     Stopwatch fold_timer;
     std::vector<size_t> train_idx;
     std::vector<size_t> valid_idx;
@@ -232,6 +247,14 @@ Result<double> CrossValidatedF1(const Configuration& config,
     }
     cv_folds->Add();
     cv_fold_ms->Observe(fold_timer.ElapsedMillis());
+    if (fold_probe.active()) {
+      obs::ResourceUsage used = fold_probe.Take();
+      cv_fold_cpu_ms->Observe(used.cpu_seconds * 1000.0);
+      if (fold_span.active()) {
+        fold_span.Arg("cpu_ms", used.cpu_seconds * 1000.0);
+        fold_span.Arg("allocs", used.allocs);
+      }
+    }
     if (fold_span.active()) fold_span.Arg("f1", fold_f1[fold]);
   });
 

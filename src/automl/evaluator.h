@@ -8,8 +8,15 @@
 #include "common/timer.h"
 #include "fault/cancel.h"
 #include "ml/dataset.h"
+#include "obs/resource.h"
 
 namespace autoem {
+
+/// Resource attribution for one trial, captured by an obs::ResourceProbe
+/// when the run is profiled (`--resources`). `sampled == false` (all zeros)
+/// when probes were off — serialized that way so resumed runs and reports
+/// can tell "free" from "unmeasured".
+using TrialResources = obs::ResourceUsage;
 
 /// Why a trial was quarantined (SMAC treats failed evaluations as
 /// first-class data: worst-score imputation, never re-proposed).
@@ -44,6 +51,11 @@ struct EvalRecord {
   /// Human-readable cause for quarantined trials (Status message); empty on
   /// success. Not serialized into trajectories.
   std::string failure_message;
+  /// What the trial cost (CPU / wall / peak-RSS growth / allocations).
+  /// Measurement only — never feeds back into the search — so enabling
+  /// probes cannot change results. Flows into trajectory CSVs and v2
+  /// checkpoints.
+  TrialResources resources;
 };
 
 /// Per-trial resource limits applied by the evaluator.

@@ -2,16 +2,26 @@
 
 #include <algorithm>
 
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace autoem {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads)
+    : workers_gauge_(
+          obs::MetricsRegistry::Global().GetGauge("threadpool.workers")),
+      queue_depth_gauge_(
+          obs::MetricsRegistry::Global().GetGauge("threadpool.queue_depth")),
+      tasks_executed_(obs::MetricsRegistry::Global().GetCounter(
+          "threadpool.tasks_executed")),
+      busy_micros_(obs::MetricsRegistry::Global().GetCounter(
+          "threadpool.busy_micros")) {
   if (num_threads <= 1) return;  // inline mode
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
   }
+  workers_gauge_->Set(static_cast<double>(threads_.size()));
 }
 
 ThreadPool::~ThreadPool() {
@@ -23,15 +33,29 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+void ThreadPool::RunTask(const std::function<void()>& task) {
+  if (obs::ResourceProbesEnabled()) {
+    uint64_t t0 = obs::internal::NowMicros();
+    task();
+    busy_micros_->Add(obs::internal::NowMicros() - t0);
+    tasks_executed_->Add(1);
+  } else {
+    task();
+  }
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   if (threads_.empty()) {
-    task();
+    RunTask(task);
     return;
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
+    if (obs::ResourceProbesEnabled()) {
+      queue_depth_gauge_->Set(static_cast<double>(tasks_.size()));
+    }
   }
   task_available_.notify_one();
 }
@@ -55,8 +79,11 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(tasks_.front());
       tasks_.pop();
+      if (obs::ResourceProbesEnabled()) {
+        queue_depth_gauge_->Set(static_cast<double>(tasks_.size()));
+      }
     }
-    task();
+    RunTask(task);
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

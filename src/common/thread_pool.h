@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace autoem {
 
 /// Fixed-size worker pool. Tasks are void() closures; Wait() blocks until the
@@ -40,6 +42,10 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  /// Runs one task, maintaining the pool telemetry (tasks-executed counter,
+  /// busy-time accumulation). Timing is gated on ResourceProbesEnabled() so
+  /// the un-instrumented cost is one relaxed load and a branch.
+  void RunTask(const std::function<void()>& task);
 
   std::vector<std::thread> threads_;
   std::queue<std::function<void()>> tasks_;
@@ -48,6 +54,18 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+
+  // Pool telemetry (obs v2): handles are resolved once at construction, the
+  // hot-path updates are relaxed atomics gated on the resource-probe switch.
+  //   threadpool.workers        gauge    worker count for this pool
+  //   threadpool.queue_depth    gauge    queue length, sampled Submit/drain
+  //   threadpool.tasks_executed counter  tasks completed (incl. inline mode)
+  //   threadpool.busy_micros    counter  summed task wall time on workers —
+  //                                      utilization = rate / (workers * 1e6)
+  obs::Gauge* workers_gauge_;
+  obs::Gauge* queue_depth_gauge_;
+  obs::Counter* tasks_executed_;
+  obs::Counter* busy_micros_;
 };
 
 }  // namespace autoem

@@ -1,0 +1,79 @@
+#include "obs/flusher.h"
+
+#include <chrono>
+#include <utility>
+
+#include "io/atomic_file.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace autoem {
+namespace obs {
+
+MetricsFlusher::MetricsFlusher(Options options)
+    : options_(std::move(options)), start_us_(internal::NowMicros()) {
+  if (options_.interval_seconds < 0.01) options_.interval_seconds = 0.01;
+  if (options_.format != "jsonl" && options_.format != "openmetrics") {
+    AUTOEM_LOG(WARN) << "flusher: unknown metrics format '" << options_.format
+                     << "', using jsonl";
+    options_.format = "jsonl";
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+MetricsFlusher::~MetricsFlusher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  // Final snapshot, written after the thread is gone: the file ends with a
+  // complete end-of-run record no matter where the flush cadence stood.
+  FlushNow();
+}
+
+void MetricsFlusher::FlushNow() {
+  double ts_s =
+      static_cast<double>(internal::NowMicros() - start_us_) * 1e-6;
+  std::string payload;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.format == "openmetrics") {
+      payload = MetricsRegistry::Global().SnapshotOpenMetrics();
+    } else {
+      jsonl_lines_ += MetricsRegistry::Global().SnapshotJsonLine(ts_s);
+      jsonl_lines_ += '\n';
+      payload = jsonl_lines_;
+    }
+    ++flushes_;
+  }
+  Status st = io::AtomicWriteFile(options_.path, payload,
+                                  io::AtomicWriteOptions{/*durable=*/false});
+  if (!st.ok()) {
+    AUTOEM_LOG(WARN) << "flusher: write to " << options_.path
+                     << " failed: " << st.ToString();
+  }
+}
+
+uint64_t MetricsFlusher::flush_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flushes_;
+}
+
+void MetricsFlusher::Loop() {
+  std::chrono::duration<double> interval(options_.interval_seconds);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    if (wake_.wait_for(lock, interval, [this] { return shutdown_; })) {
+      return;  // destructor writes the final snapshot after the join
+    }
+    lock.unlock();
+    FlushNow();
+    lock.lock();
+  }
+}
+
+}  // namespace obs
+}  // namespace autoem

@@ -1,6 +1,10 @@
 #include "obs/obs.h"
 
-#include <cstdio>
+#include <atomic>
+#include <cstdlib>
+
+#include "io/atomic_file.h"
+#include "obs/flusher.h"
 
 namespace autoem {
 namespace obs {
@@ -15,12 +19,55 @@ bool TakeFlagValue(const std::string& arg, const char* prefix,
   return true;
 }
 
+// Set while any ObsSession owns a live MetricsFlusher: inner sessions must
+// neither start a second flusher nor clobber the file it owns.
+std::atomic<bool> g_flusher_active{false};
+
+// Final (non-live) metrics write in the configured format. "json" keeps the
+// original pretty-snapshot behavior; "jsonl" and "openmetrics" go through
+// the same serializers the flusher uses so watchers and end-of-run readers
+// see one format.
+void WriteFinalMetrics(const std::string& path, const std::string& format) {
+  bool ok;
+  if (format == "openmetrics") {
+    ok = io::AtomicWriteFile(path, MetricsRegistry::Global().SnapshotOpenMetrics(),
+                             io::AtomicWriteOptions{/*durable=*/false})
+             .ok();
+  } else if (format == "jsonl") {
+    std::string line = MetricsRegistry::Global().SnapshotJsonLine(0.0);
+    line += '\n';
+    ok = io::AtomicWriteFile(path, line,
+                             io::AtomicWriteOptions{/*durable=*/false})
+             .ok();
+  } else {
+    ok = MetricsRegistry::Global().WriteJson(path);
+  }
+  if (!ok) {
+    AUTOEM_LOG(WARN) << "obs: failed to write metrics to " << path;
+  }
+}
+
 }  // namespace
 
 bool ParseObsFlag(const std::string& arg, ObsOptions* options) {
+  if (arg == "--resources") {
+    options->resources = true;
+    return true;
+  }
+  std::string value;
+  if (TakeFlagValue(arg, "--resources=", &value)) {
+    options->resources =
+        !(value == "0" || value == "false" || value == "off");
+    return true;
+  }
+  if (TakeFlagValue(arg, "--metrics-flush-interval=", &value)) {
+    options->metrics_flush_interval = std::strtod(value.c_str(), nullptr);
+    return true;
+  }
   return TakeFlagValue(arg, "--log-level=", &options->log_level) ||
          TakeFlagValue(arg, "--trace-out=", &options->trace_path) ||
-         TakeFlagValue(arg, "--metrics-out=", &options->metrics_path);
+         TakeFlagValue(arg, "--metrics-out=", &options->metrics_path) ||
+         TakeFlagValue(arg, "--metrics-format=", &options->metrics_format);
 }
 
 ObsSession::ObsSession(ObsOptions options) : options_(std::move(options)) {
@@ -29,13 +76,28 @@ ObsSession::ObsSession(ObsOptions options) : options_(std::move(options)) {
     if (ParseLogLevel(options_.log_level, &level)) {
       SetMinLogLevel(level);
     } else {
-      std::fprintf(stderr, "obs: unknown log level '%s' (ignored)\n",
-                   options_.log_level.c_str());
+      AUTOEM_LOG(WARN) << "obs: unknown log level '" << options_.log_level
+                       << "' (ignored)";
     }
   }
   if (!options_.trace_path.empty() && !TracingEnabled()) {
     StartTracing();
     owns_tracing_ = true;
+  }
+  if (options_.resources && !ResourceProbesEnabled()) {
+    SetResourceProbesEnabled(true);
+    SetAllocationCounting(true);
+    owns_probes_ = true;
+  }
+  if (!options_.metrics_path.empty() && options_.metrics_flush_interval > 0 &&
+      !g_flusher_active.exchange(true, std::memory_order_acq_rel)) {
+    MetricsFlusher::Options fopts;
+    fopts.path = options_.metrics_path;
+    fopts.interval_seconds = options_.metrics_flush_interval;
+    if (!options_.metrics_format.empty()) {
+      fopts.format = options_.metrics_format;
+    }
+    flusher_ = std::make_unique<MetricsFlusher>(std::move(fopts));
   }
 }
 
@@ -43,15 +105,22 @@ ObsSession::~ObsSession() {
   if (owns_tracing_) {
     StopTracing();
     if (!WriteTrace(options_.trace_path)) {
-      std::fprintf(stderr, "obs: failed to write trace to %s\n",
-                   options_.trace_path.c_str());
+      AUTOEM_LOG(WARN) << "obs: failed to write trace to "
+                       << options_.trace_path;
     }
   }
-  if (!options_.metrics_path.empty()) {
-    if (!MetricsRegistry::Global().WriteJson(options_.metrics_path)) {
-      std::fprintf(stderr, "obs: failed to write metrics to %s\n",
-                   options_.metrics_path.c_str());
-    }
+  if (flusher_) {
+    // The flusher destructor joins its thread and writes the final
+    // end-of-run snapshot; no separate metrics write is needed.
+    flusher_.reset();
+    g_flusher_active.store(false, std::memory_order_release);
+  } else if (!options_.metrics_path.empty() &&
+             !g_flusher_active.load(std::memory_order_acquire)) {
+    WriteFinalMetrics(options_.metrics_path, options_.metrics_format);
+  }
+  if (owns_probes_) {
+    SetAllocationCounting(false);
+    SetResourceProbesEnabled(false);
   }
 }
 

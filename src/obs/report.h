@@ -1,0 +1,30 @@
+#ifndef AUTOEM_OBS_REPORT_H_
+#define AUTOEM_OBS_REPORT_H_
+
+#include <string>
+
+namespace autoem {
+namespace obs {
+
+/// Inputs for the post-run report (`autoem_cli report`). Only the
+/// trajectory is required; metrics and trace enrich the report when the run
+/// was profiled with `--metrics-out=` / `--trace-out=`.
+struct ReportInputs {
+  std::string title;           // heading; defaults to "AutoEM run report"
+  std::string trajectory_csv;  // SerializeTrajectoryCsv output (required)
+  std::string metrics_text;    // metrics file: json, jsonl, or openmetrics
+  std::string trace_json;      // Chrome trace_event JSON (TraceJson output)
+};
+
+/// Joins trajectory + metrics time series + trace into one self-contained
+/// HTML file: tuning curve, per-trial table (score, config hash, CPU / wall
+/// / RSS, failure reason), failure summary, thread-pool utilization
+/// timeline, and cache hit-rate stats. The document embeds its data as an
+/// inline JSON payload and draws with <canvas>; it references no external
+/// assets, so it can be archived or attached to a CI run as a single file.
+std::string BuildRunReportHtml(const ReportInputs& inputs);
+
+}  // namespace obs
+}  // namespace autoem
+
+#endif  // AUTOEM_OBS_REPORT_H_

@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "fault/failpoint.h"
 #include "io/atomic_file.h"
+#include "io/serialize.h"
 
 namespace autoem {
 namespace {
@@ -138,6 +139,75 @@ TEST(SearchCheckpointTest, RoundTripsAllFields) {
   EXPECT_EQ(loaded->history[1].failure, TrialFailure::kTimeout);
   EXPECT_EQ(loaded->history[1].failure_message, "deadline exceeded");
   EXPECT_EQ(loaded->failed_hashes, state.failed_hashes);
+  std::remove(path.c_str());
+}
+
+TEST(SearchCheckpointTest, ResourcesRoundTrip) {
+  std::string path = TempPath("autoem_ckpt_res.aemk");
+  SearchCheckpoint state = MakeCheckpoint();
+  state.history[0].resources.sampled = true;
+  state.history[0].resources.cpu_seconds = 0.125;
+  state.history[0].resources.wall_seconds = 0.5;
+  // Negative RSS delta is legal (a trial can end below its start watermark
+  // only in delta terms after a concurrent peak); the field is signed.
+  state.history[0].resources.peak_rss_delta_kb = -64;
+  state.history[0].resources.allocs = 123456789;
+  ASSERT_TRUE(SaveSearchCheckpoint(state, path).ok());
+
+  auto loaded = LoadSearchCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->history.size(), 2u);
+  EXPECT_TRUE(loaded->history[0].resources.sampled);
+  EXPECT_DOUBLE_EQ(loaded->history[0].resources.cpu_seconds, 0.125);
+  EXPECT_DOUBLE_EQ(loaded->history[0].resources.wall_seconds, 0.5);
+  EXPECT_EQ(loaded->history[0].resources.peak_rss_delta_kb, -64);
+  EXPECT_EQ(loaded->history[0].resources.allocs, 123456789u);
+  EXPECT_FALSE(loaded->history[1].resources.sampled);
+  std::remove(path.c_str());
+}
+
+TEST(SearchCheckpointTest, ReadsVersion1Checkpoint) {
+  // Hand-assembled v1 container (the pre-resources record layout): a v2
+  // build must load it with resources defaulting to "not sampled".
+  io::Writer payload;
+  payload.U64(7);           // seed
+  payload.Str("13 17 19");  // rng_state
+  payload.U8(0);            // interleave_random
+  payload.F64(3.25);        // elapsed_seconds
+  payload.U64(1);           // one history record
+  Configuration config;
+  config["classifier:__choice__"] = std::string("random_forest");
+  config["classifier:random_forest:n_estimators"] = 32;
+  WriteConfigurationBinary(&payload, config);
+  payload.F64(0.5);   // valid_f1
+  payload.F64(0.4);   // test_f1
+  payload.F64(0.1);   // fit_seconds
+  payload.I32(0);     // trial
+  payload.F64(1.5);   // elapsed_seconds
+  payload.U8(0);      // failure = kNone
+  payload.Str("");    // failure_message
+  payload.U64(0);     // no failed hashes
+
+  io::Writer file;
+  for (char c : kCheckpointMagic) file.U8(static_cast<uint8_t>(c));
+  file.U32(1);  // version 1 — no resource fields in the records
+  file.U8(kSearchCheckpointKind);
+  file.U64(payload.size());
+  file.U32(io::Crc32(payload.data()));
+  file.Raw(payload.data());
+  std::string path = TempPath("autoem_ckpt_v1.aemk");
+  MustWriteRaw(path, file.data());
+
+  auto loaded = LoadSearchCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->seed, 7u);
+  EXPECT_EQ(loaded->rng_state, "13 17 19");
+  ASSERT_EQ(loaded->history.size(), 1u);
+  EXPECT_EQ(loaded->history[0].config, config);
+  EXPECT_DOUBLE_EQ(loaded->history[0].valid_f1, 0.5);
+  EXPECT_FALSE(loaded->history[0].resources.sampled);
+  EXPECT_DOUBLE_EQ(loaded->history[0].resources.cpu_seconds, 0.0);
+  EXPECT_EQ(loaded->history[0].resources.allocs, 0u);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,385 @@
+// Tests for the obs v2 export surface: OpenMetrics text exposition
+// conformance, the background MetricsFlusher (including a multi-thread
+// hammer meant to run under tsan), ResourceProbe accounting, and the
+// self-contained HTML run report.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automl/config_io.h"
+#include "automl/evaluator.h"
+#include "io/atomic_file.h"
+#include "obs/flusher.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/resource.h"
+
+namespace autoem {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string MustRead(const std::string& path) {
+  std::string bytes;
+  Status st = io::ReadFileToString(path, &bytes);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return bytes;
+}
+
+// Extracts the sample value following `prefix ` on its exposition line.
+double SampleValue(const std::string& exposition, const std::string& prefix) {
+  size_t pos = exposition.find("\n" + prefix + " ");
+  if (pos == std::string::npos && exposition.rfind(prefix + " ", 0) == 0) {
+    pos = 0;
+  } else if (pos != std::string::npos) {
+    pos += 1;  // skip the leading newline
+  } else {
+    ADD_FAILURE() << "no sample line for " << prefix;
+    return -1.0;
+  }
+  return std::strtod(exposition.c_str() + pos + prefix.size() + 1, nullptr);
+}
+
+// ---- OpenMetrics exposition -----------------------------------------------------
+
+TEST(OpenMetricsTest, EmitsTypedFamiliesAndEof) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("omtest.requests")->Add(3);
+  reg.GetGauge("omtest.best_f1")->Set(0.75);
+  std::string om = reg.SnapshotOpenMetrics();
+
+  EXPECT_NE(om.find("# TYPE omtest_requests counter\n"), std::string::npos);
+  EXPECT_NE(om.find("omtest_requests_total 3\n"), std::string::npos);
+  EXPECT_NE(om.find("# TYPE omtest_best_f1 gauge\n"), std::string::npos);
+  EXPECT_DOUBLE_EQ(SampleValue(om, "omtest_best_f1"), 0.75);
+  // The exposition must terminate with the EOF marker, nothing after it.
+  ASSERT_GE(om.size(), 6u);
+  EXPECT_EQ(om.substr(om.size() - 6), "# EOF\n");
+}
+
+TEST(OpenMetricsTest, HistogramBucketsAreCumulativeAndEndAtInf) {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Histogram* hist =
+      reg.GetHistogram("omtest.latency_ms", {1.0, 10.0});
+  hist->Observe(0.5);    // <= 1
+  hist->Observe(5.0);    // <= 10
+  hist->Observe(100.0);  // overflow
+  std::string om = reg.SnapshotOpenMetrics();
+
+  EXPECT_NE(om.find("# TYPE omtest_latency_ms histogram\n"),
+            std::string::npos);
+  EXPECT_DOUBLE_EQ(SampleValue(om, "omtest_latency_ms_bucket{le=\"1\"}"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(SampleValue(om, "omtest_latency_ms_bucket{le=\"10\"}"),
+                   2.0);
+  // Cumulative: the mandatory terminal +Inf bucket equals _count.
+  EXPECT_DOUBLE_EQ(SampleValue(om, "omtest_latency_ms_bucket{le=\"+Inf\"}"),
+                   3.0);
+  EXPECT_DOUBLE_EQ(SampleValue(om, "omtest_latency_ms_count"), 3.0);
+  EXPECT_DOUBLE_EQ(SampleValue(om, "omtest_latency_ms_sum"), 105.5);
+  // +Inf is the *last* bucket row: no bucket line may follow it.
+  size_t inf_pos = om.find("omtest_latency_ms_bucket{le=\"+Inf\"}");
+  size_t sum_pos = om.find("omtest_latency_ms_sum");
+  ASSERT_NE(inf_pos, std::string::npos);
+  ASSERT_NE(sum_pos, std::string::npos);
+  EXPECT_LT(inf_pos, sum_pos);
+  EXPECT_EQ(om.find("omtest_latency_ms_bucket", inf_pos + 1), std::string::npos);
+}
+
+TEST(OpenMetricsTest, SanitizesNamesToLegalCharset) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("omtest.weird-name.v2/x")->Add();
+  std::string om = reg.SnapshotOpenMetrics();
+  // Dots, dashes, and slashes all map to '_'; the original spelling must
+  // not appear anywhere in the exposition.
+  EXPECT_NE(om.find("omtest_weird_name_v2_x_total 1\n"), std::string::npos);
+  EXPECT_EQ(om.find("omtest.weird-name"), std::string::npos);
+}
+
+TEST(OpenMetricsTest, CountersAreMonotonicAcrossSnapshots) {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Counter* c = reg.GetCounter("omtest.mono");
+  c->Add(2);
+  double first = SampleValue(reg.SnapshotOpenMetrics(), "omtest_mono_total");
+  c->Add(5);
+  double second = SampleValue(reg.SnapshotOpenMetrics(), "omtest_mono_total");
+  EXPECT_EQ(first, 2.0);
+  EXPECT_EQ(second, 7.0);
+  EXPECT_GE(second, first) << "counter went backwards between snapshots";
+}
+
+TEST(OpenMetricsTest, JsonLineSnapshotIsSingleLine) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("omtest.line")->Add();
+  std::string line = reg.SnapshotJsonLine(1.25);
+  EXPECT_EQ(line.rfind("{\"ts_s\": 1.25,", 0), 0u) << line.substr(0, 40);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\"counters\":"), std::string::npos);
+  EXPECT_NE(line.find("\"omtest.line\": 1"), std::string::npos);
+  EXPECT_EQ(line.back(), '}');
+}
+
+// ---- MetricsFlusher -------------------------------------------------------------
+
+TEST(MetricsFlusherTest, JsonlSeriesGrowsAndFinalSnapshotIsWritten) {
+  std::string path = TempPath("autoem_flush_series.jsonl");
+  std::remove(path.c_str());
+  obs::MetricsRegistry::Global().GetCounter("flushtest.ticks")->Add();
+  {
+    obs::MetricsFlusher::Options options;
+    options.path = path;
+    options.interval_seconds = 3600.0;  // manual flushes only
+    options.format = "jsonl";
+    obs::MetricsFlusher flusher(options);
+    flusher.FlushNow();
+    obs::MetricsRegistry::Global().GetCounter("flushtest.ticks")->Add();
+    flusher.FlushNow();
+    EXPECT_GE(flusher.flush_count(), 2u);
+    // Destructor writes one more (the final, never-torn snapshot).
+  }
+  std::string series = MustRead(path);
+  size_t lines = 0;
+  size_t pos = 0;
+  while ((pos = series.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_GE(lines, 3u);
+  // Every record is one complete JSON object line with a timestamp.
+  size_t start = 0;
+  while (start < series.size()) {
+    size_t end = series.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "unterminated final line";
+    std::string line = series.substr(start, end - start);
+    EXPECT_EQ(line.rfind("{\"ts_s\":", 0), 0u) << line.substr(0, 40);
+    EXPECT_EQ(line.back(), '}');
+    start = end + 1;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MetricsFlusherTest, OpenMetricsFormatEndsWithEof) {
+  std::string path = TempPath("autoem_flush_om.txt");
+  std::remove(path.c_str());
+  obs::MetricsRegistry::Global().GetCounter("flushtest.om_ticks")->Add();
+  {
+    obs::MetricsFlusher::Options options;
+    options.path = path;
+    options.interval_seconds = 3600.0;
+    options.format = "openmetrics";
+    obs::MetricsFlusher flusher(options);
+    flusher.FlushNow();
+  }
+  std::string om = MustRead(path);
+  ASSERT_GE(om.size(), 6u);
+  EXPECT_EQ(om.substr(om.size() - 6), "# EOF\n");
+  EXPECT_NE(om.find("# TYPE "), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsFlusherTest, BackgroundThreadFlushesOnItsOwn) {
+  std::string path = TempPath("autoem_flush_bg.jsonl");
+  std::remove(path.c_str());
+  obs::MetricsFlusher::Options options;
+  options.path = path;
+  options.interval_seconds = 0.01;
+  options.format = "jsonl";
+  obs::MetricsFlusher flusher(options);
+  for (int i = 0; i < 200 && flusher.flush_count() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(flusher.flush_count(), 2u) << "background flusher never fired";
+  std::remove(path.c_str());
+}
+
+// The tsan workhorse: 8 writer threads hammer a histogram and a counter
+// while snapshots are taken concurrently — the lock-free shard writes and
+// the flusher's merge must not race.
+TEST(MetricsFlusherTest, ConcurrentHammerWhileFlushing) {
+  std::string path = TempPath("autoem_flush_hammer.jsonl");
+  std::remove(path.c_str());
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Histogram* hist = reg.GetHistogram("flushtest.hammer_ms");
+  obs::Counter* counter = reg.GetCounter("flushtest.hammer_ops");
+
+  obs::MetricsFlusher::Options options;
+  options.path = path;
+  options.interval_seconds = 0.01;  // keep the background thread busy too
+  options.format = "jsonl";
+  {
+    obs::MetricsFlusher flusher(options);
+    constexpr int kThreads = 8;
+    constexpr int kOpsPerThread = 20000;
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&, t] {
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          hist->Observe(static_cast<double>((t * 31 + i) % 1000));
+          counter->Add();
+        }
+      });
+    }
+    for (int i = 0; i < 50; ++i) flusher.FlushNow();
+    for (std::thread& w : writers) w.join();
+    flusher.FlushNow();
+  }
+  // After all writers joined, the final (destructor) snapshot must account
+  // for every operation.
+  obs::Histogram::Snapshot snap = hist->Snap();
+  EXPECT_EQ(snap.count, 8u * 20000u);
+  EXPECT_EQ(counter->Total(), 8u * 20000u);
+  std::string series = MustRead(path);
+  EXPECT_NE(series.find("\"flushtest.hammer_ops\": 160000"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---- ResourceProbe --------------------------------------------------------------
+
+TEST(ResourceProbeTest, DisabledProbeSamplesNothing) {
+  obs::SetResourceProbesEnabled(false);
+  obs::ResourceProbe probe;
+  EXPECT_FALSE(probe.active());
+  obs::ResourceUsage usage = probe.Take();
+  EXPECT_FALSE(usage.sampled);
+  EXPECT_EQ(usage.cpu_seconds, 0.0);
+  EXPECT_EQ(usage.wall_seconds, 0.0);
+  EXPECT_EQ(usage.peak_rss_delta_kb, 0);
+  EXPECT_EQ(usage.allocs, 0u);
+}
+
+TEST(ResourceProbeTest, EnabledProbeMeasuresWorkAndAllocations) {
+  obs::SetResourceProbesEnabled(true);
+  obs::SetAllocationCounting(true);
+  {
+    obs::ResourceProbe probe;
+    ASSERT_TRUE(probe.active());
+    // Burn a little CPU and make heap allocations the hook must count.
+    volatile double sink = 0.0;
+    std::vector<std::string> strings;
+    for (int i = 0; i < 2000; ++i) {
+      strings.push_back(std::string(64, static_cast<char>('a' + i % 26)));
+      for (int j = 0; j < 200; ++j) sink += j * 0.5;
+    }
+    obs::ResourceUsage usage = probe.Take();
+    EXPECT_TRUE(usage.sampled);
+    EXPECT_GE(usage.cpu_seconds, 0.0);
+    EXPECT_GE(usage.wall_seconds, usage.cpu_seconds * 0.0);  // both sampled
+    EXPECT_GT(usage.allocs, 0u);
+  }
+  obs::SetAllocationCounting(false);
+  obs::SetResourceProbesEnabled(false);
+}
+
+TEST(ResourceProbeTest, RawSamplersReportPlausibleValues) {
+  double cpu = obs::ThreadCpuSeconds();
+  EXPECT_GE(cpu, 0.0);
+  // Any live Linux process has a nonzero peak RSS.
+  EXPECT_GT(obs::PeakRssKb(), 0);
+}
+
+// ---- run report -----------------------------------------------------------------
+
+std::vector<EvalRecord> MakeTrajectory() {
+  EvalRecord ok;
+  ok.config["classifier:__choice__"] = std::string("random_forest");
+  ok.config["classifier:random_forest:n_estimators"] = 64;
+  ok.valid_f1 = 0.82;
+  ok.test_f1 = 0.8;
+  ok.fit_seconds = 0.4;
+  ok.trial = 0;
+  ok.elapsed_seconds = 1.5;
+  ok.resources.sampled = true;
+  ok.resources.cpu_seconds = 0.37;
+  ok.resources.wall_seconds = 0.41;
+  ok.resources.peak_rss_delta_kb = 2048;
+  ok.resources.allocs = 123456;
+
+  EvalRecord failed = ok;
+  failed.trial = 1;
+  failed.valid_f1 = 0.0;
+  failed.test_f1 = -1.0;
+  failed.failure = TrialFailure::kTimeout;
+  failed.failure_message = "deadline exceeded";
+  failed.config["classifier:random_forest:n_estimators"] = 512;
+  return {ok, failed};
+}
+
+TEST(RunReportTest, CoversEveryTrialIncludingFailures) {
+  std::vector<EvalRecord> trajectory = MakeTrajectory();
+  obs::ReportInputs inputs;
+  inputs.title = "unit-test run";
+  inputs.trajectory_csv = SerializeTrajectoryCsv(trajectory);
+  std::string html = obs::BuildRunReportHtml(inputs);
+
+  ASSERT_FALSE(html.empty());
+  // 100% trial coverage: each config hash from the CSV appears in the
+  // embedded payload, completed and quarantined alike.
+  char hash0[32], hash1[32];
+  std::snprintf(hash0, sizeof(hash0), "%016llx",
+                static_cast<unsigned long long>(
+                    ConfigurationHash(trajectory[0].config)));
+  std::snprintf(hash1, sizeof(hash1), "%016llx",
+                static_cast<unsigned long long>(
+                    ConfigurationHash(trajectory[1].config)));
+  EXPECT_NE(html.find(hash0), std::string::npos);
+  EXPECT_NE(html.find(hash1), std::string::npos);
+  EXPECT_NE(html.find("timeout"), std::string::npos);
+  EXPECT_NE(html.find("unit-test run"), std::string::npos);
+}
+
+TEST(RunReportTest, IsSelfContained) {
+  obs::ReportInputs inputs;
+  inputs.trajectory_csv = SerializeTrajectoryCsv(MakeTrajectory());
+  inputs.metrics_text =
+      obs::MetricsRegistry::Global().SnapshotJsonLine(0.5) + "\n" +
+      obs::MetricsRegistry::Global().SnapshotJsonLine(1.0) + "\n";
+  inputs.trace_json =
+      "[\n{\"name\":\"automl.trial\",\"cat\":\"autoem\",\"ph\":\"X\","
+      "\"pid\":1,\"tid\":1,\"ts\":10,\"dur\":250}\n]\n";
+  std::string html = obs::BuildRunReportHtml(inputs);
+
+  // A single archivable file: no external fetches of any kind.
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+  EXPECT_NE(html.find("<canvas"), std::string::npos);
+  EXPECT_NE(html.find("<script id=\"payload\" type=\"application/json\">"),
+            std::string::npos);
+  // The metrics series and trace summary made it into the payload.
+  EXPECT_NE(html.find("\"metrics_series\""), std::string::npos);
+  EXPECT_NE(html.find("automl.trial"), std::string::npos);
+}
+
+TEST(RunReportTest, EscapesHostileTitleAndPayload) {
+  obs::ReportInputs inputs;
+  inputs.title = "<script>alert(1)</script> & friends";
+  inputs.trajectory_csv = SerializeTrajectoryCsv(MakeTrajectory());
+  // A trace whose span name tries to break out of the payload script tag.
+  inputs.trace_json =
+      "[\n{\"name\":\"</script><b>x\",\"cat\":\"autoem\",\"ph\":\"X\","
+      "\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":5}\n]\n";
+  std::string html = obs::BuildRunReportHtml(inputs);
+  EXPECT_EQ(html.find("<script>alert"), std::string::npos);
+  // The only "</script>" occurrences are the document's own closing tags;
+  // the payload's embedded one must be escaped to <\/script>.
+  EXPECT_NE(html.find("<\\/script>"), std::string::npos);
+}
+
+TEST(RunReportTest, MinimalTrajectoryOnlyReportStillBuilds) {
+  obs::ReportInputs inputs;
+  inputs.trajectory_csv = SerializeTrajectoryCsv({});
+  std::string html = obs::BuildRunReportHtml(inputs);
+  ASSERT_FALSE(html.empty());
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autoem

@@ -14,9 +14,20 @@
 #include "datagen/benchmark_gen.h"
 #include "features/feature_gen.h"
 #include "ml/models/random_forest.h"
+#include "obs/resource.h"
 
 namespace autoem {
 namespace {
+
+// The whole harness runs with resource probes and allocation counting on:
+// probes are measurement-only, so every bit-identity assertion below doubles
+// as proof that enabling them (the `--resources` flag) cannot perturb a
+// single output bit at any thread count.
+const bool kProbesOn = [] {
+  obs::SetResourceProbesEnabled(true);
+  obs::SetAllocationCounting(true);
+  return true;
+}();
 
 const int kThreadCounts[] = {1, 2, 8};
 
