@@ -1,0 +1,38 @@
+// Fuzzes both Configuration codecs (src/automl/config_io.cc): the
+// `key = value` text parser and the binary codec used inside the AEMM/AEMK
+// containers. Each accepted parse must survive a serialize/reparse loop
+// with exact equality — ParamValue types included, so an int that comes
+// back as a double (or vice versa) is a finding, not noise.
+#include "fuzz/fuzzer_util.h"
+
+#include "automl/config_io.h"
+#include "io/serialize.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  // Text form.
+  auto config = autoem::ParseConfiguration(bytes);
+  if (config.ok()) {
+    std::string text = autoem::SerializeConfiguration(*config);
+    auto again = autoem::ParseConfiguration(text);
+    AUTOEM_FUZZ_ASSERT(again.ok());
+    AUTOEM_FUZZ_ASSERT(*again == *config);
+    AUTOEM_FUZZ_ASSERT(autoem::ConfigurationHash(*again) ==
+                       autoem::ConfigurationHash(*config));
+  }
+
+  // Binary form over the same bytes.
+  autoem::io::Reader reader(bytes);
+  autoem::Configuration binary;
+  if (autoem::ReadConfigurationBinary(&reader, &binary).ok()) {
+    autoem::io::Writer writer;
+    autoem::WriteConfigurationBinary(&writer, binary);
+    autoem::io::Reader reader2(writer.data());
+    autoem::Configuration again;
+    AUTOEM_FUZZ_ASSERT(
+        autoem::ReadConfigurationBinary(&reader2, &again).ok());
+    AUTOEM_FUZZ_ASSERT(again == binary);
+  }
+  return 0;
+}

@@ -1,0 +1,369 @@
+#include "fuzz/corpus.h"
+
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "active/active_checkpoint.h"
+#include "automl/config_io.h"
+#include "automl/search_space.h"
+#include "datagen/benchmark_gen.h"
+#include "em/matcher.h"
+#include "io/model_io.h"
+#include "io/serialize.h"
+
+namespace autoem {
+namespace fuzz {
+
+std::vector<Seed> CsvSeeds() {
+  std::vector<Seed> seeds;
+  seeds.push_back({"plain", "id,name,price\n1,apple,1.50\n2,banana,0.25\n"});
+  seeds.push_back(
+      {"quoted",
+       "id,description\n1,\"has, comma\"\n2,\"embedded \"\"quote\"\"\"\n"
+       "3,\"multi\nline\ncell\"\n"});
+  seeds.push_back({"crlf", "a,b\r\n1,2\r\n3,4\r\n"});
+  seeds.push_back({"bare_cr", "a,b\none\rtwo,3\n"});  // CR inside a cell
+  seeds.push_back({"no_trailing_newline", "x,y\n1,2"});
+  seeds.push_back({"empty_cells", "a,b,c\n,,\n1,,3\n"});
+  seeds.push_back({"header_only", "col1,col2,col3\n"});
+  seeds.push_back(
+      {"typed", "b,n,s,m\ntrue,42,word,\nFalse,-1.5e3,two words,nan\n"});
+  seeds.push_back({"ragged", "a,b\n1,2,3\n"});          // arity error path
+  seeds.push_back({"unterminated", "a,b\n\"oops,2\n"});  // quote error path
+  seeds.push_back(
+      {"nul_bytes", std::string("a,b\nx\0y,2\n1\0junk,3\n", 20)});
+  seeds.push_back({"wide_header",
+                   "c0,c1,c2,c3,c4,c5,c6,c7,c8,c9\n"
+                   "0,1,2,3,4,5,6,7,8,9\n"});
+  return seeds;
+}
+
+std::vector<Seed> ConfigSeeds() {
+  std::vector<Seed> seeds;
+  // Text form, through the real serializer so dialect drift is impossible.
+  Configuration config;
+  config["classifier:__choice__"] = ParamValue(std::string("random_forest"));
+  config["classifier:random_forest:n_estimators"] = ParamValue(int64_t{100});
+  config["classifier:random_forest:max_features"] = ParamValue(0.5);
+  config["balancing:weighting"] = ParamValue(true);
+  config["quote:'embedded'"] = ParamValue(std::string("it's quoted"));
+  seeds.push_back({"full_text", SerializeConfiguration(config)});
+  seeds.push_back({"comments",
+                   "# a comment line\n\nkey = 'value'\nn = 3\nf = -2.75\n"
+                   "flag = false\n"});
+  seeds.push_back({"bad_line", "key_without_equals\n"});
+  seeds.push_back({"weird_numbers",
+                   "a = 1e308\nb = -0.0\nc = 9223372036854775807\n"
+                   "d = 0.30000000000000004\n"});
+  // Binary codec stream of the same configuration.
+  io::Writer w;
+  WriteConfigurationBinary(&w, config);
+  seeds.push_back({"full_binary", w.data()});
+  io::Writer empty;
+  WriteConfigurationBinary(&empty, Configuration{});
+  seeds.push_back({"empty_binary", empty.data()});
+  return seeds;
+}
+
+std::vector<Seed> SerializeSeeds() {
+  std::vector<Seed> seeds;
+  io::Writer w;
+  w.U8(0xAB);
+  w.U32(0xDEADBEEFu);
+  w.U64(0x0123456789ABCDEFull);
+  w.I32(-42);
+  w.F64(3.141592653589793);
+  w.Str("length-prefixed string");
+  w.VecF64({1.5, -2.5, 0.0});
+  w.VecIdx({0, 7, 123456789});
+  seeds.push_back({"primitives", w.data()});
+
+  io::Writer absurd;
+  absurd.U64(0xFFFFFFFFFFFFFFFFull);  // declared length with no payload
+  seeds.push_back({"absurd_length", absurd.data()});
+
+  io::Writer nested;
+  nested.Str(std::string("bin\0ary", 7));
+  nested.VecF64({});
+  nested.U64(3);  // truncated vector: 3 declared, 1 present
+  nested.F64(1.0);
+  seeds.push_back({"truncated_vector", nested.data()});
+  return seeds;
+}
+
+SearchCheckpoint MakeRichSearchCheckpoint() {
+  SearchCheckpoint state;
+  state.seed = 42;
+  state.rng_state = "13 17 19 23 29";
+  state.interleave_random = true;
+  state.elapsed_seconds = 12.75;
+  for (int trial = 0; trial < 2; ++trial) {
+    EvalRecord record;
+    record.config = DefaultEmConfiguration(ModelSpace::kRandomForestOnly);
+    record.config["classifier:random_forest:n_estimators"] =
+        ParamValue(int64_t{10 * (trial + 1)});
+    record.valid_f1 = 0.5 + 0.1 * trial;
+    record.test_f1 = 0.4 + 0.1 * trial;
+    record.fit_seconds = 0.25;
+    record.trial = trial;
+    record.elapsed_seconds = 1.5 * (trial + 1);
+    record.failure = trial == 1 ? TrialFailure::kTimeout : TrialFailure::kNone;
+    record.failure_message = trial == 1 ? "deadline exceeded" : "";
+    record.resources.sampled = true;
+    record.resources.cpu_seconds = 0.125;
+    record.resources.wall_seconds = 0.25;
+    record.resources.peak_rss_delta_kb = 1024;
+    record.resources.allocs = 4096;
+    state.history.push_back(std::move(record));
+  }
+  state.failed_hashes = {0x1111111111111111ull, 0xFEDCBA9876543210ull};
+  return state;
+}
+
+std::vector<Seed> CheckpointSeeds() {
+  std::vector<Seed> seeds;
+  seeds.push_back(
+      {"search_v2", SerializeSearchCheckpoint(MakeRichSearchCheckpoint())});
+
+  // Hand-assembled v1 container (no resource fields) — the back-compat path.
+  io::Writer payload;
+  payload.U64(7);          // seed
+  payload.Str("13 17 19");  // rng_state
+  payload.U8(0);           // interleave_random
+  payload.F64(2.5);        // elapsed_seconds
+  payload.U64(0);          // no history
+  payload.U64(1);          // one quarantined hash
+  payload.U64(0xABCDEF0123456789ull);
+  io::Writer v1;
+  for (char c : kCheckpointMagic) v1.U8(static_cast<uint8_t>(c));
+  v1.U32(1);  // version 1
+  v1.U8(kSearchCheckpointKind);
+  v1.U64(payload.size());
+  v1.U32(io::Crc32(payload.data()));
+  v1.Raw(payload.data());
+  seeds.push_back({"search_v1", v1.data()});
+
+  ActiveCheckpoint active;
+  active.seed = 5;
+  active.rng_state = "rng stream state";
+  active.model_seed = 777;
+  active.iteration = 3;
+  active.alpha = 0.21;
+  active.human_used = 80;
+  active.machine_added = 120;
+  active.machine_correct = 117;
+  active.labeled = {{10, 1, false}, {4, 0, true}};
+  active.unlabeled = {7, 2, 9};
+  ActiveIterationStats stats;
+  stats.iteration = 3;
+  stats.human_labels = 80;
+  stats.machine_labels = 120;
+  stats.iteration_model_test_f1 = 0.66;
+  active.stats = {stats};
+  seeds.push_back({"active_v2", SerializeActiveCheckpoint(active)});
+
+  std::string truncated = seeds[0].bytes.substr(0, seeds[0].bytes.size() / 2);
+  seeds.push_back({"search_truncated", truncated});
+  return seeds;
+}
+
+namespace {
+
+void AppendSection(uint32_t id, const std::string& payload, io::Writer* out,
+                   uint32_t* count) {
+  out->U32(id);
+  out->U64(payload.size());
+  out->U32(io::Crc32(payload));
+  out->Raw(payload);
+  ++*count;
+}
+
+std::string BuildEnvelope(const std::vector<std::pair<uint32_t, std::string>>&
+                              sections) {
+  io::Writer body;
+  uint32_t count = 0;
+  for (const auto& [id, payload] : sections) {
+    AppendSection(id, payload, &body, &count);
+  }
+  io::Writer file;
+  for (char c : io::kModelMagic) file.U8(static_cast<uint8_t>(c));
+  file.U32(io::kModelFormatVersion);
+  file.U32(count);
+  return file.data() + body.data();
+}
+
+}  // namespace
+
+std::vector<Seed> ModelEnvelopeSeeds() {
+  std::vector<Seed> seeds;
+  // A valid meta section; generator/pipeline payloads are synthetic, so the
+  // deep parse rejects them after the envelope passes — the seed still walks
+  // the whole section table with correct CRCs.
+  io::Writer meta;
+  meta.Str("autoem");
+  meta.F64(0.875);
+  io::Writer generator;
+  generator.Str("automl_em");  // real registry name; plan state missing
+  seeds.push_back(
+      {"three_sections",
+       BuildEnvelope({{1, meta.data()},
+                      {2, generator.data()},
+                      {3, std::string("synthetic pipeline payload")}})});
+  seeds.push_back({"empty_sections", BuildEnvelope({})});
+  seeds.push_back({"unknown_section_id",
+                   BuildEnvelope({{1, meta.data()}, {99, "junk"}})});
+  seeds.push_back({"meta_only", BuildEnvelope({{1, meta.data()}})});
+  return seeds;
+}
+
+Result<std::vector<SectionRef>> ListModelSections(const std::string& bytes) {
+  io::Reader r(bytes);
+  AUTOEM_RETURN_IF_ERROR(r.Skip(sizeof(io::kModelMagic)));
+  uint32_t version;
+  AUTOEM_RETURN_IF_ERROR(r.U32(&version));
+  uint32_t count;
+  AUTOEM_RETURN_IF_ERROR(r.U32(&count));
+  std::vector<SectionRef> sections;
+  for (uint32_t i = 0; i < count; ++i) {
+    SectionRef ref;
+    ref.header_pos = r.pos();
+    AUTOEM_RETURN_IF_ERROR(r.U32(&ref.id));
+    ref.size_pos = r.pos();
+    AUTOEM_RETURN_IF_ERROR(r.U64(&ref.size));
+    ref.crc_pos = r.pos();
+    uint32_t crc;
+    AUTOEM_RETURN_IF_ERROR(r.U32(&crc));
+    ref.payload_pos = r.pos();
+    if (ref.size > r.remaining()) {
+      return Status::InvalidArgument("section table: payload cut off");
+    }
+    AUTOEM_RETURN_IF_ERROR(r.Skip(static_cast<size_t>(ref.size)));
+    sections.push_back(ref);
+  }
+  return sections;
+}
+
+void FlipBytes(std::string* bytes, size_t offset, size_t count,
+               uint8_t mask) {
+  for (size_t i = offset; i < offset + count && i < bytes->size(); ++i) {
+    (*bytes)[i] = static_cast<char>((*bytes)[i] ^ mask);
+  }
+}
+
+void OverwriteLe(std::string* bytes, size_t offset, uint64_t value,
+                 size_t width) {
+  for (size_t i = 0; i < width && offset + i < bytes->size(); ++i) {
+    (*bytes)[offset + i] = static_cast<char>(value >> (8 * i));
+  }
+}
+
+Status SwapSectionPayloads(std::string* bytes, size_t a, size_t b) {
+  auto sections = ListModelSections(*bytes);
+  AUTOEM_RETURN_IF_ERROR(sections.status());
+  if (a >= sections->size() || b >= sections->size()) {
+    return Status::InvalidArgument("section index out of range");
+  }
+  const SectionRef& sa = (*sections)[a];
+  const SectionRef& sb = (*sections)[b];
+  std::string pa = bytes->substr(sa.payload_pos,
+                                 static_cast<size_t>(sa.size));
+  std::string pb = bytes->substr(sb.payload_pos,
+                                 static_cast<size_t>(sb.size));
+  // Rebuild rather than replace in place: the payloads may differ in size,
+  // which would shift every later offset.
+  std::string out;
+  size_t prev_end = 0;
+  for (size_t i = 0; i < sections->size(); ++i) {
+    const SectionRef& ref = (*sections)[i];
+    out.append(*bytes, prev_end, ref.payload_pos - prev_end);
+    if (i == a) {
+      out += pb;
+    } else if (i == b) {
+      out += pa;
+    } else {
+      out.append(*bytes, ref.payload_pos, static_cast<size_t>(ref.size));
+    }
+    prev_end = ref.payload_pos + static_cast<size_t>(ref.size);
+  }
+  out.append(*bytes, prev_end, bytes->size() - prev_end);
+  *bytes = std::move(out);
+  return Status::OK();
+}
+
+Status SwapSectionIds(std::string* bytes, size_t a, size_t b) {
+  auto sections = ListModelSections(*bytes);
+  AUTOEM_RETURN_IF_ERROR(sections.status());
+  if (a >= sections->size() || b >= sections->size()) {
+    return Status::InvalidArgument("section index out of range");
+  }
+  uint32_t id_a = (*sections)[a].id;
+  uint32_t id_b = (*sections)[b].id;
+  OverwriteLe(bytes, (*sections)[a].header_pos, id_b, 4);
+  OverwriteLe(bytes, (*sections)[b].header_pos, id_a, 4);
+  return Status::OK();
+}
+
+Status SetSectionLength(std::string* bytes, size_t idx, uint64_t value) {
+  auto sections = ListModelSections(*bytes);
+  AUTOEM_RETURN_IF_ERROR(sections.status());
+  if (idx >= sections->size()) {
+    return Status::InvalidArgument("section index out of range");
+  }
+  OverwriteLe(bytes, (*sections)[idx].size_pos, value, 8);
+  return Status::OK();
+}
+
+namespace {
+
+Status WriteSeedDir(const std::string& dir, const std::string& harness,
+                    const std::vector<Seed>& seeds) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(fs::path(dir) / harness, ec);
+  if (ec) {
+    return Status::IOError("cannot create " + dir + "/" + harness + ": " +
+                           ec.message());
+  }
+  for (const Seed& seed : seeds) {
+    fs::path path = fs::path(dir) / harness / seed.name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(seed.bytes.data(),
+              static_cast<std::streamsize>(seed.bytes.size()));
+    if (!out) return Status::IOError("write failed: " + path.string());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteSeedCorpus(const std::string& dir, bool with_model) {
+  AUTOEM_RETURN_IF_ERROR(WriteSeedDir(dir, "csv", CsvSeeds()));
+  AUTOEM_RETURN_IF_ERROR(WriteSeedDir(dir, "config_io", ConfigSeeds()));
+  AUTOEM_RETURN_IF_ERROR(
+      WriteSeedDir(dir, "serialize_roundtrip", SerializeSeeds()));
+  AUTOEM_RETURN_IF_ERROR(WriteSeedDir(dir, "checkpoint", CheckpointSeeds()));
+  AUTOEM_RETURN_IF_ERROR(
+      WriteSeedDir(dir, "model_io", ModelEnvelopeSeeds()));
+  if (with_model) {
+    // The deep-parse seed: a real trained container, deterministic because
+    // every seed below is pinned (same recipe as tests/model_io_test.cc).
+    auto data = GenerateBenchmarkByName("Fodors-Zagats", /*seed=*/13,
+                                        /*scale=*/0.1);
+    AUTOEM_RETURN_IF_ERROR(data.status());
+    EntityMatcher::Options options;
+    options.automl.max_evaluations = 2;
+    options.automl.seed = 17;
+    options.automl.parallelism = Parallelism::Threads(1);
+    auto matcher = EntityMatcher::Train(data->train, options);
+    AUTOEM_RETURN_IF_ERROR(matcher.status());
+    std::string bytes;
+    AUTOEM_RETURN_IF_ERROR(io::SerializeModel(*matcher, &bytes));
+    AUTOEM_RETURN_IF_ERROR(
+        WriteSeedDir(dir, "model_io", {{"trained_tiny.aemm", bytes}}));
+  }
+  return Status::OK();
+}
+
+}  // namespace fuzz
+}  // namespace autoem

@@ -1,0 +1,32 @@
+// Regenerates the checked-in seed corpora under fuzz/corpus/ (see
+// fuzz/corpus.h — deterministic, so re-running produces byte-identical
+// files). Usage:
+//
+//   fuzz_corpus_gen <out_dir> [--with-model]
+//
+// --with-model additionally trains a tiny deterministic matcher and writes
+// the serialized AEMM container (the deep-parse seed); takes a few seconds.
+#include <cstdio>
+#include <cstring>
+
+#include "fuzz/corpus.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <out_dir> [--with-model]\n", argv[0]);
+    return 2;
+  }
+  bool with_model = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--with-model") == 0) with_model = true;
+  }
+  autoem::Status st = autoem::fuzz::WriteSeedCorpus(argv[1], with_model);
+  if (!st.ok()) {
+    std::fprintf(stderr, "corpus generation failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "seed corpus written to %s%s\n", argv[1],
+               with_model ? " (with trained model seed)" : "");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Fuzzes the CSV reader (src/table/csv.cc): arbitrary bytes must either
+// parse into a Table or fail with a clean Status — never crash, leak, or
+// trip UBSan. Accepted inputs additionally get the emit/reparse treatment:
+// ToCsvString must be a fixpoint (emit -> parse -> emit is byte-identical),
+// which is what makes WriteCsv/ReadCsv a lossless pair for any table the
+// reader itself produced.
+#include "fuzz/fuzzer_util.h"
+
+#include "table/csv.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  auto table = autoem::ParseCsv(text, "fuzz");
+  if (!table.ok()) return 0;
+
+  std::string emitted = autoem::ToCsvString(*table);
+  auto again = autoem::ParseCsv(emitted, "fuzz_reparse");
+  AUTOEM_FUZZ_ASSERT(again.ok());
+  AUTOEM_FUZZ_ASSERT(again->num_rows() == table->num_rows());
+  AUTOEM_FUZZ_ASSERT(again->schema().num_attributes() ==
+                     table->schema().num_attributes());
+  AUTOEM_FUZZ_ASSERT(autoem::ToCsvString(*again) == emitted);
+  return 0;
+}

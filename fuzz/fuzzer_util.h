@@ -1,0 +1,365 @@
+#ifndef AUTOEM_FUZZ_FUZZER_UTIL_H_
+#define AUTOEM_FUZZ_FUZZER_UTIL_H_
+
+// Shared scaffold for the fuzz harnesses (CalicoDB fuzzers/fuzzer.h idiom).
+//
+// Every harness defines the libFuzzer entry point:
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+//
+// Under the `fuzz` CMake preset (clang) the harness links against libFuzzer
+// (-fsanitize=fuzzer) and this header contributes only the helpers. On
+// toolchains without libFuzzer (gcc — the default and `asan` presets) the
+// harness is compiled without AUTOEM_HAVE_LIBFUZZER and this header
+// provides a standalone driver main() that understands a subset of the
+// libFuzzer command line:
+//
+//   harness [corpus file or dir]... [-runs=N] [-max_total_time=SECONDS]
+//           [-seed=K] [-max_len=BYTES] [-artifact_prefix=PATH/]
+//
+// The standalone driver replays every corpus input once, then runs a
+// deterministic mutation loop (xorshift RNG, seeded by -seed) over the
+// seeds until -runs executions or -max_total_time seconds are spent. It is
+// not coverage-guided, but combined with ASan/UBSan it turns the checked-in
+// seed corpora into a real smoke fuzzer on any toolchain. On a crash the
+// offending input is written to <artifact_prefix>crash-standalone.bin for
+// minimization under a proper libFuzzer build.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+// Harness-side invariant check: unlike assert(), active in every build and
+// routed through abort() so both libFuzzer and the standalone driver treat
+// a violated round-trip property exactly like a sanitizer fault.
+#define AUTOEM_FUZZ_ASSERT(cond)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FUZZ ASSERT FAILED: %s at %s:%d\n", #cond,    \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+namespace autoem {
+namespace fuzz {
+
+/// Consume-from-front view over the fuzz input; the structure-aware
+/// harnesses use it to split one byte string into "decisions" (which
+/// mutation, which section, which value) plus raw payload. Reads past the
+/// end yield zeros so every input is valid.
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t Byte() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  bool Bool() { return (Byte() & 1) != 0; }
+
+  uint32_t U32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | Byte();
+    return v;
+  }
+
+  uint64_t U64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | Byte();
+    return v;
+  }
+
+  /// Uniform-ish index in [0, bound); 0 when bound == 0.
+  size_t Index(size_t bound) {
+    return bound == 0 ? 0 : static_cast<size_t>(U32() % bound);
+  }
+
+  /// Up to `n` raw bytes (fewer near the end of the input).
+  std::string Bytes(size_t n) {
+    size_t take = n < remaining() ? n : remaining();
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), take);
+    pos_ += take;
+    return out;
+  }
+
+  std::string Rest() { return Bytes(remaining()); }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fuzz
+}  // namespace autoem
+
+#if !defined(AUTOEM_HAVE_LIBFUZZER)
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define AUTOEM_FUZZ_HAVE_DEATH_CALLBACK 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define AUTOEM_FUZZ_HAVE_DEATH_CALLBACK 1
+#endif
+#endif
+
+#if defined(AUTOEM_FUZZ_HAVE_DEATH_CALLBACK)
+extern "C" void __sanitizer_set_death_callback(void (*)(void));
+#endif
+
+namespace autoem {
+namespace fuzz {
+namespace standalone {
+
+inline std::string* g_last_input = nullptr;
+inline std::string g_artifact_prefix;  // set before the loop starts
+
+/// Async-signal-safe-ish dump of the input being executed when the process
+/// dies; also installed as the sanitizer death callback so ASan/UBSan
+/// reports (which do not raise a signal) still leave an artifact.
+inline void DumpLastInput() {
+  if (g_last_input == nullptr) return;
+  std::string path = g_artifact_prefix + "crash-standalone.bin";
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  ssize_t ignored =
+      ::write(fd, g_last_input->data(), g_last_input->size());
+  (void)ignored;
+  ::close(fd);
+  const char msg[] = "standalone driver: crashing input saved to ";
+  ignored = ::write(2, msg, sizeof(msg) - 1);
+  ignored = ::write(2, path.data(), path.size());
+  ignored = ::write(2, "\n", 1);
+}
+
+extern "C" inline void DeathCallback() { DumpLastInput(); }
+
+inline void SignalHandler(int sig) {
+  DumpLastInput();
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+/// xorshift64* — deterministic, seedable, no <random> allocation churn.
+struct Rng {
+  uint64_t state;
+  explicit Rng(uint64_t seed) : state(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+  uint64_t Next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1Dull;
+  }
+  size_t Index(size_t bound) {
+    return bound == 0 ? 0 : static_cast<size_t>(Next() % bound);
+  }
+};
+
+inline void Mutate(Rng* rng, const std::vector<std::string>& seeds,
+                   std::string* input, size_t max_len) {
+  static const uint64_t kInteresting[] = {
+      0,    1,    0x7F, 0x80,  0xFF,  0x100, 0x7FFF, 0xFFFF,
+      0x7FFFFFFFull, 0xFFFFFFFFull, 0x7FFFFFFFFFFFFFFFull,
+      0xFFFFFFFFFFFFFFFFull};
+  int ops = 1 + static_cast<int>(rng->Index(4));
+  for (int op = 0; op < ops; ++op) {
+    if (input->empty()) {
+      input->push_back(static_cast<char>(rng->Next()));
+      continue;
+    }
+    switch (rng->Index(9)) {
+      case 0: {  // flip one bit
+        size_t i = rng->Index(input->size());
+        (*input)[i] ^= static_cast<char>(1u << rng->Index(8));
+        break;
+      }
+      case 1: {  // xor a byte
+        size_t i = rng->Index(input->size());
+        (*input)[i] ^= static_cast<char>(rng->Next() | 1);
+        break;
+      }
+      case 2: {  // set a byte to an interesting value
+        size_t i = rng->Index(input->size());
+        (*input)[i] = static_cast<char>(
+            kInteresting[rng->Index(5)]);  // one-byte candidates
+        break;
+      }
+      case 3:  // truncate
+        input->resize(rng->Index(input->size()));
+        break;
+      case 4: {  // erase a chunk
+        size_t at = rng->Index(input->size());
+        size_t n = 1 + rng->Index(16);
+        input->erase(at, n);
+        break;
+      }
+      case 5: {  // insert random bytes
+        size_t at = rng->Index(input->size() + 1);
+        size_t n = 1 + rng->Index(16);
+        std::string chunk;
+        for (size_t i = 0; i < n; ++i) {
+          chunk.push_back(static_cast<char>(rng->Next()));
+        }
+        input->insert(at, chunk);
+        break;
+      }
+      case 6: {  // duplicate a chunk
+        size_t at = rng->Index(input->size());
+        size_t n = 1 + rng->Index(32);
+        if (n > input->size() - at) n = input->size() - at;
+        input->insert(rng->Index(input->size() + 1),
+                      input->substr(at, n));
+        break;
+      }
+      case 7: {  // overwrite 4/8 bytes with an interesting integer (LE) —
+                 // targets length/count/CRC fields of the containers
+        size_t width = rng->Index(2) ? 8 : 4;
+        if (input->size() < width) break;
+        size_t at = rng->Index(input->size() - width + 1);
+        uint64_t v = kInteresting[rng->Index(
+            sizeof(kInteresting) / sizeof(kInteresting[0]))];
+        for (size_t i = 0; i < width; ++i) {
+          (*input)[at + i] = static_cast<char>(v >> (8 * i));
+        }
+        break;
+      }
+      case 8: {  // splice with another seed
+        if (seeds.empty()) break;
+        const std::string& other = seeds[rng->Index(seeds.size())];
+        if (other.empty()) break;
+        size_t cut_a = rng->Index(input->size() + 1);
+        size_t cut_b = rng->Index(other.size());
+        *input = input->substr(0, cut_a) + other.substr(cut_b);
+        break;
+      }
+    }
+  }
+  if (input->size() > max_len) input->resize(max_len);
+}
+
+inline int RunStandalone(int argc, char** argv) {
+  uint64_t runs = 0;  // 0 = replay only
+  double max_total_time = 0.0;
+  uint64_t seed = 1;
+  size_t max_len = 1 << 20;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_total_time = std::strtod(arg.c_str() + 16, nullptr);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("-artifact_prefix=", 0) == 0) {
+      g_artifact_prefix = arg.substr(17);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "standalone driver: ignoring flag %s\n",
+                   arg.c_str());
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  std::vector<std::string> seeds;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path, ec)) {
+        if (entry.is_regular_file()) {
+          std::ifstream in(entry.path(), std::ios::binary);
+          std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+          seeds.push_back(std::move(bytes));
+        }
+      }
+    } else {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "standalone driver: cannot read %s\n",
+                     path.c_str());
+        return 2;
+      }
+      seeds.emplace_back((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    }
+  }
+
+  std::string current;
+  g_last_input = &current;
+  for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGILL, SIGFPE}) {
+    ::signal(sig, SignalHandler);
+  }
+#if defined(AUTOEM_FUZZ_HAVE_DEATH_CALLBACK)
+  __sanitizer_set_death_callback(DeathCallback);
+#endif
+
+  auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  uint64_t executions = 0;
+  for (const std::string& s : seeds) {
+    current = s;
+    if (current.size() > max_len) current.resize(max_len);
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const uint8_t*>(current.data()), current.size());
+    ++executions;
+  }
+
+  // Mutation loop; whichever budget (-runs / -max_total_time) runs out
+  // first stops it, mirroring libFuzzer. With neither flag the driver is
+  // replay-only.
+  Rng rng(seed);
+  const bool have_budget = runs != 0 || max_total_time > 0.0;
+  while (have_budget) {
+    if (runs != 0 && executions >= runs) break;
+    if (max_total_time > 0.0 && elapsed() >= max_total_time) break;
+    current = seeds.empty() ? std::string()
+                            : seeds[rng.Index(seeds.size())];
+    Mutate(&rng, seeds, &current, max_len);
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const uint8_t*>(current.data()), current.size());
+    ++executions;
+  }
+
+  g_last_input = nullptr;
+  std::fprintf(stderr,
+               "standalone driver: %llu executions (%zu seeds) in %.2fs — "
+               "no crashes\n",
+               static_cast<unsigned long long>(executions), seeds.size(),
+               elapsed());
+  return 0;
+}
+
+}  // namespace standalone
+}  // namespace fuzz
+}  // namespace autoem
+
+int main(int argc, char** argv) {
+  return autoem::fuzz::standalone::RunStandalone(argc, argv);
+}
+
+#endif  // !AUTOEM_HAVE_LIBFUZZER
+
+#endif  // AUTOEM_FUZZ_FUZZER_UTIL_H_

@@ -1,0 +1,20 @@
+# ctest wrapper for the fuzz-smoke tier: copies the checked-in seed corpus
+# into the build tree (libFuzzer adds discovered inputs to the corpus dir it
+# is given — the source tree must stay pristine) and runs the harness with a
+# small bounded budget. Crash artifacts land in the work dir.
+#
+# Variables: HARNESS (binary path), CORPUS (seed dir), WORK (scratch dir).
+
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}/corpus")
+file(COPY "${CORPUS}/" DESTINATION "${WORK}/corpus")
+
+execute_process(
+  COMMAND "${HARNESS}" -runs=512 -seed=7
+          "-artifact_prefix=${WORK}/" "${WORK}/corpus"
+  RESULT_VARIABLE result)
+
+if(NOT result EQUAL 0)
+  message(FATAL_ERROR
+    "${HARNESS} failed (exit ${result}); artifacts under ${WORK}")
+endif()

@@ -1,0 +1,241 @@
+// Structure-aware harness over the serialization substrate and both
+// container formats. The fuzz input is split into decisions (mode, ops,
+// offsets, values) and payload bytes via fuzz::FuzzInput:
+//
+//   mode 0 — Reader op-stream: run an arbitrary sequence of bounds-checked
+//            decoder ops over raw bytes; every op must return cleanly.
+//   mode 1 — Writer/Reader round-trip: encode fuzz-chosen typed values and
+//            require exact (bit-level for doubles) decoding.
+//   mode 2 — AEMK surgery: build a *valid* search checkpoint, then apply
+//            fuzz-chosen mutations (byte flips, little-endian integer
+//            overwrites on length/CRC fields, truncation); the parse must
+//            never crash, and with zero mutations it must succeed.
+//   mode 3 — AEMM surgery: assemble an envelope from fuzz-chosen sections,
+//            then mutate it section-by-section with the corpus helpers
+//            (id swaps, payload swaps, length-field overflow) before
+//            DeserializeModel sees it.
+#include "fuzz/fuzzer_util.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "automl/checkpoint.h"
+#include "fuzz/corpus.h"
+#include "io/model_io.h"
+#include "io/serialize.h"
+
+namespace {
+
+using autoem::fuzz::FuzzInput;
+
+void ReaderOpStream(FuzzInput* in) {
+  size_t n_ops = in->Index(64) + 1;
+  std::string ops;
+  for (size_t i = 0; i < n_ops; ++i) ops.push_back(in->Byte());
+  std::string payload = in->Rest();
+  autoem::io::Reader r(payload);
+  for (char op : ops) {
+    autoem::Status st = autoem::Status::OK();
+    switch (static_cast<uint8_t>(op) % 10) {
+      case 0: {
+        uint8_t v;
+        st = r.U8(&v);
+        break;
+      }
+      case 1: {
+        uint32_t v;
+        st = r.U32(&v);
+        break;
+      }
+      case 2: {
+        uint64_t v;
+        st = r.U64(&v);
+        break;
+      }
+      case 3: {
+        int32_t v;
+        st = r.I32(&v);
+        break;
+      }
+      case 4: {
+        int64_t v;
+        st = r.I64(&v);
+        break;
+      }
+      case 5: {
+        double v;
+        st = r.F64(&v);
+        break;
+      }
+      case 6: {
+        std::string v;
+        st = r.Str(&v);
+        break;
+      }
+      case 7: {
+        std::vector<double> v;
+        st = r.VecF64(&v);
+        break;
+      }
+      case 8: {
+        std::vector<size_t> v;
+        st = r.VecIdx(&v);
+        break;
+      }
+      case 9:
+        st = r.Skip(static_cast<size_t>(op) + 1);
+        break;
+    }
+    AUTOEM_FUZZ_ASSERT(r.remaining() <= payload.size());
+    if (!st.ok()) break;  // clean failure; later ops would also fail
+  }
+}
+
+void WriterRoundTrip(FuzzInput* in) {
+  autoem::io::Writer w;
+  std::vector<uint8_t> kinds;
+  std::vector<uint64_t> ints;
+  std::vector<double> doubles;
+  std::vector<std::string> strings;
+  size_t n_vals = in->Index(24) + 1;
+  for (size_t i = 0; i < n_vals; ++i) {
+    uint8_t kind = in->Byte() % 3;
+    kinds.push_back(kind);
+    if (kind == 0) {
+      ints.push_back(in->U64());
+      w.U64(ints.back());
+    } else if (kind == 1) {
+      uint64_t bits = in->U64();
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      doubles.push_back(d);
+      w.F64(d);
+    } else {
+      strings.push_back(in->Bytes(in->Index(32)));
+      w.Str(strings.back());
+    }
+  }
+  autoem::io::Reader r(w.data());
+  size_t ii = 0, di = 0, si = 0;
+  for (uint8_t kind : kinds) {
+    if (kind == 0) {
+      uint64_t v;
+      AUTOEM_FUZZ_ASSERT(r.U64(&v).ok());
+      AUTOEM_FUZZ_ASSERT(v == ints[ii++]);
+    } else if (kind == 1) {
+      double v;
+      AUTOEM_FUZZ_ASSERT(r.F64(&v).ok());
+      AUTOEM_FUZZ_ASSERT(
+          std::memcmp(&v, &doubles[di++], sizeof(v)) == 0);
+    } else {
+      std::string v;
+      AUTOEM_FUZZ_ASSERT(r.Str(&v).ok());
+      AUTOEM_FUZZ_ASSERT(v == strings[si++]);
+    }
+  }
+  AUTOEM_FUZZ_ASSERT(r.remaining() == 0);
+}
+
+void CheckpointSurgery(FuzzInput* in) {
+  autoem::SearchCheckpoint state = autoem::fuzz::MakeRichSearchCheckpoint();
+  state.seed = in->U64();
+  state.elapsed_seconds = static_cast<double>(in->U32());
+  std::string bytes = autoem::SerializeSearchCheckpoint(state);
+
+  size_t n_mutations = in->Index(6);
+  if (n_mutations == 0) {
+    AUTOEM_FUZZ_ASSERT(autoem::DeserializeSearchCheckpoint(bytes).ok());
+    return;
+  }
+  for (size_t i = 0; i < n_mutations && !bytes.empty(); ++i) {
+    switch (in->Byte() % 4) {
+      case 0:
+        autoem::fuzz::FlipBytes(&bytes, in->Index(bytes.size()),
+                                in->Index(8) + 1,
+                                static_cast<uint8_t>(in->Byte() | 1));
+        break;
+      case 1:
+        autoem::fuzz::OverwriteLe(&bytes, in->Index(bytes.size()),
+                                  in->U64(), in->Bool() ? 8 : 4);
+        break;
+      case 2:
+        bytes.resize(in->Index(bytes.size() + 1));
+        break;
+      case 3:
+        bytes += in->Bytes(in->Index(16) + 1);
+        break;
+    }
+  }
+  // Damaged container: any Status is fine, crashing is not.
+  auto parsed = autoem::DeserializeSearchCheckpoint(bytes);
+  (void)parsed;
+}
+
+void ModelEnvelopeSurgery(FuzzInput* in) {
+  // Assemble a CRC-correct envelope out of fuzz-chosen sections.
+  autoem::io::Writer body;
+  uint32_t count = 0;
+  size_t n_sections = in->Index(5);
+  for (size_t i = 0; i < n_sections; ++i) {
+    uint32_t id = in->Byte() % 6;  // hits real ids (1..3) and strangers
+    std::string payload = in->Bytes(in->Index(48));
+    body.U32(id);
+    body.U64(payload.size());
+    body.U32(autoem::io::Crc32(payload));
+    body.Raw(payload);
+    ++count;
+  }
+  autoem::io::Writer file;
+  for (char c : autoem::io::kModelMagic) {
+    file.U8(static_cast<uint8_t>(c));
+  }
+  file.U32(autoem::io::kModelFormatVersion);
+  file.U32(count);
+  std::string bytes = file.data() + body.data();
+
+  // Section-by-section surgery with the shared helpers.
+  auto sections = autoem::fuzz::ListModelSections(bytes);
+  if (sections.ok() && sections->size() >= 2) {
+    switch (in->Byte() % 3) {
+      case 0: {
+        size_t a = in->Index(sections->size());
+        size_t b = in->Index(sections->size());
+        (void)autoem::fuzz::SwapSectionIds(&bytes, a, b);
+        break;
+      }
+      case 1: {
+        size_t a = in->Index(sections->size());
+        size_t b = in->Index(sections->size());
+        (void)autoem::fuzz::SwapSectionPayloads(&bytes, a, b);
+        break;
+      }
+      case 2:
+        (void)autoem::fuzz::SetSectionLength(
+            &bytes, in->Index(sections->size()), in->U64());
+        break;
+    }
+  }
+  auto parsed = autoem::io::DeserializeModel(bytes);
+  (void)parsed;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  FuzzInput in(data, size);
+  switch (in.Byte() % 4) {
+    case 0:
+      ReaderOpStream(&in);
+      break;
+    case 1:
+      WriterRoundTrip(&in);
+      break;
+    case 2:
+      CheckpointSurgery(&in);
+      break;
+    case 3:
+      ModelEnvelopeSurgery(&in);
+      break;
+  }
+  return 0;
+}

@@ -6,6 +6,18 @@
 
 namespace autoem {
 
+namespace {
+
+void WriteActivePayload(const ActiveCheckpoint& state, io::Writer* payload);
+
+}  // namespace
+
+std::string SerializeActiveCheckpoint(const ActiveCheckpoint& state) {
+  io::Writer payload;
+  WriteActivePayload(state, &payload);
+  return SerializeCheckpointBytes(kActiveCheckpointKind, payload);
+}
+
 Status SaveActiveCheckpoint(const ActiveCheckpoint& state,
                             const std::string& path) {
   obs::Span span("active_checkpoint.save");
@@ -14,6 +26,18 @@ Status SaveActiveCheckpoint(const ActiveCheckpoint& state,
     span.Arg("iteration", state.iteration);
   }
   io::Writer payload;
+  WriteActivePayload(state, &payload);
+  AUTOEM_RETURN_IF_ERROR(
+      WriteCheckpointFile(kActiveCheckpointKind, payload, path));
+  AUTOEM_LOG(DEBUG) << "active_checkpoint: saved iteration "
+                    << state.iteration << " to " << path;
+  return Status::OK();
+}
+
+namespace {
+
+void WriteActivePayload(const ActiveCheckpoint& state, io::Writer* w) {
+  io::Writer& payload = *w;
   payload.U64(state.seed);
   payload.Str(state.rng_state);
   payload.U64(state.model_seed);
@@ -37,17 +61,10 @@ Status SaveActiveCheckpoint(const ActiveCheckpoint& state,
     payload.U64(s.machine_labels);
     payload.F64(s.iteration_model_test_f1);
   }
-  AUTOEM_RETURN_IF_ERROR(
-      WriteCheckpointFile(kActiveCheckpointKind, payload, path));
-  AUTOEM_LOG(DEBUG) << "active_checkpoint: saved iteration "
-                    << state.iteration << " to " << path;
-  return Status::OK();
 }
 
-Result<ActiveCheckpoint> LoadActiveCheckpoint(const std::string& path) {
-  auto payload = ReadCheckpointFile(kActiveCheckpointKind, path);
-  if (!payload.ok()) return payload.status();
-  io::Reader r(payload->bytes);
+Result<ActiveCheckpoint> ParseActivePayload(const CheckpointPayload& payload) {
+  io::Reader r(payload.bytes);
   ActiveCheckpoint state;
   AUTOEM_RETURN_IF_ERROR(r.U64(&state.seed));
   AUTOEM_RETURN_IF_ERROR(r.Str(&state.rng_state));
@@ -90,6 +107,20 @@ Result<ActiveCheckpoint> LoadActiveCheckpoint(const std::string& path) {
     return Status::InvalidArgument("corrupt checkpoint: trailing bytes");
   }
   return state;
+}
+
+}  // namespace
+
+Result<ActiveCheckpoint> LoadActiveCheckpoint(const std::string& path) {
+  auto payload = ReadCheckpointFile(kActiveCheckpointKind, path);
+  if (!payload.ok()) return payload.status();
+  return ParseActivePayload(*payload);
+}
+
+Result<ActiveCheckpoint> DeserializeActiveCheckpoint(const std::string& bytes) {
+  auto payload = ParseCheckpointBytes(kActiveCheckpointKind, bytes);
+  if (!payload.ok()) return payload.status();
+  return ParseActivePayload(*payload);
 }
 
 }  // namespace autoem

@@ -60,6 +60,11 @@ Status SaveActiveCheckpoint(const ActiveCheckpoint& state,
 /// structural damage.
 Result<ActiveCheckpoint> LoadActiveCheckpoint(const std::string& path);
 
+/// In-memory halves of the file API (container + payload codec on raw
+/// bytes); fuzz harnesses and corruption tests drive these directly.
+std::string SerializeActiveCheckpoint(const ActiveCheckpoint& state);
+Result<ActiveCheckpoint> DeserializeActiveCheckpoint(const std::string& bytes);
+
 }  // namespace autoem
 
 #endif  // AUTOEM_ACTIVE_ACTIVE_CHECKPOINT_H_

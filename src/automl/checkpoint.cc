@@ -11,9 +11,7 @@
 
 namespace autoem {
 
-Status WriteCheckpointFile(uint8_t kind, const io::Writer& payload,
-                           const std::string& path) {
-  AUTOEM_FAILPOINT("checkpoint.write");
+std::string SerializeCheckpointBytes(uint8_t kind, const io::Writer& payload) {
   io::Writer file;
   for (char c : kCheckpointMagic) file.U8(static_cast<uint8_t>(c));
   file.U32(kCheckpointFormatVersion);
@@ -21,7 +19,13 @@ Status WriteCheckpointFile(uint8_t kind, const io::Writer& payload,
   file.U64(payload.size());
   file.U32(io::Crc32(payload.data()));
   file.Raw(payload.data());
-  return io::AtomicWriteFile(path, file.data());
+  return file.data();
+}
+
+Status WriteCheckpointFile(uint8_t kind, const io::Writer& payload,
+                           const std::string& path) {
+  AUTOEM_FAILPOINT("checkpoint.write");
+  return io::AtomicWriteFile(path, SerializeCheckpointBytes(kind, payload));
 }
 
 Result<CheckpointPayload> ReadCheckpointFile(uint8_t kind,
@@ -29,6 +33,11 @@ Result<CheckpointPayload> ReadCheckpointFile(uint8_t kind,
   AUTOEM_FAILPOINT("checkpoint.read");
   std::string bytes;
   AUTOEM_RETURN_IF_ERROR(io::ReadFileToString(path, &bytes));
+  return ParseCheckpointBytes(kind, bytes);
+}
+
+Result<CheckpointPayload> ParseCheckpointBytes(uint8_t kind,
+                                               const std::string& bytes) {
   io::Reader r(bytes);
   char magic[4];
   for (char& c : magic) {
@@ -119,6 +128,29 @@ Status ReadEvalRecord(io::Reader* r, uint32_t version, EvalRecord* record) {
   return Status::OK();
 }
 
+namespace {
+
+void WriteSearchPayload(const SearchCheckpoint& state, io::Writer* payload) {
+  payload->U64(state.seed);
+  payload->Str(state.rng_state);
+  payload->U8(state.interleave_random ? 1 : 0);
+  payload->F64(state.elapsed_seconds);
+  payload->U64(state.history.size());
+  for (const EvalRecord& record : state.history) {
+    WriteEvalRecord(payload, record);
+  }
+  payload->U64(state.failed_hashes.size());
+  for (uint64_t hash : state.failed_hashes) payload->U64(hash);
+}
+
+}  // namespace
+
+std::string SerializeSearchCheckpoint(const SearchCheckpoint& state) {
+  io::Writer payload;
+  WriteSearchPayload(state, &payload);
+  return SerializeCheckpointBytes(kSearchCheckpointKind, payload);
+}
+
 Status SaveSearchCheckpoint(const SearchCheckpoint& state,
                             const std::string& path) {
   obs::Span span("checkpoint.save");
@@ -127,16 +159,7 @@ Status SaveSearchCheckpoint(const SearchCheckpoint& state,
     span.Arg("trials", state.history.size());
   }
   io::Writer payload;
-  payload.U64(state.seed);
-  payload.Str(state.rng_state);
-  payload.U8(state.interleave_random ? 1 : 0);
-  payload.F64(state.elapsed_seconds);
-  payload.U64(state.history.size());
-  for (const EvalRecord& record : state.history) {
-    WriteEvalRecord(&payload, record);
-  }
-  payload.U64(state.failed_hashes.size());
-  for (uint64_t hash : state.failed_hashes) payload.U64(hash);
+  WriteSearchPayload(state, &payload);
   AUTOEM_RETURN_IF_ERROR(
       WriteCheckpointFile(kSearchCheckpointKind, payload, path));
   AUTOEM_LOG(DEBUG) << "checkpoint: saved " << state.history.size()
@@ -144,10 +167,10 @@ Status SaveSearchCheckpoint(const SearchCheckpoint& state,
   return Status::OK();
 }
 
-Result<SearchCheckpoint> LoadSearchCheckpoint(const std::string& path) {
-  auto payload = ReadCheckpointFile(kSearchCheckpointKind, path);
-  if (!payload.ok()) return payload.status();
-  io::Reader r(payload->bytes);
+namespace {
+
+Result<SearchCheckpoint> ParseSearchPayload(const CheckpointPayload& payload) {
+  io::Reader r(payload.bytes);
   SearchCheckpoint state;
   AUTOEM_RETURN_IF_ERROR(r.U64(&state.seed));
   AUTOEM_RETURN_IF_ERROR(r.Str(&state.rng_state));
@@ -161,7 +184,7 @@ Result<SearchCheckpoint> LoadSearchCheckpoint(const std::string& path) {
   AUTOEM_RETURN_IF_ERROR(r.Len(&n_history, 8));
   state.history.resize(static_cast<size_t>(n_history));
   for (EvalRecord& record : state.history) {
-    AUTOEM_RETURN_IF_ERROR(ReadEvalRecord(&r, payload->version, &record));
+    AUTOEM_RETURN_IF_ERROR(ReadEvalRecord(&r, payload.version, &record));
   }
   uint64_t n_failed;
   AUTOEM_RETURN_IF_ERROR(r.Len(&n_failed, 8));
@@ -173,6 +196,20 @@ Result<SearchCheckpoint> LoadSearchCheckpoint(const std::string& path) {
     return Status::InvalidArgument("corrupt checkpoint: trailing bytes");
   }
   return state;
+}
+
+}  // namespace
+
+Result<SearchCheckpoint> LoadSearchCheckpoint(const std::string& path) {
+  auto payload = ReadCheckpointFile(kSearchCheckpointKind, path);
+  if (!payload.ok()) return payload.status();
+  return ParseSearchPayload(*payload);
+}
+
+Result<SearchCheckpoint> DeserializeSearchCheckpoint(const std::string& bytes) {
+  auto payload = ParseCheckpointBytes(kSearchCheckpointKind, bytes);
+  if (!payload.ok()) return payload.status();
+  return ParseSearchPayload(*payload);
 }
 
 }  // namespace autoem

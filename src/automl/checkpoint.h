@@ -62,6 +62,10 @@ struct SearchCheckpoint {
 Status SaveSearchCheckpoint(const SearchCheckpoint& state,
                             const std::string& path);
 
+/// In-memory half of SaveSearchCheckpoint: the exact bytes the file API
+/// writes. Fuzz corpora and corruption tests build containers through this.
+std::string SerializeSearchCheckpoint(const SearchCheckpoint& state);
+
 /// NotFound when `path` does not exist (callers treat that as "start
 /// fresh"); InvalidArgument for wrong magic/version/kind, CRC mismatch, or
 /// structural damage.
@@ -75,6 +79,9 @@ Result<SearchCheckpoint> LoadSearchCheckpoint(const std::string& path);
 Status WriteCheckpointFile(uint8_t kind, const io::Writer& payload,
                            const std::string& path);
 
+/// The AEMK envelope bytes for `payload` (what WriteCheckpointFile writes).
+std::string SerializeCheckpointBytes(uint8_t kind, const io::Writer& payload);
+
 /// Unwrapped checkpoint payload plus the container version it was written
 /// under, so payload codecs can apply version-specific field sets.
 struct CheckpointPayload {
@@ -83,6 +90,13 @@ struct CheckpointPayload {
 };
 Result<CheckpointPayload> ReadCheckpointFile(uint8_t kind,
                                              const std::string& path);
+
+/// In-memory halves of the file API. The loaders are thin wrappers around
+/// these; fuzz harnesses and corruption tests drive them directly on raw
+/// bytes without touching the filesystem.
+Result<CheckpointPayload> ParseCheckpointBytes(uint8_t kind,
+                                               const std::string& bytes);
+Result<SearchCheckpoint> DeserializeSearchCheckpoint(const std::string& bytes);
 
 /// EvalRecord codec shared by checkpoint payloads. The writer always emits
 /// the current format; the reader decodes the field set of `version`

@@ -1,6 +1,7 @@
 #include "automl/config_io.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -21,7 +22,14 @@ std::string RenderValue(const ParamValue& value) {
   if (value.is_double()) {
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.17g", value.AsDouble());
-    return buf;
+    std::string out = buf;
+    // Values like -0.0 or 2.0 render as "-0" / "2", which would reparse as
+    // int64 and silently change the value's type. Keep doubles doubles.
+    if (out.find_first_of(".eE") == std::string::npos &&
+        std::isfinite(value.AsDouble())) {
+      out += ".0";
+    }
+    return out;
   }
   // Single-quoted string; embedded quotes are doubled.
   std::string out = "'";
@@ -59,15 +67,24 @@ Result<ParamValue> ReadValue(const std::string& raw, size_t line_no) {
   }
   if (raw == "true") return ParamValue(true);
   if (raw == "false") return ParamValue(false);
-  // Integer when it round-trips as one; double otherwise.
+  // Integer when it round-trips as one; double otherwise. Full-length
+  // consumption is checked against raw.size(), not '\0', so values with an
+  // embedded NUL ("1\0junk") are rejected instead of silently truncated.
+  const char* raw_end = raw.c_str() + raw.size();
   char* end = nullptr;
+  errno = 0;
   long long as_int = std::strtoll(raw.c_str(), &end, 10);
-  if (end != nullptr && *end == '\0') {
+  if (end == raw_end && end != raw.c_str() && errno != ERANGE) {
     return ParamValue(static_cast<int64_t>(as_int));
   }
+  // Out-of-range integers (ERANGE would have clamped to LLONG_MIN/MAX)
+  // fall through and reparse as doubles.
   end = nullptr;
+  errno = 0;
   double as_double = std::strtod(raw.c_str(), &end);
-  if (end != nullptr && *end == '\0') return ParamValue(as_double);
+  if (end == raw_end && end != raw.c_str() && std::isfinite(as_double)) {
+    return ParamValue(as_double);
+  }
   return Status::InvalidArgument(
       StrFormat("line %zu: cannot parse value '%s'", line_no, raw.c_str()));
 }
@@ -163,6 +180,12 @@ Status ReadParamValue(io::Reader* r, ParamValue* v) {
     case ParamTag::kDouble: {
       double d;
       AUTOEM_RETURN_IF_ERROR(r->F64(&d));
+      // Hyperparameters are finite by construction (the text parser
+      // enforces the same); NaN would also poison Configuration equality.
+      if (!std::isfinite(d)) {
+        return Status::InvalidArgument(
+            "configuration: non-finite double parameter");
+      }
       *v = ParamValue(d);
       return Status::OK();
     }

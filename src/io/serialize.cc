@@ -1,6 +1,7 @@
 #include "io/serialize.h"
 
 #include <cstring>
+#include <limits>
 
 namespace autoem {
 namespace io {
@@ -122,7 +123,11 @@ Status Reader::F64(double* v) {
 
 Status Reader::Len(uint64_t* count, size_t min_elem_size) {
   AUTOEM_RETURN_IF_ERROR(U64(count));
-  if (min_elem_size > 0 && *count > remaining() / min_elem_size) {
+  // A serialized element occupies at least one byte, so even a caller that
+  // passes 0 gets a cap; otherwise a corrupt 2^64-ish count would reach
+  // resize() and abort on allocation failure instead of returning a Status.
+  if (min_elem_size == 0) min_elem_size = 1;
+  if (*count > remaining() / min_elem_size) {
     return Status::InvalidArgument(
         "corrupt stream: declared length " + std::to_string(*count) +
         " exceeds remaining payload");
@@ -159,6 +164,11 @@ Status Reader::VecIdx(std::vector<size_t>* v) {
   for (auto& x : *v) {
     uint64_t u;
     AUTOEM_RETURN_IF_ERROR(U64(&u));
+    if (u > std::numeric_limits<size_t>::max()) {
+      return Status::InvalidArgument(
+          "corrupt stream: index " + std::to_string(u) +
+          " does not fit in size_t");
+    }
     x = static_cast<size_t>(u);
   }
   return Status::OK();

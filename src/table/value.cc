@@ -30,7 +30,9 @@ Value Value::Parse(std::string_view raw) {
   std::string buf(raw);
   char* end = nullptr;
   double d = std::strtod(buf.c_str(), &end);
-  if (end != nullptr && *end == '\0' && end != buf.c_str()) return Value(d);
+  // Compare against buf.size(), not '\0': a cell like "1\0junk" must stay a
+  // string, not silently truncate to the number 1.
+  if (end == buf.c_str() + buf.size() && end != buf.c_str()) return Value(d);
   return Value(std::move(buf));
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "active/active_checkpoint.h"
@@ -13,6 +14,7 @@
 #include "automl/smac.h"
 #include "common/rng.h"
 #include "fault/failpoint.h"
+#include "fuzz/corpus.h"
 #include "io/atomic_file.h"
 #include "io/serialize.h"
 
@@ -40,7 +42,9 @@ void MustWriteRaw(const std::string& path, const std::string& bytes) {
 
 TEST(AtomicWriteFileTest, RoundTripsBytes) {
   std::string path = TempPath("autoem_atomic_rt.bin");
-  std::string payload("\x00\x01binary\xff payload", 18);
+  // 17 bytes: \x00 \x01 "binary" \xff " payload" — ASan caught the previous
+  // count of 18 reading one byte past the literal.
+  std::string payload("\x00\x01binary\xff payload", 17);
   ASSERT_TRUE(io::AtomicWriteFile(path, payload).ok());
   EXPECT_EQ(MustRead(path), payload);
   std::remove(path.c_str());
@@ -283,6 +287,105 @@ TEST(SearchCheckpointTest, KindMismatchRejected) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(loaded.status().message().find("kind"), std::string::npos);
   std::remove(path.c_str());
+}
+
+// ---- corruption matrix (in-memory, via fuzz/corpus.h helpers) -------------
+//
+// The file-based tests above poke single bytes; these go through the
+// in-memory halves (SerializeSearchCheckpoint / DeserializeSearchCheckpoint)
+// and apply multi-byte damage with the same surgery helpers the fuzz
+// harnesses use, so every case here is also a seed the fuzzer mutates.
+
+TEST(CheckpointCorruptionTest, RoundTripsInMemory) {
+  SearchCheckpoint state = fuzz::MakeRichSearchCheckpoint();
+  auto loaded = DeserializeSearchCheckpoint(SerializeSearchCheckpoint(state));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->seed, state.seed);
+  EXPECT_EQ(loaded->history.size(), state.history.size());
+  EXPECT_EQ(loaded->failed_hashes, state.failed_hashes);
+}
+
+TEST(CheckpointCorruptionTest, MultiByteFlipRunsNeverCrashAndMostlyReject) {
+  // Every run of flipped bytes must produce a clean Status. Flips that stay
+  // inside the payload must *always* be rejected (CRC); flips confined to
+  // reserved/ignored header bits may legitimately still parse, so for the
+  // header we only require no-crash + no-UB.
+  std::string good =
+      SerializeSearchCheckpoint(fuzz::MakeRichSearchCheckpoint());
+  const size_t header = 4 + 4 + 1 + 8 + 4;  // magic|version|kind|size|crc
+  for (size_t run : {2u, 4u, 9u, 32u}) {
+    for (size_t start = 0; start + run <= good.size(); start += 13) {
+      std::string bad = good;
+      fuzz::FlipBytes(&bad, start, run);
+      auto loaded = DeserializeSearchCheckpoint(bad);
+      if (start >= header) {
+        EXPECT_FALSE(loaded.ok())
+            << "payload flip of " << run << " at " << start << " accepted";
+      }
+    }
+  }
+}
+
+TEST(CheckpointCorruptionTest, EveryTruncationPointRejected) {
+  std::string good =
+      SerializeSearchCheckpoint(fuzz::MakeRichSearchCheckpoint());
+  for (size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(DeserializeSearchCheckpoint(good.substr(0, len)).ok())
+        << "truncation to " << len << " accepted";
+  }
+}
+
+TEST(CheckpointCorruptionTest, LengthFieldOverflowRejected) {
+  std::string good =
+      SerializeSearchCheckpoint(fuzz::MakeRichSearchCheckpoint());
+  const size_t size_pos = 4 + 4 + 1;  // u64 payload size after magic|ver|kind
+  for (uint64_t evil :
+       {std::numeric_limits<uint64_t>::max(),
+        std::numeric_limits<uint64_t>::max() / 2,
+        static_cast<uint64_t>(good.size()),
+        static_cast<uint64_t>(good.size()) + 1}) {
+    std::string bad = good;
+    fuzz::OverwriteLe(&bad, size_pos, evil, 8);
+    EXPECT_FALSE(DeserializeSearchCheckpoint(bad).ok())
+        << "declared payload size " << evil << " accepted";
+  }
+}
+
+TEST(CheckpointCorruptionTest, CrcFieldDamageRejected) {
+  std::string good =
+      SerializeSearchCheckpoint(fuzz::MakeRichSearchCheckpoint());
+  const size_t crc_pos = 4 + 4 + 1 + 8;
+  for (uint64_t evil : {0ull, 0xFFFFFFFFull, 0xDEADBEEFull}) {
+    std::string bad = good;
+    fuzz::OverwriteLe(&bad, crc_pos, evil, 4);
+    auto loaded = DeserializeSearchCheckpoint(bad);
+    if (loaded.ok()) {
+      // Astronomically unlikely (the real CRC would have to equal `evil`);
+      // treat as failure so a no-op CRC check cannot hide here.
+      FAIL() << "overwritten CRC " << evil << " accepted";
+    }
+  }
+}
+
+TEST(CheckpointCorruptionTest, CheckpointSeedsReplayCleanly) {
+  // Every checked-in AEMK seed must produce a clean Status from both
+  // deserializers (valid seeds parse under exactly one kind).
+  for (const auto& seed : fuzz::CheckpointSeeds()) {
+    auto search = DeserializeSearchCheckpoint(seed.bytes);
+    auto active = DeserializeActiveCheckpoint(seed.bytes);
+    if (seed.name == "search_v2" || seed.name == "search_v1") {
+      EXPECT_TRUE(search.ok()) << seed.name << ": "
+                               << search.status().ToString();
+      EXPECT_FALSE(active.ok()) << seed.name;
+    } else if (seed.name == "active_v2") {
+      EXPECT_FALSE(search.ok()) << seed.name;
+      EXPECT_TRUE(active.ok()) << seed.name << ": "
+                               << active.status().ToString();
+    } else {
+      EXPECT_FALSE(search.ok()) << seed.name;
+      EXPECT_FALSE(active.ok()) << seed.name;
+    }
+  }
 }
 
 TEST(ActiveCheckpointTest, RoundTripsAllFields) {

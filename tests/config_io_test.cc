@@ -6,6 +6,7 @@
 #include "automl/evaluator.h"
 #include "automl/search_space.h"
 #include "common/rng.h"
+#include "io/serialize.h"
 
 namespace autoem {
 namespace {
@@ -65,6 +66,84 @@ TEST(ConfigIoTest, MalformedLinesRejected) {
   EXPECT_FALSE(ParseConfiguration("key = 'unterminated\n").ok());
   EXPECT_FALSE(ParseConfiguration("key = not@a@value\n").ok());
   EXPECT_FALSE(ParseConfiguration(" = 'value'\n").ok());
+}
+
+// ---- fuzzer-found regressions --------------------------------------------------
+//
+// Minimized reproducers promoted from fuzz/config_io_fuzzer.cc findings.
+// Each of these crashed the round-trip invariant (parse -> serialize ->
+// parse must be the identity) before the ReadValue/RenderValue fixes.
+
+TEST(ConfigIoTest, NegativeZeroStaysADouble) {
+  // -0.0 used to render via %.17g as "-0", which reparsed as int64 0 —
+  // a silent type flip that broke Configuration equality and hashing.
+  auto config = ParseConfiguration("b = -0.0\n");
+  ASSERT_TRUE(config.ok());
+  ASSERT_TRUE(config->at("b").is_double());
+  auto again = ParseConfiguration(SerializeConfiguration(*config));
+  ASSERT_TRUE(again.ok());
+  ASSERT_TRUE(again->at("b").is_double()) << "type flipped to int";
+  EXPECT_EQ(*again, *config);
+  EXPECT_EQ(ConfigurationHash(*again), ConfigurationHash(*config));
+}
+
+TEST(ConfigIoTest, IntegralDoublesStayDoubles) {
+  Configuration config;
+  config["x"] = 2.0;
+  config["y"] = -13.0;
+  auto again = ParseConfiguration(SerializeConfiguration(config));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->at("x").is_double());
+  EXPECT_TRUE(again->at("y").is_double());
+  EXPECT_EQ(*again, config);
+}
+
+TEST(ConfigIoTest, EmbeddedNulInValueRejected) {
+  // "1\0junk" used to parse as the integer 1 (strtoll stopped at the NUL
+  // and the '\0' full-consumption check could not see the rest).
+  EXPECT_FALSE(ParseConfiguration(std::string("k = 1\0junk\n", 11)).ok());
+  EXPECT_FALSE(ParseConfiguration(std::string("k = 1.5\0x\n", 10)).ok());
+}
+
+TEST(ConfigIoTest, IntegerOverflowFallsBackToDouble) {
+  // Beyond-int64 literals used to clamp silently to LLONG_MAX (unchecked
+  // ERANGE). They now reparse as doubles instead of lying about the value.
+  auto config = ParseConfiguration("big = 99999999999999999999\n");
+  ASSERT_TRUE(config.ok());
+  ASSERT_TRUE(config->at("big").is_double());
+  EXPECT_DOUBLE_EQ(config->at("big").AsDouble(), 1e20);
+  // INT64_MAX itself still fits and stays an integer.
+  auto edge = ParseConfiguration("edge = 9223372036854775807\n");
+  ASSERT_TRUE(edge.ok());
+  ASSERT_TRUE(edge->at("edge").is_int());
+}
+
+TEST(ConfigIoTest, BinaryCodecRejectsNonFiniteDoubles) {
+  // Fuzzer-found: a crafted binary stream carrying a NaN double parsed
+  // fine, and the resulting Configuration was not equal to itself.
+  io::Writer w;
+  Configuration config;
+  config["k"] = 0.5;
+  WriteConfigurationBinary(&w, config);
+  std::string bytes = w.data();
+  // The final 8 bytes are the f64 payload; overwrite with all-ones (NaN).
+  for (size_t i = bytes.size() - 8; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<char>(0xFF);
+  }
+  io::Reader r(bytes);
+  Configuration parsed;
+  Status st = ReadConfigurationBinary(&r, &parsed);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("non-finite"), std::string::npos);
+}
+
+TEST(ConfigIoTest, NonFiniteDoublesRejected) {
+  // inf/nan round-trip poorly (NaN != NaN breaks equality; 1e999 clamps);
+  // hyperparameters are finite by construction, so the parser refuses.
+  EXPECT_FALSE(ParseConfiguration("v = nan\n").ok());
+  EXPECT_FALSE(ParseConfiguration("v = inf\n").ok());
+  EXPECT_FALSE(ParseConfiguration("v = -inf\n").ok());
+  EXPECT_FALSE(ParseConfiguration("v = 1e999\n").ok());
 }
 
 TEST(ConfigIoTest, FileRoundTrip) {

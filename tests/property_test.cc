@@ -15,6 +15,7 @@
 #include "preprocess/imputer.h"
 #include "preprocess/pca.h"
 #include "preprocess/scalers.h"
+#include "table/csv.h"
 #include "text/similarity.h"
 #include "text/tokenizer.h"
 
@@ -297,6 +298,90 @@ TEST(PipelinePropertyTest, PredictionsMatchRowwiseEvaluation) {
       for (size_t c = 0; c < 5; ++c) one.At(0, c) = d.X.At(i, c);
       EXPECT_NEAR(pipeline->PredictProba(one)[0], batch[i], 1e-9)
           << GetString(config, "classifier:__choice__", "?");
+    }
+  }
+}
+
+// ---- CSV hostile inputs --------------------------------------------------------
+//
+// The CSV reader is the trust boundary for user data: any byte string must
+// produce either a Table or a clean Status — never UB, never a crash. These
+// are the unit-test twins of fuzz/csv_fuzzer.cc.
+
+TEST(CsvHostileTest, EmbeddedNulBytesSurviveRoundTrip) {
+  // NUL is a legal cell byte, not a terminator. "1\0junk" must stay a
+  // string cell (not truncate to the number 1 — the Value::Parse c_str()
+  // regression), and the writer must carry the bytes through.
+  std::string text("a,b\nx\0y,2\n1\0junk,3\n", 19);
+  auto table = ParseCsv(text, "t");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->cell(0, 0).AsString(), std::string("x\0y", 3));
+  EXPECT_EQ(table->cell(1, 0).AsString(), std::string("1\0junk", 6));
+  auto again = ParseCsv(ToCsvString(*table), "t");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->cell(1, 0).AsString(), std::string("1\0junk", 6));
+}
+
+TEST(CsvHostileTest, LoneCarriageReturnsAreCellBytes) {
+  // Bare \r (not followed by \n) must not be mistaken for a row break.
+  auto table = ParseCsv("a,b\n1\r2,3\n", "t");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ(table->num_rows(), 1u);
+  EXPECT_EQ(table->schema().num_attributes(), 2u);
+}
+
+TEST(CsvHostileTest, UnterminatedQuoteIsACleanError) {
+  for (const char* text : {"a,b\n\"unterminated,2\n", "a\n\"", "\""}) {
+    auto table = ParseCsv(text, "t");
+    EXPECT_FALSE(table.ok()) << "accepted: " << text;
+    if (!table.ok()) {
+      EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+  // Lenient cases the dialect deliberately accepts: text after a closing
+  // quote concatenates ("x"tail -> xtail), matching the splitter's
+  // cell-continuation rule. Pin that so a future "fix" is a conscious one.
+  auto table = ParseCsv("a,b\n1,\"x\"tail\n", "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->cell(0, 1).AsString(), "xtail");
+}
+
+TEST(CsvHostileTest, HugeSingleRowAndManyColumns) {
+  // A single 1 MiB cell and a 10k-column header: should parse, not blow up.
+  std::string big_cell(1 << 20, 'x');
+  auto one = ParseCsv("a\n" + big_cell + "\n", "t");
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->cell(0, 0).AsString().size(), big_cell.size());
+
+  std::string header = "c0";
+  for (int i = 1; i < 10000; ++i) header += ",c" + std::to_string(i);
+  auto wide = ParseCsv(header + "\n", "t");
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide->schema().num_attributes(), 10000u);
+}
+
+TEST(CsvHostileTest, ByteSoupNeverCrashes) {
+  // Random byte strings over the full 0..255 range: any Status is fine,
+  // UB is not. Mirrors the fuzzer's mutation loop in miniature, and pins
+  // the invariant under the plain (non-sanitized) build too.
+  Rng rng(11);
+  const char alphabet[] = {',', '"', '\n', '\r', '\0', 'a', '1', '.', '-'};
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string text;
+    size_t len = rng.UniformIndex(64);
+    for (size_t i = 0; i < len; ++i) {
+      if (rng.Bernoulli(0.7)) {
+        text += alphabet[rng.UniformIndex(sizeof(alphabet))];
+      } else {
+        text += static_cast<char>(rng.UniformIndex(256));
+      }
+    }
+    auto table = ParseCsv(text, "t");
+    if (table.ok()) {
+      // Whatever parsed must survive its own canonical form.
+      auto again = ParseCsv(ToCsvString(*table), "t");
+      EXPECT_TRUE(again.ok()) << "canonical form of a parsed table failed";
     }
   }
 }

@@ -40,6 +40,19 @@ TEST(ValueTest, ParseTyping) {
   EXPECT_TRUE(Value::Parse("12 main st").is_string());
 }
 
+TEST(ValueTest, ParseEmbeddedNulStaysAString) {
+  // Fuzzer-found: "1\0junk" used to parse as the number 1 because the
+  // full-consumption check compared against '\0' through c_str(). A cell
+  // with an embedded NUL is a string, bytes intact.
+  Value v = Value::Parse(std::string_view("1\0junk", 6));
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), std::string("1\0junk", 6));
+  // A NUL alone is likewise a string (one byte), not the number 0.
+  EXPECT_TRUE(Value::Parse(std::string_view("\0", 1)).is_string());
+  // Plain numbers still parse as numbers.
+  EXPECT_TRUE(Value::Parse("1").is_number());
+}
+
 TEST(ValueTest, ParseRoundTripsThroughToString) {
   for (const char* s : {"true", "42", "3.5", "hello world"}) {
     Value v = Value::Parse(s);
