@@ -14,7 +14,8 @@
 //                 CI bench-snapshot job uploads these as BENCH_*.json)
 // plus the shared observability flags (see src/obs/obs.h):
 //   --log-level=<l> --trace-out=<f> --metrics-out=<f> --metrics-format=<f>
-//   --metrics-flush-interval=<s> --resources
+//   --metrics-flush-interval=<s> --resources --profile-out=<f>
+//   --profile-hz=<n>
 // A bench run with --metrics-out gets the full autoem::obs metrics snapshot
 // (counters/gauges/histograms JSON) written at exit — including any
 // bench-reported figures recorded via ReportBenchMetric below. This replaces
@@ -23,10 +24,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -60,6 +63,37 @@ struct BenchCase {
   double seconds = 0.0;
 };
 
+/// Machine/build provenance stamped into every --json-out artifact so a
+/// BENCH_*.json is interpretable (and comparable) on its own: a baseline
+/// diff against a file from different hardware or an unknown commit is a
+/// judgement call, and the metadata is what makes it visible.
+struct BenchMeta {
+  std::string git_sha;    // $GITHUB_SHA / $AUTOEM_GIT_SHA, else "unknown"
+  std::string cpu_model;  // /proc/cpuinfo "model name", else "unknown"
+  unsigned threads = 0;   // hardware threads on the machine that ran it
+
+  static BenchMeta Collect() {
+    BenchMeta meta;
+    const char* sha = std::getenv("GITHUB_SHA");
+    if (sha == nullptr || *sha == '\0') sha = std::getenv("AUTOEM_GIT_SHA");
+    meta.git_sha = (sha != nullptr && *sha != '\0') ? sha : "unknown";
+    meta.cpu_model = "unknown";
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+      size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      if (line.compare(0, 10, "model name") == 0) {
+        size_t start = line.find_first_not_of(" \t", colon + 1);
+        if (start != std::string::npos) meta.cpu_model = line.substr(start);
+        break;
+      }
+    }
+    meta.threads = std::thread::hardware_concurrency();
+    return meta;
+  }
+};
+
 /// Process-global collector behind `--json-out=F`: cases accumulate here
 /// and are written once, atomically, at process exit (and on Flush()).
 class BenchReport {
@@ -83,10 +117,15 @@ class BenchReport {
     if (arm) std::atexit(&BenchReport::FlushAtExit);
   }
 
-  /// `{"cases":[{name, params, counters, seconds}, ...]}`
+  /// `{"meta":{git_sha,cpu_model,threads},"cases":[{name, params,
+  /// counters, seconds}, ...]}`
   std::string ToJson() const {
+    BenchMeta meta = BenchMeta::Collect();
     std::lock_guard<std::mutex> lock(mu_);
-    std::string out = "{\"cases\":[";
+    std::string out = "{\"meta\":{\"git_sha\":" + obs::JsonQuote(meta.git_sha) +
+                      ",\"cpu_model\":" + obs::JsonQuote(meta.cpu_model) +
+                      ",\"threads\":" + std::to_string(meta.threads) +
+                      "},\"cases\":[";
     for (size_t i = 0; i < cases_.size(); ++i) {
       const BenchCase& c = cases_[i];
       out += i == 0 ? "\n" : ",\n";
@@ -172,7 +211,8 @@ struct BenchArgs {
         args.json_out = arg.substr(11);
       } else if (obs::ParseObsFlag(arg, &args.obs)) {
         // --log-level= / --trace-out= / --metrics-out= / --resources /
-        // --metrics-flush-interval= / --metrics-format=
+        // --metrics-flush-interval= / --metrics-format= / --profile-out= /
+        // --profile-hz=
       } else if (arg == "--full") {
         args.scale = 1.0;
       } else if (arg == "--help") {
@@ -180,7 +220,8 @@ struct BenchArgs {
             "flags: --scale=F --evals=N --seed=N --threads=N "
             "--datasets=a,b --full --json-out=F\n"
             "       --log-level=L --trace-out=F --metrics-out=F "
-            "--metrics-format=F --metrics-flush-interval=S --resources\n");
+            "--metrics-format=F --metrics-flush-interval=S --resources\n"
+            "       --profile-out=F --profile-hz=N\n");
         std::exit(0);
       }
     }

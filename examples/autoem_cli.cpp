@@ -25,11 +25,12 @@
 //       Predictions are bit-identical to the training process's.
 //
 //   autoem_cli report --trajectory curve.csv [--metrics metrics.json]
-//                     [--trace trace.json] [--out report.html] [--title T]
+//                     [--trace trace.json] [--profile p.folded]
+//                     [--out report.html] [--title T]
 //       Joins a profiled run's artifacts (train-eval --save-trajectory,
-//       --metrics-out, --trace-out) into one self-contained HTML report:
-//       tuning curve, per-trial resource table, failure summary,
-//       thread-pool timeline, cache stats.
+//       --metrics-out, --trace-out, --profile-out) into one self-contained
+//       HTML report: tuning curve, per-trial resource table, failure
+//       summary, thread-pool timeline, cache stats, CPU flamegraph.
 //
 // Pairs CSVs use the export_datasets layout: ltable_id,rtable_id,label.
 #include <cstdio>
@@ -102,6 +103,8 @@ obs::ObsOptions ObsFromFlags(const Flags& flags) {
   obs.metrics_flush_interval =
       std::atof(flags.Get("metrics-flush-interval", "0").c_str());
   obs.metrics_format = flags.Get("metrics-format");
+  obs.profile_path = flags.Get("profile-out");
+  obs.profile_hz = std::atof(flags.Get("profile-hz", "0").c_str());
   return obs;
 }
 
@@ -368,14 +371,19 @@ int RunReport(const Flags& flags) {
     st = io::ReadFileToString(flags.Get("trace"), &inputs.trace_json);
     if (!st.ok()) Fail(st.ToString());
   }
+  if (flags.Has("profile")) {
+    st = io::ReadFileToString(flags.Get("profile"), &inputs.profile_folded);
+    if (!st.ok()) Fail(st.ToString());
+  }
 
   std::string html = obs::BuildRunReportHtml(inputs);
   std::string out_path = flags.Get("out", "report.html");
   st = io::AtomicWriteFile(out_path, html);
   if (!st.ok()) Fail(st.ToString());
-  std::printf("wrote run report (%zu bytes%s%s) to %s\n", html.size(),
+  std::printf("wrote run report (%zu bytes%s%s%s) to %s\n", html.size(),
               inputs.metrics_text.empty() ? "" : ", with metrics",
               inputs.trace_json.empty() ? "" : ", with trace",
+              inputs.profile_folded.empty() ? "" : ", with profile",
               out_path.c_str());
   return 0;
 }
@@ -403,7 +411,8 @@ void PrintUsage() {
       "predictions.csv]\n"
       "             [--chunk-size N] [--threshold T] [--threads N]\n"
       "  autoem_cli report --trajectory curve.csv [--metrics metrics.json]\n"
-      "             [--trace trace.json] [--out report.html] [--title T]\n"
+      "             [--trace trace.json] [--profile p.folded]\n"
+      "             [--out report.html] [--title T]\n"
       "\n"
       "  predict loads a model saved by train-eval --save-model and scores\n"
       "  pairs without any training data; given --pairs it scores exactly\n"
@@ -437,15 +446,21 @@ void PrintUsage() {
       "  --resources       attach resource probes: per-trial/fold/iteration\n"
       "                    CPU, wall, peak-RSS delta, allocation counts\n"
       "                    (flows into trajectory CSV, checkpoints, report)\n"
+      "  --profile-out F   sample a CPU profile during the run and write it\n"
+      "                    in collapsed-stack format (flamegraph.pl /\n"
+      "                    speedscope / `report --profile` compatible);\n"
+      "                    samples are attributed to the innermost span\n"
+      "  --profile-hz N    profiler sampling rate (default 97 Hz)\n"
       "  Instrumentation never changes results: search output is\n"
-      "  bit-identical with tracing and probes on or off.\n"
+      "  bit-identical with tracing, probes, and the profiler on or off.\n"
       "\n"
       "  report joins those artifacts into one self-contained HTML file:\n"
       "    autoem_cli train-eval ... --resources --save-trajectory t.csv\n"
       "        --metrics-out m.jsonl --metrics-format=jsonl\n"
       "        --metrics-flush-interval=1 --trace-out tr.json\n"
+      "        --profile-out p.folded\n"
       "    autoem_cli report --trajectory t.csv --metrics m.jsonl\n"
-      "        --trace tr.json --out report.html\n");
+      "        --trace tr.json --profile p.folded --out report.html\n");
 }
 
 }  // namespace

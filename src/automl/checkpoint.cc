@@ -98,6 +98,8 @@ void WriteEvalRecord(io::Writer* w, const EvalRecord& record) {
   w->F64(record.resources.wall_seconds);
   w->I64(record.resources.peak_rss_delta_kb);
   w->U64(record.resources.allocs);
+  // v3 profile attribution (0 when no profile was running).
+  w->U64(record.profile_samples);
 }
 
 Status ReadEvalRecord(io::Reader* r, uint32_t version, EvalRecord* record) {
@@ -124,6 +126,10 @@ Status ReadEvalRecord(io::Reader* r, uint32_t version, EvalRecord* record) {
     AUTOEM_RETURN_IF_ERROR(r->F64(&record->resources.wall_seconds));
     AUTOEM_RETURN_IF_ERROR(r->I64(&record->resources.peak_rss_delta_kb));
     AUTOEM_RETURN_IF_ERROR(r->U64(&record->resources.allocs));
+  }
+  record->profile_samples = 0;
+  if (version >= 3) {
+    AUTOEM_RETURN_IF_ERROR(r->U64(&record->profile_samples));
   }
   return Status::OK();
 }

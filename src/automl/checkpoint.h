@@ -26,10 +26,11 @@ class Reader;
 
 inline constexpr char kCheckpointMagic[4] = {'A', 'E', 'M', 'K'};
 /// v1: original container. v2: EvalRecord carries TrialResources (per-trial
-/// CPU/wall/RSS/alloc attribution). Writers emit the current version;
+/// CPU/wall/RSS/alloc attribution). v3: EvalRecord carries profile_samples
+/// (per-trial CPU-profile sample count). Writers emit the current version;
 /// readers accept [kCheckpointMinReadVersion, kCheckpointFormatVersion] so
-/// a v2 build resumes a v1 run (resources read as "not sampled").
-inline constexpr uint32_t kCheckpointFormatVersion = 2;
+/// a v3 build resumes a v1/v2 run (missing fields read as zero).
+inline constexpr uint32_t kCheckpointFormatVersion = 3;
 inline constexpr uint32_t kCheckpointMinReadVersion = 1;
 
 /// Payload discriminator inside the container, so a search never resumes

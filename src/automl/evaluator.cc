@@ -97,6 +97,8 @@ EvalRecord HoldoutEvaluator::Evaluate(const Configuration& config) {
       obs::MetricsRegistry::Global().GetHistogram("automl.trial_cpu_ms");
   obs::Span span("automl.pipeline_eval");
   obs::ResourceProbe probe;
+  uint64_t profile_samples_before =
+      obs::ProfilingEnabled() ? obs::ProfileSampleCount() : 0;
 
   EvalRecord record;
   record.config = config;
@@ -133,6 +135,11 @@ EvalRecord HoldoutEvaluator::Evaluate(const Configuration& config) {
   record.fit_seconds = timer.ElapsedSeconds();
   record.elapsed_seconds = lifetime_.ElapsedSeconds() + elapsed_offset_;
   record.resources = probe.Take();
+  if (obs::ProfilingEnabled()) {
+    uint64_t after = obs::ProfileSampleCount();
+    record.profile_samples =
+        after > profile_samples_before ? after - profile_samples_before : 0;
+  }
 
   trials->Add();
   eval_ms->Observe(record.fit_seconds * 1000.0);
@@ -149,6 +156,9 @@ EvalRecord HoldoutEvaluator::Evaluate(const Configuration& config) {
       span.Arg("cpu_ms", record.resources.cpu_seconds * 1000.0);
       span.Arg("rss_delta_kb", record.resources.peak_rss_delta_kb);
       span.Arg("allocs", record.resources.allocs);
+    }
+    if (record.profile_samples > 0) {
+      span.Arg("profile_samples", record.profile_samples);
     }
   }
   AUTOEM_LOG(DEBUG) << "trial " << record.trial << " valid_f1="

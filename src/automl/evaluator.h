@@ -56,6 +56,13 @@ struct EvalRecord {
   /// probes cannot change results. Flows into trajectory CSVs and v2
   /// checkpoints.
   TrialResources resources;
+  /// CPU-profile samples captured while this trial ran (obs v3): the delta
+  /// of obs::ProfileSampleCount() across the evaluation. Zero when no
+  /// profile was being taken. Trials run serially, so the process-wide
+  /// sample count attributes cleanly; with worker threads registered, a
+  /// trial's samples include the CPU its pool tasks burned. Joins the
+  /// trajectory CSV (`profile_samples`) and v3 checkpoints.
+  uint64_t profile_samples = 0;
 };
 
 /// Per-trial resource limits applied by the evaluator.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.h"
 #include "obs/resource.h"
 #include "obs/trace.h"
 
@@ -67,6 +68,10 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  // Workers join the profiler's thread registry for their lifetime, so
+  // whenever a CPU profile is running their stacks (feature-gen chunks,
+  // tree fits) are sampled alongside the main thread's.
+  obs::ProfiledThreadScope profiled;
   for (;;) {
     std::function<void()> task;
     {

@@ -30,6 +30,15 @@ namespace obs {
 /// its wait loop, the destructor joins it and then writes one final
 /// snapshot itself. The final file therefore always contains a complete
 /// end-of-run snapshot, never a torn or stale one.
+///
+/// The flusher also exports its own health into the registry (and so into
+/// every snapshot it writes): `obs.flush_count` (snapshots serialized),
+/// `obs.flush_duration_ms` (histogram of serialize+write latency; trails by
+/// one flush since a flush can't know its own duration), and
+/// `obs.flush_final` (1 exactly when the shutdown handshake's final
+/// snapshot ran). A wedged flusher is visible in its own output: the count
+/// stalls, the histogram shows the fat tail, and a missing final counter
+/// means the process died before teardown.
 class MetricsFlusher {
  public:
   struct Options {
@@ -60,6 +69,7 @@ class MetricsFlusher {
   std::condition_variable wake_;
   bool shutdown_ = false;
   uint64_t flushes_ = 0;
+  double last_flush_ms_ = -1.0;  // previous flush's latency; <0 = none yet
   std::string jsonl_lines_;  // accumulated series (jsonl format only)
   std::thread thread_;
 };

@@ -5,6 +5,7 @@
 
 #include "io/atomic_file.h"
 #include "obs/flusher.h"
+#include "obs/profiler.h"
 
 namespace autoem {
 namespace obs {
@@ -64,10 +65,15 @@ bool ParseObsFlag(const std::string& arg, ObsOptions* options) {
     options->metrics_flush_interval = std::strtod(value.c_str(), nullptr);
     return true;
   }
+  if (TakeFlagValue(arg, "--profile-hz=", &value)) {
+    options->profile_hz = std::strtod(value.c_str(), nullptr);
+    return true;
+  }
   return TakeFlagValue(arg, "--log-level=", &options->log_level) ||
          TakeFlagValue(arg, "--trace-out=", &options->trace_path) ||
          TakeFlagValue(arg, "--metrics-out=", &options->metrics_path) ||
-         TakeFlagValue(arg, "--metrics-format=", &options->metrics_format);
+         TakeFlagValue(arg, "--metrics-format=", &options->metrics_format) ||
+         TakeFlagValue(arg, "--profile-out=", &options->profile_path);
 }
 
 ObsSession::ObsSession(ObsOptions options) : options_(std::move(options)) {
@@ -89,6 +95,11 @@ ObsSession::ObsSession(ObsOptions options) : options_(std::move(options)) {
     SetAllocationCounting(true);
     owns_probes_ = true;
   }
+  if (!options_.profile_path.empty() && !ProfilingEnabled()) {
+    ProfilerOptions popts;
+    if (options_.profile_hz > 0) popts.hz = options_.profile_hz;
+    owns_profiler_ = StartProfiling(popts);
+  }
   if (!options_.metrics_path.empty() && options_.metrics_flush_interval > 0 &&
       !g_flusher_active.exchange(true, std::memory_order_acq_rel)) {
     MetricsFlusher::Options fopts;
@@ -102,6 +113,16 @@ ObsSession::ObsSession(ObsOptions options) : options_(std::move(options)) {
 }
 
 ObsSession::~ObsSession() {
+  // Profiler first: StopProfiling folds sample counts and per-span shares
+  // into the metrics registry, so stopping before the flusher's final
+  // snapshot (or WriteFinalMetrics below) lands them in the metrics file.
+  if (owns_profiler_) {
+    StopProfiling();
+    if (!WriteProfile(options_.profile_path)) {
+      AUTOEM_LOG(WARN) << "obs: failed to write profile to "
+                       << options_.profile_path;
+    }
+  }
   if (owns_tracing_) {
     StopTracing();
     if (!WriteTrace(options_.trace_path)) {

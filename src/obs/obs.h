@@ -39,17 +39,26 @@ struct ObsOptions {
   /// "jsonl" (one snapshot line per flush, an append-only time series), or
   /// "openmetrics" (text exposition). (`--metrics-format=`)
   std::string metrics_format;
+  /// Collapsed-stack CPU profile written here when non-empty
+  /// (`--profile-out=`): the session runs the sampling profiler and dumps
+  /// flamegraph.pl / speedscope / `autoem_cli report` compatible output.
+  std::string profile_path;
+  /// Sampling rate for the profiler in Hz (`--profile-hz=`); 0 keeps the
+  /// default (97 Hz).
+  double profile_hz = 0.0;
 
   bool Any() const {
     return !log_level.empty() || !trace_path.empty() ||
            !metrics_path.empty() || resources ||
-           metrics_flush_interval > 0.0 || !metrics_format.empty();
+           metrics_flush_interval > 0.0 || !metrics_format.empty() ||
+           !profile_path.empty();
   }
 };
 
 /// Parses one observability argument (`--log-level=X`, `--trace-out=P`,
 /// `--metrics-out=P`, `--resources[=0|1]`, `--metrics-flush-interval=S`,
-/// `--metrics-format=F`) into `*options`. Returns false (leaving options
+/// `--metrics-format=F`, `--profile-out=P`, `--profile-hz=N`) into
+/// `*options`. Returns false (leaving options
 /// untouched) when `arg` is not an observability flag, so callers can chain
 /// it into their existing flag loops.
 bool ParseObsFlag(const std::string& arg, ObsOptions* options);
@@ -84,6 +93,7 @@ class ObsSession {
   ObsOptions options_;
   bool owns_tracing_ = false;
   bool owns_probes_ = false;
+  bool owns_profiler_ = false;
   std::unique_ptr<MetricsFlusher> flusher_;
 };
 

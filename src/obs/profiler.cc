@@ -1,0 +1,664 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+// Backend selection. The sampling machinery needs backtrace() (glibc /
+// macOS execinfo) plus POSIX signals; the per-thread CPU interval timers
+// additionally need Linux's SIGEV_THREAD_ID. Elsewhere the profiler
+// compiles to stubs: StartProfiling logs a warning and returns false, and
+// every guard stays a relaxed load that is never true.
+#if defined(__linux__) && defined(__GLIBC__)
+#define AUTOEM_PROFILER_BACKTRACE 1
+#define AUTOEM_PROFILER_TIMER 1
+#elif defined(__GLIBC__) || defined(__APPLE__)
+#define AUTOEM_PROFILER_BACKTRACE 1
+#endif
+
+#if defined(AUTOEM_PROFILER_BACKTRACE)
+#include <cxxabi.h>
+#include <execinfo.h>
+#include <pthread.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+#endif
+#if defined(AUTOEM_PROFILER_TIMER)
+#include <sys/syscall.h>
+#endif
+
+namespace autoem {
+namespace obs {
+
+namespace internal {
+
+std::atomic<bool> g_profiling{false};
+
+namespace {
+
+// ---- span attribution stack ------------------------------------------------
+// Fixed-size per-thread stack of span names. The signal handler reads only
+// its own thread's stack, so plain TLS suffices; the signal fences stop the
+// compiler from reordering the entry write past the depth bump (the handler
+// interrupts this very thread).
+constexpr int kSpanStackDepth = 64;
+
+struct ProfSpanStack {
+  const char* names[kSpanStackDepth];
+  std::atomic<int> depth{0};
+};
+
+thread_local ProfSpanStack t_prof_spans;
+
+// Thread id snapshot the handler can read without calling anything:
+// populated by RegisterProfiledThread before any timer can target the
+// thread.
+thread_local uint32_t t_prof_tid = 0;
+
+}  // namespace
+
+void PushProfilerSpan(const char* name) {
+  ProfSpanStack& s = t_prof_spans;
+  int d = s.depth.load(std::memory_order_relaxed);
+  if (d >= 0 && d < kSpanStackDepth) s.names[d] = name;
+  std::atomic_signal_fence(std::memory_order_release);
+  s.depth.store(d + 1, std::memory_order_relaxed);
+}
+
+void PopProfilerSpan() {
+  ProfSpanStack& s = t_prof_spans;
+  int d = s.depth.load(std::memory_order_relaxed);
+  if (d > 0) s.depth.store(d - 1, std::memory_order_relaxed);
+}
+
+int ProfilerSpanDepth() {
+  return t_prof_spans.depth.load(std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+namespace {
+
+constexpr const char kNoSpan[] = "(no span)";
+
+// ---- sample ring -----------------------------------------------------------
+
+struct SampleHeader {
+  uint32_t tid = 0;
+  uint16_t depth = 0;
+  const char* span = nullptr;  // static string from the Span call site
+};
+
+/// One profiling run's pre-allocated buffer. The signal handler claims a
+/// slot with a relaxed fetch_add (lock-free, allocation-free) and marks it
+/// ready with a release store once filled, so readers skip slots a handler
+/// was interrupted (stopped) inside. Retired states are kept alive for the
+/// process lifetime: a straggling signal delivered during StopProfiling may
+/// still hold the pointer, and the dump functions read the last run.
+struct ProfilerState {
+  ProfilerOptions options;
+  size_t capacity = 0;
+  size_t max_depth = 0;
+  std::unique_ptr<uintptr_t[]> pcs;                // capacity * max_depth
+  std::unique_ptr<SampleHeader[]> headers;         // capacity
+  std::unique_ptr<std::atomic<uint8_t>[]> ready;   // capacity, 0-initialized
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> dropped{0};
+
+  explicit ProfilerState(const ProfilerOptions& opts)
+      : options(opts),
+        capacity(opts.max_samples > 0 ? opts.max_samples : 1),
+        max_depth(opts.max_depth > 0
+                      ? static_cast<size_t>(std::min(opts.max_depth, 256))
+                      : 1),
+        pcs(new uintptr_t[capacity * max_depth]),
+        headers(new SampleHeader[capacity]),
+        ready(new std::atomic<uint8_t>[capacity]()) {}
+
+  uint64_t captured() const {
+    uint64_t n = next.load(std::memory_order_acquire);
+    return n < capacity ? n : capacity;
+  }
+};
+
+// The handler loads g_active_state; start publishes it, stop clears it.
+// g_last_state (under g_profiler_mu) keeps the most recent run readable for
+// CollapseProfile after stop; g_retired parks older runs forever so no
+// handler can ever touch freed memory.
+std::atomic<ProfilerState*> g_active_state{nullptr};
+
+std::mutex& ProfilerMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+ProfilerState* g_last_state = nullptr;
+std::vector<ProfilerState*>* g_retired = nullptr;
+
+#if defined(AUTOEM_PROFILER_BACKTRACE)
+
+// ---- thread registry -------------------------------------------------------
+
+struct RegisteredThread {
+  pthread_t handle;
+#if defined(AUTOEM_PROFILER_TIMER)
+  pid_t tid = 0;
+  timer_t timer{};
+  bool timer_armed = false;
+#endif
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::vector<RegisteredThread>& Registry() {
+  static std::vector<RegisteredThread>* threads =
+      new std::vector<RegisteredThread>;
+  return *threads;
+}
+
+thread_local bool t_registered = false;
+
+// Run-scoped backend bookkeeping (guarded by ProfilerMutex for start/stop,
+// RegistryMutex for per-thread arming).
+bool g_use_timers = false;
+double g_hz = 97.0;
+std::thread* g_watcher = nullptr;
+std::atomic<bool> g_watcher_stop{false};
+
+// ---- signal handler --------------------------------------------------------
+
+void ProfilerSignalHandler(int /*signum*/, siginfo_t* /*info*/,
+                           void* /*ucontext*/) {
+  int saved_errno = errno;
+  ProfilerState* state = g_active_state.load(std::memory_order_acquire);
+  if (state != nullptr) {
+    uint64_t slot = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (slot < state->capacity) {
+      void** frames =
+          reinterpret_cast<void**>(state->pcs.get() + slot * state->max_depth);
+      int n = backtrace(frames, static_cast<int>(state->max_depth));
+      SampleHeader& header = state->headers[slot];
+      header.tid = internal::t_prof_tid;
+      internal::ProfSpanStack& spans = internal::t_prof_spans;
+      int depth = spans.depth.load(std::memory_order_relaxed);
+      std::atomic_signal_fence(std::memory_order_acquire);
+      header.span =
+          depth > 0
+              ? spans.names[std::min(depth, internal::kSpanStackDepth) - 1]
+              : nullptr;
+      header.depth = static_cast<uint16_t>(n > 0 ? n : 0);
+      state->ready[slot].store(1, std::memory_order_release);
+    } else {
+      state->dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  errno = saved_errno;
+}
+
+void InstallSignalHandlerOnce() {
+  static bool installed = [] {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_sigaction = &ProfilerSignalHandler;
+    action.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&action.sa_mask);
+    // Never restored: the handler is inert (one acquire load) when no
+    // profile is active, and restoring SIG_DFL would turn a straggling
+    // SIGPROF into process death.
+    return sigaction(SIGPROF, &action, nullptr) == 0;
+  }();
+  (void)installed;
+}
+
+// ---- timer backend (Linux) -------------------------------------------------
+
+#if defined(AUTOEM_PROFILER_TIMER)
+
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+
+itimerspec ProfilerInterval() {
+  double period_s = g_hz > 0 ? 1.0 / g_hz : 1.0 / 97.0;
+  time_t sec = static_cast<time_t>(period_s);
+  long nsec = static_cast<long>((period_s - static_cast<double>(sec)) * 1e9);
+  if (sec == 0 && nsec < 100000) nsec = 100000;  // floor: 10 kHz
+  itimerspec spec{};
+  spec.it_interval.tv_sec = sec;
+  spec.it_interval.tv_nsec = nsec;
+  spec.it_value = spec.it_interval;
+  return spec;
+}
+
+/// Arms a per-thread CPU-time sampling timer for `entry`. Callable from any
+/// thread: the target's CPU clock comes from pthread_getcpuclockid and the
+/// signal is steered to the target with SIGEV_THREAD_ID.
+bool ArmThreadTimer(RegisteredThread* entry) {
+  if (entry->timer_armed) return true;
+  clockid_t clock;
+  if (pthread_getcpuclockid(entry->handle, &clock) != 0) return false;
+  struct sigevent event;
+  std::memset(&event, 0, sizeof(event));
+  event.sigev_notify = SIGEV_THREAD_ID;
+  event.sigev_signo = SIGPROF;
+  event.sigev_notify_thread_id = entry->tid;
+  timer_t timer;
+  if (timer_create(clock, &event, &timer) != 0) return false;
+  itimerspec spec = ProfilerInterval();
+  if (timer_settime(timer, 0, &spec, nullptr) != 0) {
+    timer_delete(timer);
+    return false;
+  }
+  entry->timer = timer;
+  entry->timer_armed = true;
+  return true;
+}
+
+void DisarmThreadTimer(RegisteredThread* entry) {
+  if (!entry->timer_armed) return;
+  timer_delete(entry->timer);
+  entry->timer_armed = false;
+}
+
+#endif  // AUTOEM_PROFILER_TIMER
+
+// ---- watcher backend (portable fallback) -----------------------------------
+
+void WatcherLoop() {
+  double period_s = g_hz > 0 ? 1.0 / g_hz : 1.0 / 97.0;
+  auto period = std::chrono::duration<double>(period_s);
+  while (!g_watcher_stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(period);
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    for (RegisteredThread& entry : Registry()) {
+      pthread_kill(entry.handle, SIGPROF);
+    }
+  }
+}
+
+#endif  // AUTOEM_PROFILER_BACKTRACE
+
+}  // namespace
+
+// ---- registration ----------------------------------------------------------
+
+void RegisterProfiledThread() {
+#if defined(AUTOEM_PROFILER_BACKTRACE)
+  if (t_registered) return;
+  t_registered = true;
+  // Touch every TLS object the signal handler reads, while we are safely
+  // outside any handler.
+  internal::t_prof_tid = LogThreadId();
+  internal::t_prof_spans.depth.load(std::memory_order_relaxed);
+  RegisteredThread entry;
+  entry.handle = pthread_self();
+#if defined(AUTOEM_PROFILER_TIMER)
+  entry.tid = static_cast<pid_t>(syscall(SYS_gettid));
+#endif
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry().push_back(entry);
+#if defined(AUTOEM_PROFILER_TIMER)
+  if (ProfilingEnabled() && g_use_timers) {
+    if (!ArmThreadTimer(&Registry().back())) {
+      AUTOEM_LOG(WARN) << "profiler: failed to arm sampling timer for new "
+                          "thread; it will not be sampled";
+    }
+  }
+#endif
+#endif  // AUTOEM_PROFILER_BACKTRACE
+}
+
+void UnregisterProfiledThread() {
+#if defined(AUTOEM_PROFILER_BACKTRACE)
+  if (!t_registered) return;
+  t_registered = false;
+  pthread_t self = pthread_self();
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<RegisteredThread>& threads = Registry();
+  for (size_t i = 0; i < threads.size(); ++i) {
+    if (pthread_equal(threads[i].handle, self)) {
+#if defined(AUTOEM_PROFILER_TIMER)
+      DisarmThreadTimer(&threads[i]);
+#endif
+      threads.erase(threads.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+#endif  // AUTOEM_PROFILER_BACKTRACE
+}
+
+// ---- start / stop ----------------------------------------------------------
+
+bool StartProfiling(const ProfilerOptions& options) {
+#if !defined(AUTOEM_PROFILER_BACKTRACE)
+  (void)options;
+  AUTOEM_LOG(WARN) << "profiler: no supported backend on this platform; "
+                      "profiling disabled";
+  return false;
+#else
+  std::lock_guard<std::mutex> lock(ProfilerMutex());
+  if (ProfilingEnabled()) {
+    AUTOEM_LOG(WARN) << "profiler: already profiling; ignoring StartProfiling";
+    return false;
+  }
+  // Prime backtrace outside the signal path: its first call may dlopen the
+  // unwinder (which allocates), which must never happen inside the handler.
+  void* prime[4];
+  backtrace(prime, 4);
+  InstallSignalHandlerOnce();
+
+  auto state = std::make_unique<ProfilerState>(options);
+  g_hz = options.hz > 0 ? options.hz : 97.0;
+#if defined(AUTOEM_PROFILER_TIMER)
+  g_use_timers = !options.force_watcher;
+#else
+  g_use_timers = false;
+#endif
+
+  // Retire the previous run's buffer (kept alive forever — a stale pointer
+  // may still be in a signal handler's hands) and publish the new one.
+  if (g_last_state != nullptr) {
+    if (g_retired == nullptr) g_retired = new std::vector<ProfilerState*>;
+    g_retired->push_back(g_last_state);
+  }
+  g_last_state = state.release();
+  g_active_state.store(g_last_state, std::memory_order_release);
+  internal::g_profiling.store(true, std::memory_order_relaxed);
+
+  RegisterProfiledThread();
+
+#if defined(AUTOEM_PROFILER_TIMER)
+  if (g_use_timers) {
+    std::lock_guard<std::mutex> reg_lock(RegistryMutex());
+    size_t armed = 0;
+    for (RegisteredThread& entry : Registry()) {
+      if (ArmThreadTimer(&entry)) ++armed;
+    }
+    if (armed == 0) {
+      // Per-thread CPU timers unavailable (e.g. a restrictive sandbox):
+      // fall back to the portable watcher.
+      AUTOEM_LOG(WARN) << "profiler: per-thread CPU timers unavailable; "
+                          "falling back to wall-clock watcher sampling";
+      g_use_timers = false;
+    }
+  }
+#endif
+  if (!g_use_timers) {
+    g_watcher_stop.store(false, std::memory_order_release);
+    g_watcher = new std::thread(WatcherLoop);
+  }
+  AUTOEM_LOG(INFO) << "profiler: sampling at " << g_hz << " Hz ("
+                   << (g_use_timers ? "per-thread CPU timers"
+                                    : "watcher thread")
+                   << "), ring capacity " << g_last_state->capacity;
+  return true;
+#endif  // AUTOEM_PROFILER_BACKTRACE
+}
+
+namespace {
+
+/// Counts ready samples per span in `state`. Takes no locks: callable both
+/// from the public accessor (which locks ProfilerMutex around it) and from
+/// StopProfiling, which already holds that mutex.
+std::vector<SpanCpuShare> SpanBreakdownOf(ProfilerState* state) {
+  std::map<std::string, uint64_t> counts;
+  if (state != nullptr) {
+    uint64_t n = state->captured();
+    for (uint64_t i = 0; i < n; ++i) {
+      if (state->ready[i].load(std::memory_order_acquire) == 0) continue;
+      const char* span = state->headers[i].span;
+      counts[span != nullptr ? span : kNoSpan] += 1;
+    }
+  }
+  std::vector<SpanCpuShare> out;
+  out.reserve(counts.size());
+  for (const auto& [span, samples] : counts) {
+    out.push_back(SpanCpuShare{span, samples});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanCpuShare& a, const SpanCpuShare& b) {
+              if (a.samples != b.samples) return a.samples > b.samples;
+              return a.span < b.span;
+            });
+  return out;
+}
+
+}  // namespace
+
+void StopProfiling() {
+#if defined(AUTOEM_PROFILER_BACKTRACE)
+  std::lock_guard<std::mutex> lock(ProfilerMutex());
+  if (!ProfilingEnabled()) return;
+  internal::g_profiling.store(false, std::memory_order_relaxed);
+#if defined(AUTOEM_PROFILER_TIMER)
+  {
+    std::lock_guard<std::mutex> reg_lock(RegistryMutex());
+    for (RegisteredThread& entry : Registry()) {
+      DisarmThreadTimer(&entry);
+    }
+  }
+#endif
+  if (g_watcher != nullptr) {
+    g_watcher_stop.store(true, std::memory_order_release);
+    g_watcher->join();
+    delete g_watcher;
+    g_watcher = nullptr;
+  }
+  // Disarm the handler. In-flight signals delivered after this see nullptr
+  // and return; ones already past the load finish writing into
+  // g_last_state, which is never freed, and flag their slot ready.
+  g_active_state.store(nullptr, std::memory_order_release);
+
+  // Fold the run into the metrics model so profiles join trajectories and
+  // flushed snapshots without extra plumbing. (ProfilerMutex is held here,
+  // so the breakdown is computed via the lock-free helper, not the public
+  // accessor.)
+  if (g_last_state != nullptr) {
+    MetricsRegistry::Global()
+        .GetCounter("profile.samples")
+        ->Add(g_last_state->captured());
+    MetricsRegistry::Global()
+        .GetCounter("profile.dropped_samples")
+        ->Add(g_last_state->dropped.load(std::memory_order_relaxed));
+    for (const SpanCpuShare& share : SpanBreakdownOf(g_last_state)) {
+      MetricsRegistry::Global()
+          .GetGauge("profile.span_samples." + share.span)
+          ->Set(static_cast<double>(share.samples));
+    }
+  }
+#endif  // AUTOEM_PROFILER_BACKTRACE
+}
+
+// ---- accessors -------------------------------------------------------------
+
+uint64_t ProfileSampleCount() {
+  ProfilerState* state = g_active_state.load(std::memory_order_acquire);
+  if (state == nullptr) {
+    std::lock_guard<std::mutex> lock(ProfilerMutex());
+    state = g_last_state;
+  }
+  return state != nullptr ? state->captured() : 0;
+}
+
+uint64_t ProfileDroppedSamples() {
+  ProfilerState* state = g_active_state.load(std::memory_order_acquire);
+  if (state == nullptr) {
+    std::lock_guard<std::mutex> lock(ProfilerMutex());
+    state = g_last_state;
+  }
+  return state != nullptr ? state->dropped.load(std::memory_order_relaxed)
+                          : 0;
+}
+
+std::vector<RawProfileSample> SnapshotProfileSamples() {
+  std::vector<RawProfileSample> out;
+  std::lock_guard<std::mutex> lock(ProfilerMutex());
+  ProfilerState* state = g_last_state;
+  if (state == nullptr) return out;
+  uint64_t n = state->captured();
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (state->ready[i].load(std::memory_order_acquire) == 0) continue;
+    const SampleHeader& header = state->headers[i];
+    RawProfileSample sample;
+    sample.tid = header.tid;
+    sample.span = header.span;
+    sample.pcs.assign(state->pcs.get() + i * state->max_depth,
+                      state->pcs.get() + i * state->max_depth + header.depth);
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+std::vector<SpanCpuShare> ProfileSpanBreakdown() {
+  std::lock_guard<std::mutex> lock(ProfilerMutex());
+  return SpanBreakdownOf(g_last_state);
+}
+
+// ---- symbolization + collapse ----------------------------------------------
+
+namespace {
+
+#if defined(AUTOEM_PROFILER_BACKTRACE)
+
+/// "binary(_ZN6autoem3FooEv+0x1a) [0x55...]" -> demangled "autoem::Foo()".
+/// Frames without a dynamic symbol (static / anonymous-namespace functions
+/// not exported even with -rdynamic) collapse to the module name, keeping
+/// output deterministic under ASLR.
+std::string PrettyFrame(const char* symbol) {
+  if (symbol == nullptr) return "??";
+  std::string text = symbol;
+  size_t open = text.find('(');
+  size_t plus = text.find('+', open == std::string::npos ? 0 : open);
+  if (open != std::string::npos && plus != std::string::npos && plus > open + 1) {
+    std::string mangled = text.substr(open + 1, plus - open - 1);
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(mangled.c_str(), nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      std::string pretty = demangled;
+      std::free(demangled);
+      return pretty;
+    }
+    if (demangled != nullptr) std::free(demangled);
+    return mangled;
+  }
+  // No symbol: keep just the module's basename so merged output is stable
+  // across runs (the bracketed address is ASLR-dependent).
+  size_t cut = open != std::string::npos ? open : text.find(" [");
+  std::string module = text.substr(0, cut);
+  size_t slash = module.find_last_of('/');
+  if (slash != std::string::npos) module = module.substr(slash + 1);
+  return module.empty() ? "??" : "[" + module + "]";
+}
+
+bool IsProfilerFrame(const std::string& name) {
+  return name.find("ProfilerSignalHandler") != std::string::npos ||
+         name.find("__restore_rt") != std::string::npos ||
+         name.find("_sigtramp") != std::string::npos;
+}
+
+#endif  // AUTOEM_PROFILER_BACKTRACE
+
+}  // namespace
+
+namespace internal {
+
+std::string CollapseSymbolizedStacks(
+    const std::vector<std::pair<std::vector<std::string>, uint64_t>>& stacks) {
+  // map keys are the joined lines, so merging and ordering are both
+  // independent of input order: the collapse is a pure function of the
+  // sample multiset.
+  std::map<std::string, uint64_t> folded;
+  for (const auto& [frames, count] : stacks) {
+    if (frames.empty() || count == 0) continue;
+    std::string line;
+    for (size_t i = 0; i < frames.size(); ++i) {
+      if (i > 0) line += ';';
+      line += frames[i];
+    }
+    folded[line] += count;
+  }
+  std::string out;
+  for (const auto& [line, count] : folded) {
+    out += line;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace internal
+
+std::string CollapseProfile() {
+#if !defined(AUTOEM_PROFILER_BACKTRACE)
+  return "";
+#else
+  std::vector<RawProfileSample> samples = SnapshotProfileSamples();
+  // Symbolize each unique pc once; a profile has millions of frames but
+  // only hundreds of distinct sites.
+  std::map<uintptr_t, std::string> names;
+  {
+    std::vector<void*> unique;
+    for (const RawProfileSample& sample : samples) {
+      for (uintptr_t pc : sample.pcs) {
+        if (names.emplace(pc, std::string()).second) {
+          unique.push_back(reinterpret_cast<void*>(pc));
+        }
+      }
+    }
+    if (!unique.empty()) {
+      char** symbols =
+          backtrace_symbols(unique.data(), static_cast<int>(unique.size()));
+      for (size_t i = 0; i < unique.size(); ++i) {
+        names[reinterpret_cast<uintptr_t>(unique[i])] =
+            symbols != nullptr ? PrettyFrame(symbols[i]) : "??";
+      }
+      std::free(symbols);
+    }
+  }
+
+  std::vector<std::pair<std::vector<std::string>, uint64_t>> stacks;
+  stacks.reserve(samples.size());
+  for (const RawProfileSample& sample : samples) {
+    // pcs are innermost-first and start inside the signal machinery; strip
+    // the handler/trampoline frames, then reverse to root-first and prefix
+    // the attributed span so flamegraphs group by pipeline stage.
+    std::vector<std::string> frames;
+    frames.push_back(sample.span != nullptr ? sample.span : kNoSpan);
+    size_t begin = 0;
+    while (begin < sample.pcs.size() &&
+           IsProfilerFrame(names[sample.pcs[begin]])) {
+      ++begin;
+    }
+    for (size_t i = sample.pcs.size(); i > begin; --i) {
+      frames.push_back(names[sample.pcs[i - 1]]);
+    }
+    stacks.emplace_back(std::move(frames), 1);
+  }
+  return internal::CollapseSymbolizedStacks(stacks);
+#endif  // AUTOEM_PROFILER_BACKTRACE
+}
+
+bool WriteProfile(const std::string& path) {
+  std::string folded = CollapseProfile();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(folded.data(), 1, folded.size(), f);
+  return std::fclose(f) == 0 && written == folded.size();
+}
+
+}  // namespace obs
+}  // namespace autoem

@@ -269,6 +269,11 @@ tr.failed td { color: #a32020; background: #fdf3f3; }
   <section><h2>Failures &amp; quarantine</h2><div id="failures"></div></section>
   <section><h2>Cache</h2><div class="cards" id="cache"></div></section>
   <section><h2>Top spans (trace)</h2><div id="spans"></div></section>
+  <section><h2>CPU flamegraph</h2><div id="flamewrap">
+    <div class="empty" id="flamestatus">hover a frame for details</div>
+    <canvas id="flame" height="0"></canvas>
+  </div></section>
+  <section><h2>Top functions (CPU profile)</h2><div class="tablewrap" id="hotfuncs"></div></section>
   <section><h2>Trials</h2><div class="tablewrap" id="trials"></div></section>
 </main>
 <script id="payload" type="application/json">__AUTOEM_PAYLOAD__</script>
@@ -491,6 +496,112 @@ function axes(c, x0, x1, y0, y1, yfmt) {
     `<p class="empty">${P.trace.events} events total.</p>`;
 })();
 
+// ---- CPU flamegraph + top functions -------------------------------------
+(function () {
+  const wrap = document.getElementById("flamewrap");
+  const hot = document.getElementById("hotfuncs");
+  if (!P.profile) {
+    wrap.innerHTML =
+      '<div class="empty">No CPU profile — rerun with --profile-out.</div>';
+    hot.innerHTML =
+      '<div class="empty">No CPU profile — rerun with --profile-out.</div>';
+    return;
+  }
+  // Parse collapsed-stack lines ("a;b;c 42") into a merge trie plus
+  // per-function self/total tallies.
+  const root = { name: "all", value: 0, children: {} };
+  const funcs = {};
+  for (const raw of P.profile.split("\n")) {
+    const line = raw.trim();
+    if (!line) continue;
+    const sp = line.lastIndexOf(" ");
+    if (sp <= 0) continue;
+    const count = Number(line.slice(sp + 1));
+    if (!count) continue;
+    const frames = line.slice(0, sp).split(";");
+    root.value += count;
+    let node = root;
+    const onStack = new Set();
+    for (let i = 0; i < frames.length; i++) {
+      const f = frames[i];
+      node = node.children[f] ||
+             (node.children[f] = { name: f, value: 0, children: {} });
+      node.value += count;
+      const rec = funcs[f] || (funcs[f] = { self: 0, total: 0 });
+      if (!onStack.has(f)) { rec.total += count; onStack.add(f); }
+      if (i === frames.length - 1) rec.self += count;
+    }
+  }
+  if (!root.value) {
+    wrap.innerHTML = '<div class="empty">Profile contained no samples.</div>';
+    hot.innerHTML = '<div class="empty">Profile contained no samples.</div>';
+    return;
+  }
+  // Lay the trie out into rows of rects (x/w in sample units).
+  const ROW = 17, rects = [];
+  let maxDepth = 0;
+  (function lay(node, depth, x) {
+    const kids = Object.values(node.children)
+        .sort((a, b) => b.value - a.value || (a.name < b.name ? -1 : 1));
+    for (const k of kids) {
+      rects.push({ x, w: k.value, d: depth, name: k.name });
+      if (depth > maxDepth) maxDepth = depth;
+      lay(k, depth + 1, x);
+      x += k.value;
+    }
+  })(root, 0, 0);
+  const cv = document.getElementById("flame");
+  const W = cv.clientWidth || 1000, H = (maxDepth + 1) * ROW;
+  const dpr = window.devicePixelRatio || 1;
+  cv.width = W * dpr; cv.height = H * dpr;
+  cv.style.height = H + "px";
+  const g = cv.getContext("2d");
+  g.scale(dpr, dpr);
+  const hue = s => {
+    let h = 0;
+    for (let i = 0; i < s.length; i++) h = (h * 31 + s.charCodeAt(i)) >>> 0;
+    return h % 50;
+  };
+  g.font = "11px ui-monospace, monospace";
+  g.textBaseline = "middle";
+  for (const r of rects) {
+    const x = r.x / root.value * W, w = r.w / root.value * W;
+    if (w < 0.3) continue;
+    const y = r.d * ROW;
+    g.fillStyle = `hsl(${10 + hue(r.name)},72%,${62 + (r.d % 3) * 4}%)`;
+    g.fillRect(x + 0.5, y + 1, Math.max(w - 1, 0.5), ROW - 2);
+    if (w > 30) {
+      g.fillStyle = "#3a2410";
+      g.save();
+      g.beginPath(); g.rect(x + 3, y, w - 6, ROW); g.clip();
+      g.fillText(r.name, x + 4, y + ROW / 2);
+      g.restore();
+    }
+  }
+  const status = document.getElementById("flamestatus");
+  cv.addEventListener("mousemove", ev => {
+    const box = cv.getBoundingClientRect();
+    const mx = (ev.clientX - box.left) / W * root.value;
+    const md = Math.floor((ev.clientY - box.top) / ROW);
+    const r = rects.find(r => r.d === md && mx >= r.x && mx < r.x + r.w);
+    status.textContent = r
+      ? `${r.name} — ${r.w} samples (${(100 * r.w / root.value).toFixed(1)}%)`
+      : "hover a frame for details";
+  });
+  // Top functions by self samples.
+  const rows = Object.entries(funcs)
+      .sort((a, b) => b[1].self - a[1].self || b[1].total - a[1].total)
+      .slice(0, 30);
+  let html = '<table><tr><th class="l">function</th><th>self</th>' +
+             "<th>self %</th><th>total</th><th>total %</th></tr>";
+  for (const [name, r] of rows) html +=
+    `<tr><td class="l mono">${esc(name)}</td><td>${r.self}</td>` +
+    `<td>${(100 * r.self / root.value).toFixed(1)}</td><td>${r.total}</td>` +
+    `<td>${(100 * r.total / root.value).toFixed(1)}</td></tr>`;
+  hot.innerHTML = html + "</table>" +
+    `<p class="empty">${root.value} samples total.</p>`;
+})();
+
 // ---- per-trial table ----------------------------------------------------
 (function () {
   const el = document.getElementById("trials");
@@ -526,6 +637,9 @@ std::string BuildRunReportHtml(const ReportInputs& inputs) {
   AppendMetricsJson(inputs.metrics_text, &payload);
   payload += ",\"trace\":";
   payload += TraceSummaryJson(inputs.trace_json);
+  payload += ",\"profile\":";
+  payload += inputs.profile_folded.empty() ? "null"
+                                           : JsonQuote(inputs.profile_folded);
   payload += "}";
   payload = ScriptSafe(payload);
 

@@ -14,14 +14,18 @@ struct ReportInputs {
   std::string trajectory_csv;  // SerializeTrajectoryCsv output (required)
   std::string metrics_text;    // metrics file: json, jsonl, or openmetrics
   std::string trace_json;      // Chrome trace_event JSON (TraceJson output)
+  std::string profile_folded;  // collapsed-stack CPU profile (WriteProfile)
 };
 
-/// Joins trajectory + metrics time series + trace into one self-contained
-/// HTML file: tuning curve, per-trial table (score, config hash, CPU / wall
-/// / RSS, failure reason), failure summary, thread-pool utilization
-/// timeline, and cache hit-rate stats. The document embeds its data as an
-/// inline JSON payload and draws with <canvas>; it references no external
-/// assets, so it can be archived or attached to a CI run as a single file.
+/// Joins trajectory + metrics time series + trace + CPU profile into one
+/// self-contained HTML file: tuning curve, per-trial table (score, config
+/// hash, CPU / wall / RSS, failure reason), failure summary, thread-pool
+/// utilization timeline, cache hit-rate stats, and — when a collapsed-stack
+/// profile is supplied — an interactive canvas flamegraph with a
+/// top-functions (self/total samples) table. The document embeds its data
+/// as an inline JSON payload and draws with <canvas>; it references no
+/// external assets, so it can be archived or attached to a CI run as a
+/// single file.
 std::string BuildRunReportHtml(const ReportInputs& inputs);
 
 }  // namespace obs

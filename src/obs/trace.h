@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.h"
+
 namespace autoem {
 namespace obs {
 
@@ -69,8 +71,16 @@ class Span {
       name_ = name;
       start_us_ = internal::NowMicros();
     }
+    // While a CPU profile is being taken, spans also maintain the
+    // per-thread attribution stack the SIGPROF handler reads. Independent
+    // of tracing: profiles attribute by span even with tracing off.
+    if (ProfilingEnabled()) {
+      internal::PushProfilerSpan(name);
+      pushed_ = true;
+    }
   }
   ~Span() {
+    if (pushed_) internal::PopProfilerSpan();
     if (name_ != nullptr) Finish();
   }
 
@@ -93,6 +103,7 @@ class Span {
 
   const char* name_ = nullptr;
   uint64_t start_us_ = 0;
+  bool pushed_ = false;
   std::string args_;
 };
 

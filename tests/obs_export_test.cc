@@ -163,6 +163,38 @@ TEST(MetricsFlusherTest, JsonlSeriesGrowsAndFinalSnapshotIsWritten) {
   std::remove(path.c_str());
 }
 
+// The flusher exports its own health: a flush counter, a duration histogram
+// (trailing by one flush — a flush cannot know its own duration), and a
+// final-snapshot marker bumped by the destructor, so the last line of the
+// series proves the shutdown flush ran.
+TEST(MetricsFlusherTest, ExportsItsOwnHealthMetrics) {
+  std::string path = TempPath("autoem_flush_health.jsonl");
+  std::remove(path.c_str());
+  {
+    obs::MetricsFlusher::Options options;
+    options.path = path;
+    options.interval_seconds = 3600.0;  // manual flushes only
+    options.format = "jsonl";
+    obs::MetricsFlusher flusher(options);
+    flusher.FlushNow();
+    flusher.FlushNow();
+    flusher.FlushNow();
+  }
+  std::string series = MustRead(path);
+  // Every snapshot after the first carries the running flush counter.
+  EXPECT_NE(series.find("\"obs.flush_count\""), std::string::npos);
+  // The third flush observed the second's duration (trailing histogram), so
+  // the histogram exists in the final snapshot.
+  EXPECT_NE(series.find("\"obs.flush_duration_ms"), std::string::npos);
+  // The destructor's final snapshot is marked.
+  size_t last_line = series.rfind('\n', series.size() - 2);
+  std::string final_line =
+      series.substr(last_line == std::string::npos ? 0 : last_line + 1);
+  EXPECT_NE(final_line.find("\"obs.flush_final\""), std::string::npos)
+      << final_line.substr(0, 200);
+  std::remove(path.c_str());
+}
+
 TEST(MetricsFlusherTest, OpenMetricsFormatEndsWithEof) {
   std::string path = TempPath("autoem_flush_om.txt");
   std::remove(path.c_str());

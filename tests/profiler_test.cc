@@ -1,0 +1,253 @@
+// Tests for the sampling CPU profiler (obs v3). The interesting properties
+// are the ones a crash or a wrong count would betray:
+//  * the SIGPROF handler is async-signal-safe even when the interrupted
+//    code is allocating (the ASan preset runs this binary, so a malloc
+//    re-entered from the handler would abort loudly);
+//  * the pre-allocated ring drops excess samples *exactly* — captured
+//    samples never exceed capacity and the remainder is counted;
+//  * samples are attributed to the innermost active obs::Span;
+//  * collapsed-stack output is a pure function of the sample multiset.
+//
+// Each TEST runs as its own ctest process (gtest_discover_tests), so the
+// process-global profiler state starts fresh per test.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+
+namespace autoem {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Spins real CPU for ~`ms` milliseconds of wall time. The work is a mix of
+// arithmetic and heap churn so SIGPROF lands inside malloc/free some of the
+// time — exactly the re-entrancy a broken handler would trip over.
+void BurnCpu(int ms, bool allocate) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  volatile double sink = 0.0;
+  std::vector<std::string> churn;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 1000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
+    if (allocate) {
+      churn.emplace_back(64, 'x');
+      if (churn.size() > 256) churn.clear();
+    }
+  }
+}
+
+// ---- collapse determinism (no profile run needed) -------------------------
+
+TEST(ProfilerCollapseTest, MergeIsOrderIndependentAndSorted) {
+  using Stack = std::pair<std::vector<std::string>, uint64_t>;
+  Stack a{{"spanA", "main", "Fit"}, 3};
+  Stack b{{"spanA", "main", "Predict"}, 1};
+  Stack c{{"spanB", "main"}, 2};
+  Stack a2{{"spanA", "main", "Fit"}, 4};  // same stack, merges with `a`
+
+  std::string one = obs::internal::CollapseSymbolizedStacks({a, b, c, a2});
+  std::string two = obs::internal::CollapseSymbolizedStacks({c, a2, b, a});
+  EXPECT_EQ(one, two) << "collapse must be a pure function of the multiset";
+
+  EXPECT_NE(one.find("spanA;main;Fit 7\n"), std::string::npos) << one;
+  EXPECT_NE(one.find("spanA;main;Predict 1\n"), std::string::npos) << one;
+  EXPECT_NE(one.find("spanB;main 2\n"), std::string::npos) << one;
+
+  // Lines come out sorted, so diffing two profiles is meaningful.
+  std::vector<std::string> lines;
+  std::istringstream stream(one);
+  for (std::string line; std::getline(stream, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(lines.begin(), lines.end())) << one;
+}
+
+TEST(ProfilerCollapseTest, EmptyInputIsEmptyOutput) {
+  EXPECT_EQ(obs::internal::CollapseSymbolizedStacks({}), "");
+}
+
+// ---- disabled-profiler guarantees -----------------------------------------
+
+TEST(ProfilerTest, OffByDefaultAndSpansStayOutOfTheStack) {
+  EXPECT_FALSE(obs::ProfilingEnabled());
+  {
+    obs::Span span("prof_guard_span");
+    // With profiling off, Span must not touch the attribution stack.
+    EXPECT_EQ(obs::internal::ProfilerSpanDepth(), 0);
+  }
+  EXPECT_EQ(obs::internal::ProfilerSpanDepth(), 0);
+  EXPECT_EQ(obs::ProfileSampleCount(), 0u);
+  EXPECT_EQ(obs::ProfileDroppedSamples(), 0u);
+  obs::StopProfiling();  // no-op when not profiling
+  EXPECT_EQ(obs::CollapseProfile(), "");
+}
+
+// ---- live capture ----------------------------------------------------------
+
+// Allocation-heavy multi-threaded workload sampled at a high rate. Under the
+// ASan preset this is the signal-safety smoke: thousands of SIGPROFs land
+// mid-malloc across four pool workers and the handler must neither allocate
+// nor deadlock. (ThreadPool workers self-register via ProfiledThreadScope.)
+TEST(ProfilerTest, CapturesSamplesUnderAllocationHeavyLoad) {
+  obs::ProfilerOptions options;
+  options.hz = 997.0;
+  ASSERT_TRUE(obs::StartProfiling(options));
+  EXPECT_TRUE(obs::ProfilingEnabled());
+  EXPECT_FALSE(obs::StartProfiling(options)) << "double-start must refuse";
+
+  {
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 4; ++i) {
+      pool.Submit([&done] {
+        BurnCpu(150, /*allocate=*/true);
+        done.fetch_add(1);
+      });
+    }
+    pool.Wait();
+    EXPECT_EQ(done.load(), 4);
+  }
+  BurnCpu(100, /*allocate=*/true);  // main thread is registered too
+  obs::StopProfiling();
+  EXPECT_FALSE(obs::ProfilingEnabled());
+
+  uint64_t samples = obs::ProfileSampleCount();
+  EXPECT_GT(samples, 0u) << "no samples captured from ~700ms of CPU burn";
+  std::vector<obs::RawProfileSample> raw = obs::SnapshotProfileSamples();
+  EXPECT_EQ(raw.size(), samples);
+  for (const obs::RawProfileSample& sample : raw) {
+    EXPECT_FALSE(sample.pcs.empty());
+  }
+
+  // Stopping folds totals into the metrics registry.
+  EXPECT_GE(
+      obs::MetricsRegistry::Global().GetCounter("profile.samples")->Total(),
+      samples);
+
+  // The collapsed profile round-trips through WriteProfile and is
+  // deterministic for the captured buffer.
+  std::string collapsed = obs::CollapseProfile();
+  EXPECT_FALSE(collapsed.empty());
+  EXPECT_EQ(collapsed, obs::CollapseProfile());
+  std::string path = TempPath("autoem_profiler_smoke.folded");
+  ASSERT_TRUE(obs::WriteProfile(path));
+  std::ifstream in(path);
+  std::stringstream read;
+  read << in.rdbuf();
+  EXPECT_EQ(read.str(), collapsed);
+  std::remove(path.c_str());
+}
+
+// A 16-slot ring against ~400ms of sampling at ~1kHz: the ring must clamp
+// captured samples at exactly its capacity and count every tick beyond it.
+TEST(ProfilerTest, RingOverflowDropsBeyondCapacityExactly) {
+  obs::ProfilerOptions options;
+  options.hz = 997.0;
+  options.max_samples = 16;
+  ASSERT_TRUE(obs::StartProfiling(options));
+  BurnCpu(400, /*allocate=*/false);
+  obs::StopProfiling();
+
+  EXPECT_EQ(obs::ProfileSampleCount(), 16u)
+      << "ring did not fill; dropped=" << obs::ProfileDroppedSamples();
+  EXPECT_GT(obs::ProfileDroppedSamples(), 0u);
+  EXPECT_EQ(obs::SnapshotProfileSamples().size(), 16u);
+}
+
+// Two spans burn CPU back to back; the profile must attribute samples to
+// each, and the innermost span must win for nested scopes.
+TEST(ProfilerTest, AttributesSamplesToInnermostSpan) {
+  obs::ProfilerOptions options;
+  options.hz = 997.0;
+  ASSERT_TRUE(obs::StartProfiling(options));
+  {
+    obs::Span span("prof_attr_a");
+    EXPECT_EQ(obs::internal::ProfilerSpanDepth(), 1);
+    BurnCpu(200, /*allocate=*/false);
+  }
+  {
+    obs::Span outer("prof_attr_outer");
+    obs::Span inner("prof_attr_b");
+    EXPECT_EQ(obs::internal::ProfilerSpanDepth(), 2);
+    BurnCpu(200, /*allocate=*/false);
+  }
+  EXPECT_EQ(obs::internal::ProfilerSpanDepth(), 0);
+  obs::StopProfiling();
+
+  uint64_t in_a = 0, in_b = 0, in_outer = 0;
+  for (const obs::SpanCpuShare& share : obs::ProfileSpanBreakdown()) {
+    if (share.span == "prof_attr_a") in_a = share.samples;
+    if (share.span == "prof_attr_b") in_b = share.samples;
+    if (share.span == "prof_attr_outer") in_outer = share.samples;
+  }
+  EXPECT_GT(in_a, 0u) << "no samples attributed to prof_attr_a";
+  EXPECT_GT(in_b, 0u) << "no samples attributed to prof_attr_b";
+  // The outer span was never the innermost scope while CPU burned.
+  EXPECT_EQ(in_outer, 0u);
+
+  // The span is the root frame of every collapsed line it appears in.
+  std::string collapsed = obs::CollapseProfile();
+  EXPECT_NE(collapsed.find("prof_attr_a;"), std::string::npos);
+  EXPECT_NE(collapsed.find("prof_attr_b;"), std::string::npos);
+  for (const char* name : {"prof_attr_a", "prof_attr_b"}) {
+    std::istringstream stream(collapsed);
+    for (std::string line; std::getline(stream, line);) {
+      size_t at = line.find(name);
+      if (at != std::string::npos) {
+        EXPECT_EQ(at, 0u) << line;
+      }
+    }
+  }
+
+  // StopProfiling exported the per-span gauges.
+  EXPECT_EQ(obs::MetricsRegistry::Global()
+                .GetGauge("profile.span_samples.prof_attr_a")
+                ->Value(),
+            static_cast<double>(in_a));
+}
+
+// Restarting replaces the previous capture: counters reset, the old buffer
+// is retired, and the new run's samples stand alone.
+TEST(ProfilerTest, RestartResetsCounters) {
+  obs::ProfilerOptions options;
+  options.hz = 997.0;
+  ASSERT_TRUE(obs::StartProfiling(options));
+  BurnCpu(120, /*allocate=*/false);
+  obs::StopProfiling();
+  uint64_t first = obs::ProfileSampleCount();
+  EXPECT_GT(first, 0u);
+
+  ASSERT_TRUE(obs::StartProfiling(options));
+  uint64_t at_start = obs::ProfileSampleCount();
+  EXPECT_LT(at_start, first) << "restart must begin a fresh ring";
+  obs::StopProfiling();
+}
+
+// The watcher backend (the portable fallback) must deliver samples too.
+TEST(ProfilerTest, WatcherBackendCapturesSamples) {
+  obs::ProfilerOptions options;
+  options.hz = 997.0;
+  options.force_watcher = true;
+  ASSERT_TRUE(obs::StartProfiling(options));
+  BurnCpu(300, /*allocate=*/true);
+  obs::StopProfiling();
+  EXPECT_GT(obs::ProfileSampleCount(), 0u);
+}
+
+}  // namespace
+}  // namespace autoem

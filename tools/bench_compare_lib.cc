@@ -1,0 +1,463 @@
+#include "tools/bench_compare_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace autoem {
+namespace tools {
+
+namespace {
+
+// ---- minimal JSON reader ---------------------------------------------------
+// The artifacts are produced by our own writers, but CI must fail with a
+// message — not UB — on a truncated upload, so this is a real (if small)
+// recursive-descent parser over the full JSON grammar.
+
+struct Json {
+  enum Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::map<std::string, Json> object;
+  std::vector<Json> array;
+
+  const Json* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<Json> Parse() {
+    Json value;
+    AUTOEM_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Json* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') {
+      out->type = Json::kString;
+      return ParseString(&out->str);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->type = Json::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->type = Json::kBool;
+      out->boolean = false;
+      pos_ += 5;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out->type = Json::kNull;
+      pos_ += 4;
+      return Status::OK();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      const char* start = text_.c_str() + pos_;
+      char* end = nullptr;
+      out->number = std::strtod(start, &end);
+      if (end == start) return Error("malformed number");
+      out->type = Json::kNumber;
+      pos_ += static_cast<size_t>(end - start);
+      return Status::OK();
+    }
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad \\u escape");
+          }
+          // Bench names are ASCII; encode the BMP scalar as UTF-8 so
+          // nothing is silently dropped.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseObject(Json* out, int depth) {
+    Consume('{');
+    out->type = Json::kObject;
+    SkipSpace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      std::string key;
+      AUTOEM_RETURN_IF_ERROR(ParseString(&key));
+      if (!Consume(':')) return Error("expected ':'");
+      Json value;
+      AUTOEM_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->object[std::move(key)] = std::move(value);
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(Json* out, int depth) {
+    Consume('[');
+    out->type = Json::kArray;
+    SkipSpace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      Json value;
+      AUTOEM_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string JsonToString(const Json& v) {
+  switch (v.type) {
+    case Json::kString: return v.str;
+    case Json::kNumber: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.number);
+      return buf;
+    }
+    case Json::kBool: return v.boolean ? "true" : "false";
+    default: return "";
+  }
+}
+
+bool AllDigits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<BenchFile> ParseBenchJson(const std::string& text) {
+  auto parsed = JsonParser(text).Parse();
+  if (!parsed.ok()) return parsed.status();
+  const Json& root = *parsed;
+  if (root.type != Json::kObject) {
+    return Status::InvalidArgument("bench file: root is not an object");
+  }
+  BenchFile file;
+  if (const Json* meta = root.Find("meta"); meta != nullptr) {
+    for (const auto& [key, value] : meta->object) {
+      file.meta[key] = JsonToString(value);
+    }
+  }
+  const Json* cases = root.Find("cases");
+  if (cases == nullptr || cases->type != Json::kArray) {
+    return Status::InvalidArgument("bench file: missing \"cases\" array");
+  }
+  for (const Json& entry : cases->array) {
+    const Json* name = entry.Find("name");
+    if (name == nullptr || name->type != Json::kString) continue;
+    BenchCaseStat stat;
+    stat.name = name->str;
+    if (const Json* secs = entry.Find("seconds");
+        secs != nullptr && secs->type == Json::kNumber &&
+        std::isfinite(secs->number) && secs->number > 0) {
+      stat.seconds = secs->number;
+    }
+    stat.runs = 1;
+    if (const Json* counters = entry.Find("counters"); counters != nullptr) {
+      if (const Json* runs = counters->Find("bench_compare.runs");
+          runs != nullptr && runs->type == Json::kNumber && runs->number >= 1) {
+        stat.runs = static_cast<int>(runs->number);
+      }
+    }
+    // Duplicate names within one file (google-benchmark repetitions)
+    // min-merge the same way multiple files do.
+    auto [it, inserted] = file.cases.emplace(stat.name, stat);
+    if (!inserted) {
+      BenchCaseStat& existing = it->second;
+      if (stat.seconds > 0 &&
+          (existing.seconds == 0 || stat.seconds < existing.seconds)) {
+        existing.seconds = stat.seconds;
+      }
+      existing.runs += stat.runs;
+    }
+  }
+  return file;
+}
+
+Result<BenchFile> LoadBenchFiles(const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    return Status::InvalidArgument("no bench files given");
+  }
+  BenchFile merged;
+  bool first = true;
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto file = ParseBenchJson(buf.str());
+    if (!file.ok()) {
+      return Status::InvalidArgument(path + ": " +
+                                     file.status().ToString());
+    }
+    if (first) {
+      merged.meta = file->meta;
+      first = false;
+    }
+    for (const auto& [name, stat] : file->cases) {
+      auto [it, inserted] = merged.cases.emplace(name, stat);
+      if (!inserted) {
+        BenchCaseStat& existing = it->second;
+        if (stat.seconds > 0 &&
+            (existing.seconds == 0 || stat.seconds < existing.seconds)) {
+          existing.seconds = stat.seconds;
+        }
+        existing.runs += stat.runs;
+      }
+    }
+  }
+  return merged;
+}
+
+std::string SerializeBenchFile(const BenchFile& file) {
+  std::string out = "{\"meta\":{";
+  bool first = true;
+  for (const auto& [key, value] : file.meta) {
+    if (!first) out += ",";
+    first = false;
+    out += obs::JsonQuote(key);
+    out += ":";
+    out += AllDigits(value) ? value : obs::JsonQuote(value);
+  }
+  out += "},\"cases\":[";
+  first = true;
+  for (const auto& [name, stat] : file.cases) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":" + obs::JsonQuote(name) +
+           ",\"params\":{},\"counters\":{\"bench_compare.runs\":" +
+           std::to_string(stat.runs) +
+           "},\"seconds\":" + obs::JsonNumber(stat.seconds) + "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+const char* VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kImproved: return "improved";
+    case Verdict::kRegressed: return "regressed";
+    case Verdict::kSkipped: return "skipped";
+    case Verdict::kMissingInCurrent: return "missing_in_current";
+    case Verdict::kNew: return "new";
+  }
+  return "unknown";
+}
+
+CompareReport CompareBench(const BenchFile& baseline, const BenchFile& current,
+                           const CompareOptions& options) {
+  CompareReport report;
+  for (const auto& [name, base] : baseline.cases) {
+    CaseComparison c;
+    c.name = name;
+    c.baseline_s = base.seconds;
+    auto it = current.cases.find(name);
+    if (it == current.cases.end()) {
+      // A dimensionless baseline figure (seconds==0) that disappears is not
+      // lost *timing* coverage; only timed cases gate.
+      if (base.seconds < options.min_seconds) continue;
+      c.verdict = Verdict::kMissingInCurrent;
+      ++report.missing_in_current;
+      report.cases.push_back(std::move(c));
+      continue;
+    }
+    c.current_s = it->second.seconds;
+    if (c.baseline_s < options.min_seconds ||
+        c.current_s < options.min_seconds) {
+      c.verdict = Verdict::kSkipped;
+      ++report.skipped;
+    } else {
+      c.ratio = c.current_s / c.baseline_s;
+      if (c.ratio > 1.0 + options.noise) {
+        c.verdict = Verdict::kRegressed;
+        ++report.regressed;
+      } else if (c.ratio < 1.0 - options.noise) {
+        c.verdict = Verdict::kImproved;
+        ++report.improved;
+      } else {
+        c.verdict = Verdict::kOk;
+        ++report.ok;
+      }
+    }
+    report.cases.push_back(std::move(c));
+  }
+  for (const auto& [name, cur] : current.cases) {
+    if (baseline.cases.count(name) != 0) continue;
+    if (cur.seconds < options.min_seconds) continue;
+    CaseComparison c;
+    c.name = name;
+    c.current_s = cur.seconds;
+    c.verdict = Verdict::kNew;
+    ++report.added;
+    report.cases.push_back(std::move(c));
+  }
+  // Worst first: regressions and lost coverage top the log.
+  std::sort(report.cases.begin(), report.cases.end(),
+            [](const CaseComparison& a, const CaseComparison& b) {
+              auto rank = [](const CaseComparison& c) {
+                switch (c.verdict) {
+                  case Verdict::kMissingInCurrent: return 0;
+                  case Verdict::kRegressed: return 1;
+                  case Verdict::kOk: return 2;
+                  case Verdict::kImproved: return 3;
+                  case Verdict::kNew: return 4;
+                  case Verdict::kSkipped: return 5;
+                }
+                return 6;
+              };
+              if (rank(a) != rank(b)) return rank(a) < rank(b);
+              if (a.ratio != b.ratio) return a.ratio > b.ratio;
+              return a.name < b.name;
+            });
+  return report;
+}
+
+std::string CompareReportJson(const CompareReport& report) {
+  std::string out = "{\"failed\":";
+  out += report.Failed() ? "true" : "false";
+  out += ",\"summary\":{\"ok\":" + std::to_string(report.ok) +
+         ",\"improved\":" + std::to_string(report.improved) +
+         ",\"regressed\":" + std::to_string(report.regressed) +
+         ",\"skipped\":" + std::to_string(report.skipped) +
+         ",\"missing_in_current\":" +
+         std::to_string(report.missing_in_current) +
+         ",\"new\":" + std::to_string(report.added) + "},\"cases\":[";
+  for (size_t i = 0; i < report.cases.size(); ++i) {
+    const CaseComparison& c = report.cases[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "{\"name\":" + obs::JsonQuote(c.name) +
+           ",\"verdict\":\"" + VerdictName(c.verdict) +
+           "\",\"baseline_s\":" + obs::JsonNumber(c.baseline_s) +
+           ",\"current_s\":" + obs::JsonNumber(c.current_s) +
+           ",\"ratio\":" + obs::JsonNumber(c.ratio) + "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string CompareReportText(const CompareReport& report) {
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line), "%-52s %12s %12s %8s  %s\n", "case",
+                "baseline", "current", "ratio", "verdict");
+  out += line;
+  for (const CaseComparison& c : report.cases) {
+    if (c.verdict == Verdict::kSkipped) continue;
+    std::snprintf(line, sizeof(line), "%-52s %11.6fs %11.6fs %8.3f  %s\n",
+                  c.name.c_str(), c.baseline_s, c.current_s, c.ratio,
+                  VerdictName(c.verdict));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "%d ok, %d improved, %d regressed, %d missing, %d new, "
+                "%d skipped -> %s\n",
+                report.ok, report.improved, report.regressed,
+                report.missing_in_current, report.added, report.skipped,
+                report.Failed() ? "FAIL" : "PASS");
+  out += line;
+  return out;
+}
+
+}  // namespace tools
+}  // namespace autoem
