@@ -11,7 +11,9 @@
 // All counters land in `--benchmark_format=json` output automatically.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -97,13 +99,22 @@ void RunFeatureGen(benchmark::State& state, bool include_tfidf) {
     state.SkipWithError(("plan failed: " + planned.ToString()).c_str());
     return;
   }
+  obs::SetAllocationCounting(true);
+  uint64_t allocs_before = obs::AllocationCount();
   for (auto _ : state) {
     Dataset d = gen.Generate(w.data.train);
     benchmark::DoNotOptimize(d.X.rows());
   }
+  uint64_t allocs_after = obs::AllocationCount();
   int64_t pairs = static_cast<int64_t>(w.data.train.pairs.size());
   state.SetItemsProcessed(state.iterations() * pairs);
   state.counters["threads"] = threads;
+  // Heap allocations per featurized pair across the timed loop. The arena
+  // tokenizers and interned token-ID caches exist to push this toward the
+  // floor of one matrix + cache build per Generate call.
+  state.counters["allocs_per_pair"] =
+      static_cast<double>(allocs_after - allocs_before) /
+      static_cast<double>(std::max<int64_t>(1, state.iterations() * pairs));
   state.counters["pairs_per_sec"] = benchmark::Counter(
       static_cast<double>(state.iterations() * pairs),
       benchmark::Counter::kIsRate);

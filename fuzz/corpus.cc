@@ -7,10 +7,12 @@
 #include "active/active_checkpoint.h"
 #include "automl/config_io.h"
 #include "automl/search_space.h"
+#include "common/logging.h"
 #include "datagen/benchmark_gen.h"
 #include "em/matcher.h"
 #include "io/model_io.h"
 #include "io/serialize.h"
+#include "text/tfidf.h"
 
 namespace autoem {
 namespace fuzz {
@@ -89,6 +91,67 @@ std::vector<Seed> SerializeSeeds() {
   nested.U64(3);  // truncated vector: 3 declared, 1 present
   nested.F64(1.0);
   seeds.push_back({"truncated_vector", nested.data()});
+
+  // TF-IDF state seeds for harness mode 4. Raw-path seeds start with the
+  // mode byte (4 % 5 == 4) and an odd decision byte (Bool → raw), so the
+  // rest of the seed goes straight into TfIdfModel::LoadState. One valid
+  // state plus one seed per consistency rejection.
+  auto tfidf_raw = [](const std::string& state) {
+    return std::string("\x04\x01", 2) + state;
+  };
+  {
+    TfIdfModel model;
+    model.AddDocument("alpha beta gamma");
+    model.AddDocument("beta delta");
+    model.Fit();
+    io::Writer valid;
+    AUTOEM_CHECK(model.SaveState(&valid).ok());
+    seeds.push_back({"tfidf_valid", tfidf_raw(valid.data())});
+  }
+  {
+    io::Writer zero_df;  // df == 0: token claimed but never observed
+    zero_df.U32(0);      // whitespace tokenizer
+    zero_df.U64(2);      // num_documents
+    zero_df.U8(1);       // fitted
+    zero_df.U64(1);      // vocab size
+    zero_df.Str("alpha");
+    zero_df.U64(0);
+    seeds.push_back({"tfidf_zero_df", tfidf_raw(zero_df.data())});
+  }
+  {
+    io::Writer big_df;  // df > num_documents
+    big_df.U32(0);
+    big_df.U64(2);
+    big_df.U8(1);
+    big_df.U64(1);
+    big_df.Str("alpha");
+    big_df.U64(5);
+    seeds.push_back({"tfidf_df_overflow", tfidf_raw(big_df.data())});
+  }
+  {
+    io::Writer dup;  // duplicate vocabulary token
+    dup.U32(0);
+    dup.U64(3);
+    dup.U8(1);
+    dup.U64(2);
+    dup.Str("alpha");
+    dup.U64(1);
+    dup.Str("alpha");
+    dup.U64(2);
+    seeds.push_back({"tfidf_dup_token", tfidf_raw(dup.data())});
+  }
+  {
+    io::Writer no_docs;  // fitted with zero documents
+    no_docs.U32(0);
+    no_docs.U64(0);
+    no_docs.U8(1);
+    no_docs.U64(0);
+    seeds.push_back({"tfidf_fitted_no_docs", tfidf_raw(no_docs.data())});
+  }
+  // Surgery-path seed: mode 4, even decision byte, whitespace tokenizer,
+  // Fit, zero mutations — exercises the must-succeed round-trip branch.
+  seeds.push_back(
+      {"tfidf_surgery", std::string("\x04\x00\x00\x01\x00\x00\x00\x00", 8)});
   return seeds;
 }
 

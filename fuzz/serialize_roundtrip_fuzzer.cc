@@ -14,6 +14,11 @@
 //            then mutate it section-by-section with the corpus helpers
 //            (id swaps, payload swaps, length-field overflow) before
 //            DeserializeModel sees it.
+//   mode 4 — TF-IDF state surgery: serialize a real fitted TfIdfModel, then
+//            mutate the bytes (or feed raw fuzz bytes) into LoadState; the
+//            parse must reject inconsistent states (df == 0,
+//            df > num_documents, duplicate tokens, fitted-with-no-docs)
+//            without crashing, and with zero mutations it must succeed.
 #include "fuzz/fuzzer_util.h"
 
 #include <cmath>
@@ -23,6 +28,7 @@
 #include "fuzz/corpus.h"
 #include "io/model_io.h"
 #include "io/serialize.h"
+#include "text/tfidf.h"
 
 namespace {
 
@@ -219,11 +225,66 @@ void ModelEnvelopeSurgery(FuzzInput* in) {
   (void)parsed;
 }
 
+void TfIdfStateSurgery(FuzzInput* in) {
+  if (in->Bool()) {
+    // Raw-bytes path: the remaining fuzz input straight into LoadState.
+    std::string payload = in->Rest();
+    autoem::io::Reader r(payload);
+    autoem::TfIdfModel model;
+    auto st = model.LoadState(&r);
+    (void)st;
+    return;
+  }
+  // Surgery path: a genuinely fitted model's bytes, then targeted damage.
+  autoem::TfIdfModel model(in->Bool() ? autoem::TokenizerKind::kQGram3
+                                      : autoem::TokenizerKind::kWhitespace);
+  model.AddDocument("alpha beta gamma");
+  model.AddDocument("beta delta");
+  model.AddDocument("gamma");
+  if (in->Bool()) model.Fit();
+  autoem::io::Writer w;
+  AUTOEM_FUZZ_ASSERT(model.SaveState(&w).ok());
+  std::string bytes = w.data();
+
+  size_t n_mutations = in->Index(5);
+  if (n_mutations == 0) {
+    autoem::io::Reader r(bytes);
+    autoem::TfIdfModel loaded;
+    AUTOEM_FUZZ_ASSERT(loaded.LoadState(&r).ok());
+    return;
+  }
+  for (size_t i = 0; i < n_mutations && !bytes.empty(); ++i) {
+    switch (in->Byte() % 4) {
+      case 0:
+        autoem::fuzz::FlipBytes(&bytes, in->Index(bytes.size()),
+                                in->Index(8) + 1,
+                                static_cast<uint8_t>(in->Byte() | 1));
+        break;
+      case 1:
+        // Integer overwrites land on doc counts, vocab counts, and the df
+        // fields — the exact fields the consistency checks guard.
+        autoem::fuzz::OverwriteLe(&bytes, in->Index(bytes.size()),
+                                  in->U64(), in->Bool() ? 8 : 4);
+        break;
+      case 2:
+        bytes.resize(in->Index(bytes.size() + 1));
+        break;
+      case 3:
+        bytes += in->Bytes(in->Index(16) + 1);
+        break;
+    }
+  }
+  autoem::io::Reader r(bytes);
+  autoem::TfIdfModel loaded;
+  auto st = loaded.LoadState(&r);
+  (void)st;
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   FuzzInput in(data, size);
-  switch (in.Byte() % 4) {
+  switch (in.Byte() % 5) {
     case 0:
       ReaderOpStream(&in);
       break;
@@ -235,6 +296,9 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
       break;
     case 3:
       ModelEnvelopeSurgery(&in);
+      break;
+    case 4:
+      TfIdfStateSurgery(&in);
       break;
   }
   return 0;

@@ -1,5 +1,6 @@
 #include "automl/surrogate.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.h"
@@ -15,6 +16,7 @@ Status SurrogateForest::Fit(const Matrix& X, const std::vector<double>& y) {
     return Status::InvalidArgument("surrogate: bad training shape");
   }
   trees_.clear();
+  flat_.Clear();
   trees_.reserve(options_.n_trees);
   Rng rng(options_.seed);
   const size_t n = X.rows();
@@ -29,22 +31,35 @@ Status SurrogateForest::Fit(const Matrix& X, const std::vector<double>& y) {
     std::vector<double> w(n, 0.0);
     for (size_t k = 0; k < n; ++k) w[rng.UniformIndex(n)] += 1.0;
     Status st = tree.Fit(X, y, &w);
-    if (!st.ok()) {
+    if (!st.ok() && st.code() == StatusCode::kInvalidArgument &&
+        std::all_of(w.begin(), w.end(), [](double v) { return v <= 0.0; })) {
+      // Degenerate bootstrap (no surviving weight — impossible with the
+      // integer resampling above unless n == 0, but kept as a guard):
+      // retry once on the unresampled sample. Every other error is real
+      // and propagates instead of silently refitting on different data.
       st = tree.Fit(X, y, nullptr);
-      if (!st.ok()) return st;
     }
+    if (!st.ok()) return st;
     trees_.push_back(std::move(tree));
   }
+  for (const RegressionTree& tree : trees_) {
+    flat_.AppendTree(tree.nodes(),
+                     [](const RegressionTree::Node& n) { return n.value; });
+  }
+  per_tree_.assign(trees_.size(), 0.0);
   return Status::OK();
 }
 
 void SurrogateForest::PredictMeanVar(const std::vector<double>& x,
                                      double* mean, double* variance) const {
-  AUTOEM_CHECK(!trees_.empty());
+  AUTOEM_CHECK(!trees_.empty() && !flat_.empty());
+  // Per-tree payloads come from the flattened layout; accumulation runs in
+  // tree order, so mean/variance match the historical per-tree walk bit
+  // for bit.
+  flat_.PredictRowPerTree(x.data(), per_tree_.data());
   double sum = 0.0;
   double sum_sq = 0.0;
-  for (const auto& tree : trees_) {
-    double p = tree.PredictRow(x.data());
+  for (const double p : per_tree_) {
     sum += p;
     sum_sq += p * p;
   }

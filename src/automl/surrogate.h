@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "ml/models/decision_tree.h"
+#include "ml/models/flat_forest.h"
 
 namespace autoem {
 
@@ -35,6 +36,13 @@ class SurrogateForest {
  private:
   Options options_;
   std::vector<RegressionTree> trees_;
+  /// Flattened inference layout rebuilt after Fit; PredictMeanVar walks it
+  /// tree by tree (EI ranking evaluates hundreds of candidate configs per
+  /// iteration, so the surrogate is predict-heavy).
+  FlatForest flat_;
+  /// Per-call scratch for the per-tree payloads (PredictMeanVar is only
+  /// called from the single-threaded SMAC proposal loop).
+  mutable std::vector<double> per_tree_;
 };
 
 /// Expected improvement of predicted (mean, variance) over `best_so_far`

@@ -117,13 +117,15 @@ std::vector<TableTokenCache::AttrSpec> FeatureGenerator::CacheSpecs() const {
     specs.push_back({attr, false, false});
     return specs.back();
   };
+  // Set measures consume interned sorted IDs; only TF-IDF needs the raw
+  // string tokens (term frequencies + corpus lookups are keyed by string).
   for (const auto& p : plan_) {
     TableTokenCache::AttrSpec& spec = spec_for(p.attr_index);
     if (p.func.IsTokenMeasure()) {
       if (p.func.tokenizer == TokenizerKind::kWhitespace) {
-        spec.space_tokens = true;
+        spec.space_ids = true;
       } else if (p.func.tokenizer == TokenizerKind::kQGram3) {
-        spec.qgram_tokens = true;
+        spec.qgram_ids = true;
       }
     }
   }
@@ -156,6 +158,11 @@ void FeatureGenerator::GenerateRowCached(const TableTokenCache& left,
     return kind == TokenizerKind::kWhitespace ? cell.space_tokens
                                               : cell.qgram_tokens;
   };
+  auto ids_of = [](const CachedCell& cell,
+                   TokenizerKind kind) -> const std::vector<uint32_t>& {
+    return kind == TokenizerKind::kWhitespace ? cell.space_ids
+                                              : cell.qgram_ids;
+  };
   for (size_t f = 0; f < plan_.size(); ++f) {
     const FeaturePlan& p = plan_[f];
     const CachedCell& lc = left.cell(left_row, p.attr_index);
@@ -168,8 +175,8 @@ void FeatureGenerator::GenerateRowCached(const TableTokenCache& left,
     // uncached path rather than growing the cache by a third token kind.
     if (p.func.IsTokenMeasure() && p.func.tokenizer != TokenizerKind::kNone) {
       ++hits;
-      row[f] = p.func.ApplyTokens(tokens_of(lc, p.func.tokenizer),
-                                  tokens_of(rc, p.func.tokenizer));
+      row[f] = p.func.ApplyTokenIds(ids_of(lc, p.func.tokenizer),
+                                    ids_of(rc, p.func.tokenizer));
     } else {
       if (p.func.IsTokenMeasure()) ++misses;
       row[f] = p.func.Apply(lc.text, rc.text);
@@ -239,8 +246,11 @@ FeatureGenerator::PreparedTables FeatureGenerator::Prepare(
     const Table& left, const Table& right) const {
   std::vector<TableTokenCache::AttrSpec> specs = CacheSpecs();
   PreparedTables prepared;
-  prepared.left = TableTokenCache::Build(left, specs, parallelism_);
-  prepared.right = TableTokenCache::Build(right, specs, parallelism_);
+  prepared.interner = std::make_unique<TokenInterner>();
+  prepared.left =
+      TableTokenCache::Build(left, specs, parallelism_, prepared.interner.get());
+  prepared.right = TableTokenCache::Build(right, specs, parallelism_,
+                                          prepared.interner.get());
   return prepared;
 }
 

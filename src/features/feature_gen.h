@@ -71,6 +71,10 @@ class FeatureGenerator {
   /// path prepares the candidate tables a single time and then streams pair
   /// chunks against the same immutable caches.
   struct PreparedTables {
+    /// Shared across both caches so equal tokens intern to equal IDs —
+    /// the precondition of the ID-merge set kernels. Owned here because
+    /// the cached ID vectors are only meaningful relative to it.
+    std::unique_ptr<TokenInterner> interner;
     TableTokenCache left;
     TableTokenCache right;
   };

@@ -1,18 +1,49 @@
 #include "features/token_cache.h"
 
+#include <algorithm>
+
+#include "common/logging.h"
 #include "obs/obs.h"
 
 namespace autoem {
 
+namespace {
+
+// Per-worker tokenization arena: reused across every cell a worker
+// processes, so steady-state q-gram tokenization allocates nothing.
+struct BuildScratch {
+  QGramScratch qgrams;
+  std::vector<std::string_view> words;
+};
+
+void InternSortedUnique(TokenInterner* interner,
+                        const std::vector<std::string_view>& tokens,
+                        std::vector<uint32_t>* out) {
+  out->clear();
+  out->reserve(tokens.size());
+  for (const std::string_view tok : tokens) {
+    out->push_back(interner->IdOf(tok));
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+}  // namespace
+
 TableTokenCache TableTokenCache::Build(const Table& table,
                                        const std::vector<AttrSpec>& specs,
-                                       const Parallelism& par) {
+                                       const Parallelism& par,
+                                       TokenInterner* interner) {
   static obs::Counter* cells_built =
       obs::MetricsRegistry::Global().GetCounter("features.cache_cells_built");
   obs::Span span("features.token_cache_build");
   if (span.active()) {
     span.Arg("rows", table.num_rows());
     span.Arg("attrs", specs.size());
+  }
+  for (const AttrSpec& spec : specs) {
+    AUTOEM_CHECK_MSG(!(spec.space_ids || spec.qgram_ids) || interner != nullptr,
+                     "TableTokenCache: *_ids specs require an interner");
   }
 
   TableTokenCache cache;
@@ -27,6 +58,7 @@ TableTokenCache TableTokenCache::Build(const Table& table,
   ParallelFor(
       par, cache.num_rows_,
       [&](size_t row) {
+        thread_local BuildScratch scratch;
         for (size_t s = 0; s < specs.size(); ++s) {
           const AttrSpec& spec = specs[s];
           CachedCell& cell = cache.cells_[s][row];
@@ -40,6 +72,15 @@ TableTokenCache TableTokenCache::Build(const Table& table,
           }
           if (spec.qgram_tokens) {
             cell.qgram_tokens = Tokenize(TokenizerKind::kQGram3, cell.text);
+          }
+          if (spec.space_ids) {
+            WhitespaceTokenizeInto(cell.text, &scratch.words);
+            InternSortedUnique(interner, scratch.words, &cell.space_ids);
+          }
+          if (spec.qgram_ids) {
+            const std::vector<std::string_view>& grams =
+                QGramTokenizeInto(cell.text, 3, &scratch.qgrams);
+            InternSortedUnique(interner, grams, &cell.qgram_ids);
           }
         }
       },

@@ -1,23 +1,34 @@
 #ifndef AUTOEM_FEATURES_TOKEN_CACHE_H_
 #define AUTOEM_FEATURES_TOKEN_CACHE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/parallelism.h"
 #include "table/table.h"
+#include "text/interner.h"
 #include "text/tokenizer.h"
 
 namespace autoem {
 
-/// One prepared table cell: the rendered string plus the token sets the
-/// feature plan needs. Token vectors are only filled for tokenizer kinds the
-/// plan actually uses on that attribute.
+/// One prepared table cell: the rendered string plus the token material the
+/// feature plan needs. Only the representations requested in the Build specs
+/// are filled for each attribute.
+///
+/// Two representations exist per tokenizer kind:
+///   - `*_tokens`: the raw string tokens, consumed by TF-IDF (which needs
+///     term frequencies and corpus lookups by string).
+///   - `*_ids`: sorted duplicate-free token IDs from the Build-wide
+///     TokenInterner, consumed by the set measures (Jaccard/Cosine/Dice/
+///     Overlap) as linear merges — no per-pair hashing or allocation.
 struct CachedCell {
   bool is_null = true;
   std::string text;
   std::vector<std::string> space_tokens;
   std::vector<std::string> qgram_tokens;
+  std::vector<uint32_t> space_ids;
+  std::vector<uint32_t> qgram_ids;
 };
 
 /// Shared-immutable per-table cache of rendered strings and token sets.
@@ -35,11 +46,13 @@ struct CachedCell {
 /// Build returns.
 class TableTokenCache {
  public:
-  /// Which token sets to precompute for one attribute.
+  /// Which token representations to precompute for one attribute.
   struct AttrSpec {
     size_t attr_index = 0;
-    bool space_tokens = false;
-    bool qgram_tokens = false;
+    bool space_tokens = false;  // string tokens (TF-IDF)
+    bool qgram_tokens = false;  // string grams (TF-IDF)
+    bool space_ids = false;     // interned sorted IDs (set measures)
+    bool qgram_ids = false;
   };
 
   TableTokenCache() = default;
@@ -47,9 +60,18 @@ class TableTokenCache {
   /// Renders and tokenizes every (row, spec.attr_index) cell of `table`.
   /// Rows are processed with `par` (each row writes a disjoint slot, so the
   /// build itself is deterministic and race-free).
+  ///
+  /// `interner` is required when any spec requests `*_ids` and must be the
+  /// same instance for every table whose IDs will be compared against each
+  /// other (FeatureGenerator::Prepare shares one across left and right).
+  /// ID *values* depend on interleaving and thread count, but the set
+  /// measures only test IDs for equality, so features stay bit-identical.
+  /// Q-gram tokenization for the ID path runs through a per-worker arena
+  /// (QGramScratch), so it performs no per-gram string allocations.
   static TableTokenCache Build(const Table& table,
                                const std::vector<AttrSpec>& specs,
-                               const Parallelism& par);
+                               const Parallelism& par,
+                               TokenInterner* interner = nullptr);
 
   /// True when `attr` was listed in the Build specs.
   bool Has(size_t attr) const {

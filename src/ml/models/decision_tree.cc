@@ -7,6 +7,8 @@
 #include <limits>
 #include <numeric>
 
+#include "fault/failpoint.h"
+
 namespace autoem {
 
 namespace {
@@ -63,6 +65,7 @@ std::unique_ptr<Classifier> DecisionTreeClassifier::FromParams(
 Status DecisionTreeClassifier::Fit(const Matrix& X, const std::vector<int>& y,
                                    const std::vector<double>* sample_weights) {
   AUTOEM_RETURN_IF_ERROR(ValidateFitInputs(X, y, sample_weights));
+  AUTOEM_FAILPOINT("tree.fit");
   nodes_.clear();
   std::vector<double> w =
       sample_weights ? *sample_weights : std::vector<double>(y.size(), 1.0);
@@ -430,13 +433,33 @@ Status DecisionTreeClassifier::LoadFitted(io::Reader* r) {
     AUTOEM_RETURN_IF_ERROR(r->I32(&n.left));
     AUTOEM_RETURN_IF_ERROR(r->I32(&n.right));
     AUTOEM_RETURN_IF_ERROR(r->F64(&n.prob_positive));
-    // Child ids must stay inside the node array (-1 = leaf) so a crafted or
-    // corrupted payload cannot make PredictRowProba walk out of bounds.
-    int64_t limit = static_cast<int64_t>(count);
-    if (n.left < -1 || n.left >= limit || n.right < -1 || n.right >= limit ||
-        n.feature < -1) {
+    // Child ids must stay inside the node array and point strictly forward
+    // (the DFS build always appends children after their parent), so a
+    // crafted or corrupted payload can neither make the prediction walk go
+    // out of bounds nor cycle — the flattened relayout (flat_forest.h)
+    // relies on both properties. Internal nodes must have two children.
+    const int64_t self = static_cast<int64_t>(&n - nodes_.data());
+    const int64_t limit = static_cast<int64_t>(count);
+    if (n.feature < -1) {
+      return Status::InvalidArgument("decision_tree: bad feature index");
+    }
+    if (n.feature >= 0 &&
+        (n.left <= self || n.left >= limit || n.right <= self ||
+         n.right >= limit)) {
       return Status::InvalidArgument("decision_tree: node index out of range");
     }
+  }
+  // A well-formed tree references every non-root node exactly once; shared
+  // children would make the relayout's breadth-first expansion quadratic or
+  // worse on crafted input.
+  std::vector<bool> referenced(nodes_.size(), false);
+  for (const Node& n : nodes_) {
+    if (n.feature < 0) continue;
+    if (referenced[n.left] || referenced[n.right] || n.left == n.right) {
+      return Status::InvalidArgument("decision_tree: node referenced twice");
+    }
+    referenced[n.left] = true;
+    referenced[n.right] = true;
   }
   return Status::OK();
 }

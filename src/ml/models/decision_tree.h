@@ -67,7 +67,6 @@ class DecisionTreeClassifier : public Classifier {
 
   const TreeOptions& options() const { return options_; }
 
- private:
   struct Node {
     int feature = -1;          // -1 for leaf
     double threshold = 0.0;    // go left when value <= threshold or NaN
@@ -76,6 +75,11 @@ class DecisionTreeClassifier : public Classifier {
     double prob_positive = 0.0;  // leaf payload
   };
 
+  /// Fitted nodes in build (DFS) order; children always point forward.
+  /// Exposed for the forest-level flattened relayout (flat_forest.h).
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+ private:
   int BuildNode(const Matrix& X, const std::vector<int>& y,
                 const std::vector<double>& w, std::vector<size_t>* indices,
                 int depth, Rng* rng);
@@ -97,7 +101,6 @@ class RegressionTree {
 
   size_t NodeCount() const { return nodes_.size(); }
 
- private:
   struct Node {
     int feature = -1;
     double threshold = 0.0;
@@ -106,6 +109,10 @@ class RegressionTree {
     double value = 0.0;
   };
 
+  /// Fitted nodes in build (DFS) order, for the flattened relayout.
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+ private:
   int BuildNode(const Matrix& X, const std::vector<double>& y,
                 const std::vector<double>& w, std::vector<size_t>* indices,
                 int depth, Rng* rng);

@@ -53,6 +53,7 @@ Status RandomForestClassifier::Fit(const Matrix& X, const std::vector<int>& y,
   }
   Stopwatch timer;
   trees_.clear();
+  flat_.Clear();
   trees_.reserve(options_.n_estimators);
 
   TreeOptions tree_opt;
@@ -101,6 +102,27 @@ Status RandomForestClassifier::Fit(const Matrix& X, const std::vector<int>& y,
     trees_.emplace_back(tree_opt);
   }
 
+  static obs::Counter* degenerate_retries = obs::MetricsRegistry::Global()
+      .GetCounter("ml.rf_degenerate_bootstrap_retries");
+  // A bootstrap draw is degenerate when every sample with surviving weight
+  // carries the same label (or none survives at all) — the tree cannot
+  // split and Fit rejects its inputs. Only that case earns a retry with the
+  // unresampled weights; any other error is a real failure and must
+  // propagate (retrying used to mask injected faults and genuine bugs by
+  // silently training on different data).
+  auto degenerate_bootstrap = [&](const std::vector<double>& w) {
+    int seen_label = -1;
+    for (size_t i = 0; i < w.size(); ++i) {
+      if (w[i] <= 0.0) continue;
+      if (seen_label == -1) {
+        seen_label = y[i];
+      } else if (y[i] != seen_label) {
+        return false;
+      }
+    }
+    return true;
+  };
+
   std::vector<Status> tree_status(n_trees);
   // Cancellable dispatch: once the trial deadline fires, pending trees are
   // skipped entirely and in-flight trees bail at their next node; the
@@ -110,9 +132,9 @@ Status RandomForestClassifier::Fit(const Matrix& X, const std::vector<int>& y,
       options_.parallelism, n_trees, cancel_,
       [&](size_t t) {
         Status st = trees_[t].Fit(X, y, &tree_weights[t]);
-        if (!st.ok() && st.code() != StatusCode::kDeadlineExceeded) {
-          // A degenerate bootstrap (all weight on one class w/ zero weights)
-          // is retried once with the unresampled weights.
+        if (!st.ok() && st.code() == StatusCode::kInvalidArgument &&
+            degenerate_bootstrap(tree_weights[t])) {
+          degenerate_retries->Add(1);
           st = trees_[t].Fit(X, y, &base_w);
         }
         tree_status[t] = st;
@@ -122,6 +144,7 @@ Status RandomForestClassifier::Fit(const Matrix& X, const std::vector<int>& y,
   for (const Status& st : tree_status) {
     if (!st.ok()) return st;
   }
+  RebuildFlat();
   trees_trained->Add(n_trees);
   fit_ms->Observe(timer.ElapsedMillis());
   return Status::OK();
@@ -129,23 +152,30 @@ Status RandomForestClassifier::Fit(const Matrix& X, const std::vector<int>& y,
 
 std::vector<double> RandomForestClassifier::PredictProba(
     const Matrix& X) const {
-  AUTOEM_CHECK(!trees_.empty());
+  AUTOEM_CHECK(!trees_.empty() && !flat_.empty());
   static obs::Histogram* predict_ms =
       obs::MetricsRegistry::Global().GetHistogram("ml.rf_predict_ms");
   obs::Span span("rf.predict_proba");
   if (span.active()) span.Arg("rows", X.rows());
   Stopwatch timer;
   std::vector<double> out(X.rows(), 0.0);
-  // Rows are independent; each accumulates its trees in forest order, so
-  // the floating-point sum is identical at any thread count.
+  // Batched pair-major traversal over the flattened node array: each worker
+  // takes a contiguous row chunk and walks a block of rows through all
+  // trees in lockstep with prefetched node fetches. Every row still
+  // accumulates its trees in forest order, so the floating-point sum — and
+  // therefore the output — is bit-identical to the scalar per-row walk at
+  // any thread count and chunking.
+  constexpr size_t kChunk = 256;
+  const size_t n_chunks = (X.rows() + kChunk - 1) / kChunk;
   ParallelFor(
-      options_.parallelism, X.rows(),
-      [&](size_t r) {
-        double sum = 0.0;
-        for (const auto& tree : trees_) {
-          sum += tree.PredictRowProba(X.RowPtr(r));
+      options_.parallelism, n_chunks,
+      [&](size_t c) {
+        const size_t begin = c * kChunk;
+        const size_t end = std::min(begin + kChunk, X.rows());
+        flat_.AccumulateRows(X, begin, end, out.data() + begin);
+        for (size_t r = begin; r < end; ++r) {
+          out[r] /= static_cast<double>(trees_.size());
         }
-        out[r] = sum / static_cast<double>(trees_.size());
       },
       "rf.predict");
   predict_ms->Observe(timer.ElapsedMillis());
@@ -192,10 +222,21 @@ Status RandomForestClassifier::LoadFitted(io::Reader* r) {
   // Prediction only walks the stored nodes, so loaded trees are built with
   // default TreeOptions; the forest-level options_ came from Compile.
   trees_.assign(static_cast<size_t>(count), DecisionTreeClassifier());
+  flat_.Clear();
   for (auto& tree : trees_) {
     AUTOEM_RETURN_IF_ERROR(tree.LoadFitted(r));
   }
+  RebuildFlat();
   return Status::OK();
+}
+
+void RandomForestClassifier::RebuildFlat() {
+  flat_.Clear();
+  for (const auto& tree : trees_) {
+    flat_.AppendTree(tree.nodes(), [](const DecisionTreeClassifier::Node& n) {
+      return n.prob_positive;
+    });
+  }
 }
 
 }  // namespace autoem

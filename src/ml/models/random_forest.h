@@ -8,6 +8,7 @@
 #include "common/parallelism.h"
 #include "common/params.h"
 #include "ml/models/decision_tree.h"
+#include "ml/models/flat_forest.h"
 
 namespace autoem {
 
@@ -67,9 +68,15 @@ class RandomForestClassifier : public Classifier {
   const RandomForestOptions& options() const { return options_; }
 
  private:
+  /// Rebuilds the flattened inference layout from trees_ (after Fit and
+  /// LoadFitted); PredictProba walks flat_, trees_ stays the source of
+  /// truth for serialization and the scalar reference walk.
+  void RebuildFlat();
+
   RandomForestOptions options_;
   fault::CancelToken cancel_;
   std::vector<DecisionTreeClassifier> trees_;
+  FlatForest flat_;
 };
 
 }  // namespace autoem

@@ -1,0 +1,33 @@
+#include "text/interner.h"
+
+#include "common/logging.h"
+
+namespace autoem {
+
+uint32_t TokenInterner::IdOf(std::string_view token) {
+  const size_t hash = StringHash{}(token);
+  Shard& shard = shards_[hash & (kShards - 1)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(token);
+  if (it != shard.map.end()) return it->second;
+  // Shard-local counter in the high bits, shard index in the low bits:
+  // globally unique without cross-shard coordination.
+  const size_t local = shard.map.size();
+  AUTOEM_CHECK_MSG(local < (size_t{1} << (32 - kShardBits)),
+                   "TokenInterner shard overflow");
+  const uint32_t id = static_cast<uint32_t>((local << kShardBits) |
+                                            (hash & (kShards - 1)));
+  shard.map.emplace(std::string(token), id);
+  return id;
+}
+
+size_t TokenInterner::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+}  // namespace autoem

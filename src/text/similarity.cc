@@ -30,6 +30,8 @@ size_t SetSize(const std::vector<std::string>& v) {
 
 }  // namespace
 
+namespace reference {
+
 int LevenshteinDistance(std::string_view a, std::string_view b) {
   if (a.size() > b.size()) std::swap(a, b);
   const size_t n = a.size();
@@ -50,6 +52,94 @@ int LevenshteinDistance(std::string_view a, std::string_view b) {
     }
   }
   return row[n];
+}
+
+}  // namespace reference
+
+namespace {
+
+// Myers' bit-parallel edit distance, single-word case: pattern |a| <= 64.
+// The DP column for the pattern is encoded as vertical-delta bit vectors
+// Pv/Mv (+1/-1); each text character updates them in O(1) word ops.
+int MyersLevenshtein64(std::string_view a, std::string_view b) {
+  const size_t m = a.size();
+  uint64_t peq[256] = {0};
+  for (size_t i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(a[i])] |= uint64_t{1} << i;
+  }
+  const uint64_t last = uint64_t{1} << (m - 1);
+  uint64_t pv = ~uint64_t{0};
+  uint64_t mv = 0;
+  int score = static_cast<int>(m);
+  for (const char c : b) {
+    const uint64_t eq = peq[static_cast<unsigned char>(c)];
+    const uint64_t xv = eq | mv;
+    const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    uint64_t ph = mv | ~(xh | pv);
+    uint64_t mh = pv & xh;
+    if (ph & last) ++score;
+    else if (mh & last) --score;
+    ph = (ph << 1) | 1;
+    mh = mh << 1;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+  }
+  return score;
+}
+
+// Blocked variant for patterns longer than 64 bytes (Myers 1999 / Hyyrö
+// 2003): the pattern is split into 64-bit blocks and the horizontal
+// deltas carry between blocks; the score is tracked at the pattern's
+// last row, bit (m-1) % 64 of the top block.
+int MyersLevenshteinBlocked(std::string_view a, std::string_view b) {
+  const size_t m = a.size();
+  const size_t words = (m + 63) / 64;
+  std::vector<uint64_t> peq(256 * words, 0);
+  for (size_t i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(a[i]) * words + i / 64] |=
+        uint64_t{1} << (i % 64);
+  }
+  std::vector<uint64_t> pv(words, ~uint64_t{0});
+  std::vector<uint64_t> mv(words, 0);
+  const uint64_t top_bit = uint64_t{1} << ((m - 1) % 64);
+  int score = static_cast<int>(m);
+  for (const char c : b) {
+    const uint64_t* eq_row = &peq[static_cast<unsigned char>(c) * words];
+    uint64_t ph_in = 1;
+    uint64_t mh_in = 0;
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t eq = eq_row[w];
+      const uint64_t pv_w = pv[w];
+      const uint64_t mv_w = mv[w];
+      const uint64_t xv = eq | mv_w;
+      eq |= mh_in;  // incoming -1 horizontal delta extends the match chain
+      const uint64_t xh = (((eq & pv_w) + pv_w) ^ pv_w) | eq;
+      uint64_t ph = mv_w | ~(xh | pv_w);
+      uint64_t mh = pv_w & xh;
+      if (w + 1 == words) {
+        if (ph & top_bit) ++score;
+        else if (mh & top_bit) --score;
+      }
+      const uint64_t ph_out = ph >> 63;
+      const uint64_t mh_out = mh >> 63;
+      ph = (ph << 1) | ph_in;
+      mh = (mh << 1) | mh_in;
+      pv[w] = mh | ~(xv | ph);
+      mv[w] = ph & xv;
+      ph_in = ph_out;
+      mh_in = mh_out;
+    }
+  }
+  return score;
+}
+
+}  // namespace
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return static_cast<int>(b.size());
+  if (a.size() <= 64) return MyersLevenshtein64(a, b);
+  return MyersLevenshteinBlocked(a, b);
 }
 
 double LevenshteinSimilarity(std::string_view a, std::string_view b) {
@@ -136,7 +226,12 @@ double NeedlemanWunsch(std::string_view a, std::string_view b) {
       row[j] = std::max({diag, up, left});
     }
   }
-  return static_cast<double>(row[m]) / static_cast<double>(std::max(n, m));
+  // Raw score normalized by max(n, m) lands in [-1, 1]; rescale into [0, 1]
+  // so the feature range matches every other string kernel (identical -> 1,
+  // empty-vs-nonempty and all-mismatch -> 0).
+  const double normalized =
+      static_cast<double>(row[m]) / static_cast<double>(std::max(n, m));
+  return (normalized + 1.0) / 2.0;
 }
 
 double SmithWaterman(std::string_view a, std::string_view b) {
@@ -214,6 +309,61 @@ double OverlapCoefficient(const std::vector<std::string>& a,
   if (sa == 0 && sb == 0) return 1.0;
   if (sa == 0 || sb == 0) return 0.0;
   size_t inter = SetIntersectionSize(a, b);
+  return static_cast<double>(inter) / std::min(sa, sb);
+}
+
+size_t SortedIdIntersectionSize(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i < a.size() && j < b.size()) {
+    const uint32_t x = a[i];
+    const uint32_t y = b[j];
+    count += (x == y);
+    i += (x <= y);
+    j += (y <= x);
+  }
+  return count;
+}
+
+double JaccardSimilarityIds(const std::vector<uint32_t>& a,
+                            const std::vector<uint32_t>& b) {
+  const size_t sa = a.size();
+  const size_t sb = b.size();
+  if (sa == 0 && sb == 0) return 1.0;
+  const size_t inter = SortedIdIntersectionSize(a, b);
+  const size_t uni = sa + sb - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+}
+
+double CosineSimilarityIds(const std::vector<uint32_t>& a,
+                           const std::vector<uint32_t>& b) {
+  const size_t sa = a.size();
+  const size_t sb = b.size();
+  if (sa == 0 && sb == 0) return 1.0;
+  if (sa == 0 || sb == 0) return 0.0;
+  const size_t inter = SortedIdIntersectionSize(a, b);
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(sa) * static_cast<double>(sb));
+}
+
+double DiceSimilarityIds(const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b) {
+  const size_t sa = a.size();
+  const size_t sb = b.size();
+  if (sa == 0 && sb == 0) return 1.0;
+  const size_t inter = SortedIdIntersectionSize(a, b);
+  return 2.0 * inter / static_cast<double>(sa + sb);
+}
+
+double OverlapCoefficientIds(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b) {
+  const size_t sa = a.size();
+  const size_t sb = b.size();
+  if (sa == 0 && sb == 0) return 1.0;
+  if (sa == 0 || sb == 0) return 0.0;
+  const size_t inter = SortedIdIntersectionSize(a, b);
   return static_cast<double>(inter) / std::min(sa, sb);
 }
 

@@ -1,6 +1,7 @@
 #ifndef AUTOEM_TEXT_SIMILARITY_H_
 #define AUTOEM_TEXT_SIMILARITY_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -11,9 +12,19 @@ namespace autoem {
 // (Table I / Table II of the paper). Sequence measures follow the
 // py_stringmatching definitions Magellan uses; token measures operate on
 // token *sets*.
+//
+// Two implementations exist for every kernel with a fast path: the
+// production kernel below and a scalar reference under `reference::`.
+// The references are kept forever as the correctness oracle — the
+// differential property tests (tests/kernel_property_test.cc) assert exact
+// agreement on random and hostile inputs, which is what licenses every
+// future rewrite of the fast path.
 
 /// Levenshtein (edit) distance: minimum number of single-character
-/// insertions, deletions, and substitutions.
+/// insertions, deletions, and substitutions. Myers' bit-parallel algorithm:
+/// one 64-bit word when the shorter string fits in 64 bytes, the blocked
+/// multi-word variant above that. Integer-exact, so results are bit-identical
+/// to `reference::LevenshteinDistance`.
 int LevenshteinDistance(std::string_view a, std::string_view b);
 
 /// Normalized Levenshtein similarity: 1 - dist / max(|a|, |b|); 1.0 for two
@@ -29,8 +40,12 @@ double JaroWinklerSimilarity(std::string_view a, std::string_view b);
 /// 1.0 iff the strings are identical, else 0.0.
 double ExactMatch(std::string_view a, std::string_view b);
 
-/// Needleman-Wunsch global alignment score (match +1, mismatch -1, gap -1)
-/// normalized by max(|a|, |b|) so values land in [-1, 1].
+/// Needleman-Wunsch global alignment score (match +1, mismatch -1, gap -1),
+/// normalized by max(|a|, |b|) and affinely rescaled from the raw [-1, 1]
+/// band into [0, 1] like every other string kernel: identical strings score
+/// 1.0, empty-vs-nonempty and all-mismatch score 0.0, and two empty strings
+/// score 1.0. Keeping the feature bounded stops alignment scores from
+/// leaking an unbounded negative range into the imputer/scaler.
 double NeedlemanWunsch(std::string_view a, std::string_view b);
 
 /// Smith-Waterman local alignment score (match +1, mismatch -1, gap -1)
@@ -59,11 +74,44 @@ double DiceSimilarity(const std::vector<std::string>& a,
 double OverlapCoefficient(const std::vector<std::string>& a,
                           const std::vector<std::string>& b);
 
+// ---- token-ID set measures --------------------------------------------------
+//
+// Fast variants of the four set measures over interned token IDs. Inputs
+// must be sorted and duplicate-free (TableTokenCache produces exactly that,
+// via a TokenInterner shared across both tables so equal tokens get equal
+// IDs). Each is a single linear merge — no hashing, no per-call allocation —
+// and computes the same integer |A|, |B|, |A ∩ B| as the string overloads,
+// so the resulting doubles are bit-identical.
+
+/// |A ∩ B| for sorted duplicate-free ID vectors.
+size_t SortedIdIntersectionSize(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b);
+
+double JaccardSimilarityIds(const std::vector<uint32_t>& a,
+                            const std::vector<uint32_t>& b);
+double CosineSimilarityIds(const std::vector<uint32_t>& a,
+                           const std::vector<uint32_t>& b);
+double DiceSimilarityIds(const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b);
+double OverlapCoefficientIds(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b);
+
 // ---- numeric measures -------------------------------------------------------
 
 /// Absolute norm similarity for numbers: 1 - |a-b| / max(|a|, |b|), clamped
 /// to [0, 1]; 1.0 when both are zero.
 double AbsoluteNorm(double a, double b);
+
+// ---- scalar reference kernels ----------------------------------------------
+//
+// Retained forever as the correctness oracle for the fast kernels above.
+// Never optimized, never deleted; see DESIGN.md §13.
+namespace reference {
+
+/// Textbook one-row dynamic program. Oracle for the bit-parallel kernel.
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+}  // namespace reference
 
 }  // namespace autoem
 

@@ -93,6 +93,22 @@ double SimFunction::ApplyTokens(const std::vector<std::string>& a_tokens,
   }
 }
 
+double SimFunction::ApplyTokenIds(const std::vector<uint32_t>& a_ids,
+                                  const std::vector<uint32_t>& b_ids) const {
+  switch (measure) {
+    case Measure::kOverlapCoefficient:
+      return OverlapCoefficientIds(a_ids, b_ids);
+    case Measure::kDice:
+      return DiceSimilarityIds(a_ids, b_ids);
+    case Measure::kCosine:
+      return CosineSimilarityIds(a_ids, b_ids);
+    case Measure::kJaccard:
+      return JaccardSimilarityIds(a_ids, b_ids);
+    default:
+      return std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
 double SimFunction::Apply(std::string_view a, std::string_view b) const {
   switch (measure) {
     case Measure::kLevenshteinDistance:

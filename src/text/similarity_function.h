@@ -1,6 +1,7 @@
 #ifndef AUTOEM_TEXT_SIMILARITY_FUNCTION_H_
 #define AUTOEM_TEXT_SIMILARITY_FUNCTION_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -50,6 +51,14 @@ struct SimFunction {
   /// Precondition: IsTokenMeasure().
   double ApplyTokens(const std::vector<std::string>& a_tokens,
                      const std::vector<std::string>& b_tokens) const;
+
+  /// Token-set measures on interned sorted-unique token IDs (the
+  /// TableTokenCache fast path): a single linear merge per pair, bit-identical
+  /// to ApplyTokens on the string tokens the IDs were interned from as long
+  /// as both sides used the same TokenInterner. Precondition:
+  /// IsTokenMeasure().
+  double ApplyTokenIds(const std::vector<uint32_t>& a_ids,
+                       const std::vector<uint32_t>& b_ids) const;
 };
 
 /// Short display name of a measure, e.g. "Jaccard Similarity".

@@ -104,6 +104,11 @@ Status TfIdfModel::LoadState(io::Reader* r) {
   uint64_t vocab;
   // Each entry is at least a string length prefix plus the df (16 bytes).
   AUTOEM_RETURN_IF_ERROR(r->Len(&vocab, 16));
+  // A fitted model with zero documents cannot have produced any IDF, and
+  // Fit() below would fabricate one from the max(n, 1) fallback.
+  if (was_fitted && docs == 0) {
+    return Status::InvalidArgument("tfidf: fitted with zero documents");
+  }
   document_frequency_.clear();
   document_frequency_.reserve(static_cast<size_t>(vocab));
   std::string token;
@@ -111,7 +116,20 @@ Status TfIdfModel::LoadState(io::Reader* r) {
     AUTOEM_RETURN_IF_ERROR(r->Str(&token));
     uint64_t df;
     AUTOEM_RETURN_IF_ERROR(r->U64(&df));
-    document_frequency_[token] = static_cast<size_t>(df);
+    // Document frequencies are counts of documents containing the token:
+    // at least one (a df-0 token was never observed and cannot be in the
+    // vocabulary) and at most the corpus size. Out-of-band values would
+    // silently skew every IDF weight computed from this state.
+    if (df == 0) {
+      return Status::InvalidArgument("tfidf: zero document frequency");
+    }
+    if (df > docs) {
+      return Status::InvalidArgument(
+          "tfidf: document frequency exceeds corpus size");
+    }
+    if (!document_frequency_.emplace(token, static_cast<size_t>(df)).second) {
+      return Status::InvalidArgument("tfidf: duplicate vocabulary token");
+    }
   }
   idf_.clear();
   oov_idf_ = 1.0;

@@ -1,5 +1,7 @@
 #include "text/tokenizer.h"
 
+#include <cctype>
+
 #include "common/string_util.h"
 
 namespace autoem {
@@ -22,6 +24,38 @@ std::vector<std::string> QGramTokenize(std::string_view s, size_t q) {
     grams.push_back(padded.substr(i, q));
   }
   return grams;
+}
+
+const std::vector<std::string_view>& QGramTokenizeInto(std::string_view s,
+                                                       size_t q,
+                                                       QGramScratch* scratch) {
+  scratch->grams.clear();
+  if (s.empty() || q == 0) return scratch->grams;
+  std::string& padded = scratch->padded;
+  padded.clear();
+  padded.reserve(s.size() + 2 * (q - 1));
+  padded.append(q - 1, '#');
+  padded.append(s);
+  padded.append(q - 1, '#');
+  if (padded.size() < q) return scratch->grams;
+  scratch->grams.reserve(padded.size() - q + 1);
+  const std::string_view pv(padded);
+  for (size_t i = 0; i + q <= pv.size(); ++i) {
+    scratch->grams.push_back(pv.substr(i, q));
+  }
+  return scratch->grams;
+}
+
+void WhitespaceTokenizeInto(std::string_view s,
+                            std::vector<std::string_view>* out) {
+  out->clear();
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    const size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out->push_back(s.substr(start, i - start));
+  }
 }
 
 std::vector<std::string> Tokenize(TokenizerKind kind, std::string_view s) {

@@ -27,6 +27,34 @@ std::vector<std::string> QGramTokenize(std::string_view s, size_t q = 3);
 /// string as a single token (useful for uniform treatment in tests).
 std::vector<std::string> Tokenize(TokenizerKind kind, std::string_view s);
 
+// ---- zero-copy variants -----------------------------------------------------
+//
+// Arena-style tokenizers for the record-at-a-time cache build: instead of
+// materializing one std::string per token, they emit string_views into a
+// caller-owned scratch buffer that is reused across calls. The views are
+// valid until the next call that passes the same scratch (or until the
+// scratch is destroyed) — consume them immediately (the TokenInterner does).
+
+/// Reusable scratch for QGramTokenizeInto. One per worker thread; the
+/// padded buffer and the view vector keep their capacity across calls, so
+/// steady-state tokenization performs zero heap allocations.
+struct QGramScratch {
+  std::string padded;
+  std::vector<std::string_view> grams;
+};
+
+/// Q-gram tokenization into `scratch`: same grams as QGramTokenize (q-1 '#'
+/// padding on both ends, empty input -> empty set) but the returned views
+/// alias scratch->padded. Valid until the next call with this scratch.
+const std::vector<std::string_view>& QGramTokenizeInto(std::string_view s,
+                                                       size_t q,
+                                                       QGramScratch* scratch);
+
+/// Whitespace tokenization emitting views into `s` itself (no copies).
+/// `out` is cleared first; views stay valid as long as `s`'s storage does.
+void WhitespaceTokenizeInto(std::string_view s,
+                            std::vector<std::string_view>* out);
+
 /// Human-readable tokenizer name matching the paper's tables.
 const char* TokenizerName(TokenizerKind kind);
 

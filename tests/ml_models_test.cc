@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/rng.h"
+#include "fault/failpoint.h"
 #include "ml/metrics.h"
 #include "ml/models/adaboost.h"
 #include "ml/models/decision_tree.h"
@@ -15,6 +16,7 @@
 #include "ml/models/model_registry.h"
 #include "ml/models/naive_bayes.h"
 #include "ml/models/random_forest.h"
+#include "obs/metrics.h"
 
 namespace autoem {
 namespace {
@@ -297,6 +299,71 @@ TEST(RandomForestTest, SingleClassTrainingIsHandled) {
   RandomForestClassifier rf(opt);
   ASSERT_TRUE(rf.Fit(X, y).ok());
   for (double p : rf.PredictProba(X)) EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+TEST(RandomForestTest, DegenerateBootstrapRetriesOnUnresampledWeights) {
+  // Two rows, one of them with caller weight zero: any bootstrap draw that
+  // lands only on the zero-weight row leaves no surviving weight, which the
+  // tree rejects with InvalidArgument. Fit must absorb exactly those by
+  // retrying on the unresampled weights — and count them — rather than
+  // failing the whole forest.
+  auto* retries = obs::MetricsRegistry::Global().GetCounter(
+      "ml.rf_degenerate_bootstrap_retries");
+  uint64_t before = retries->Total();
+  Matrix X(2, 2);
+  X.At(0, 0) = 0.0;
+  X.At(1, 0) = 1.0;
+  std::vector<int> y = {1, 0};
+  std::vector<double> weights = {1.0, 0.0};
+  RandomForestOptions opt;
+  opt.n_estimators = 40;
+  opt.seed = 5;
+  RandomForestClassifier rf(opt);
+  ASSERT_TRUE(rf.Fit(X, y, &weights).ok());
+  EXPECT_EQ(rf.NumTrees(), 40u);
+  // With 40 two-row bootstraps, draws hitting only the zero-weight row
+  // occur many times (deterministically, for the fixed seed).
+  EXPECT_GT(retries->Total(), before);
+}
+
+TEST(RandomForestTest, InjectedTreeErrorPropagatesInsteadOfRetrying) {
+  // Regression test for the retry bug: Fit used to re-run *any* failed tree
+  // on the unresampled weights, which silently swallowed injected faults
+  // (and real errors) by training on different data. Only the degenerate
+  // bootstrap case may retry; an injected Internal error must surface.
+  fault::FailpointRegistry::Global().Arm(
+      "tree.fit", fault::FailpointSpec::Error(StatusCode::kInternal,
+                                              "injected tree fault"));
+  Dataset d = MakeBlobs(20, 19);
+  RandomForestOptions opt;
+  opt.n_estimators = 4;
+  RandomForestClassifier rf(opt);
+  Status st = rf.Fit(d.X, d.y);
+  fault::FailpointRegistry::Global().DisarmAll();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+TEST(RandomForestTest, InjectedInvalidArgumentOnHealthyBootstrapPropagates) {
+  // Even an InvalidArgument must propagate when the bootstrap itself is
+  // healthy (both classes survive): the retry is gated on the *data* being
+  // degenerate, not on the status code alone. 40 balanced rows make a
+  // single-class bootstrap draw effectively impossible (and the draw is
+  // deterministic for a fixed seed).
+  fault::FailpointRegistry::Global().Arm(
+      "tree.fit",
+      fault::FailpointSpec::Error(StatusCode::kInvalidArgument,
+                                  "injected invalid-argument"));
+  Dataset d = MakeBlobs(20, 21);
+  RandomForestOptions opt;
+  opt.n_estimators = 3;
+  opt.seed = 11;
+  RandomForestClassifier rf(opt);
+  Status st = rf.Fit(d.X, d.y);
+  fault::FailpointRegistry::Global().DisarmAll();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("injected"), std::string::npos);
 }
 
 // ---- boosting ------------------------------------------------------------------------

@@ -201,6 +201,17 @@ TEST(ParallelDeterminismTest, ProfilingChangesNoOutputBits) {
   options.hz = 997.0;
   ASSERT_TRUE(obs::StartProfiling(options));
   auto [profiled_train, profiled_proba] = run_once();
+  // The vectorized kernels can finish one run in less CPU time than a
+  // single 997 Hz sampling interval; repeat identical work until at least
+  // one SIGPROF lands so the non-vacuousness check below stays meaningful.
+  // Every repeat must still reproduce the same bits.
+  for (int i = 0; i < 200 && obs::ProfileSampleCount() == 0; ++i) {
+    auto [extra_train, extra_proba] = run_once();
+    ExpectBitIdentical(profiled_train.X, extra_train.X,
+                       "feature matrix repeat under profiler");
+    ExpectBitIdentical(profiled_proba, extra_proba,
+                       "proba repeat under profiler");
+  }
   obs::StopProfiling();
 
   ExpectBitIdentical(clean_train.X, profiled_train.X,

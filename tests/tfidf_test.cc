@@ -7,6 +7,7 @@
 #include "datagen/benchmark_gen.h"
 #include "em/blocking.h"
 #include "features/feature_gen.h"
+#include "io/serialize.h"
 #include "text/tfidf.h"
 
 namespace autoem {
@@ -79,6 +80,87 @@ TEST(TfIdfTest, RefitAfterMoreDocuments) {
   EXPECT_FALSE(model.fitted());  // stale until re-Fit
   model.Fit();
   EXPECT_LT(model.Idf("alpha"), model.Idf("beta"));
+}
+
+// ---- LoadState consistency checks -------------------------------------------------
+
+// Hand-builds a serialized TF-IDF state. SaveState can only ever emit
+// consistent states, so the malformed ones are assembled from raw writer
+// calls — the same bytes a corrupted or adversarial model file would carry.
+std::string EncodeTfIdfState(
+    uint64_t num_documents, bool fitted,
+    const std::vector<std::pair<std::string, uint64_t>>& vocab) {
+  io::Writer w;
+  w.U32(0);  // whitespace tokenizer
+  w.U64(num_documents);
+  w.U8(fitted ? 1 : 0);
+  w.U64(vocab.size());
+  for (const auto& [token, df] : vocab) {
+    w.Str(token);
+    w.U64(df);
+  }
+  return w.data();
+}
+
+Status LoadTfIdfState(const std::string& bytes, TfIdfModel* model) {
+  io::Reader r(bytes);
+  return model->LoadState(&r);
+}
+
+TEST(TfIdfStateTest, RoundTripPreservesScores) {
+  TfIdfModel model = MakeRestaurantCorpus();
+  io::Writer w;
+  ASSERT_TRUE(model.SaveState(&w).ok());
+  TfIdfModel loaded;
+  std::string bytes = w.data();
+  ASSERT_TRUE(LoadTfIdfState(bytes, &loaded).ok());
+  EXPECT_EQ(loaded.num_documents(), model.num_documents());
+  EXPECT_EQ(loaded.fitted(), model.fitted());
+  EXPECT_DOUBLE_EQ(loaded.Similarity("arnie mortons", "mortons grill"),
+                   model.Similarity("arnie mortons", "mortons grill"));
+}
+
+TEST(TfIdfStateTest, RejectsZeroDocumentFrequency) {
+  TfIdfModel model;
+  Status st = LoadTfIdfState(EncodeTfIdfState(3, true, {{"alpha", 0}}),
+                             &model);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TfIdfStateTest, RejectsDfAboveCorpusSize) {
+  TfIdfModel model;
+  Status st = LoadTfIdfState(EncodeTfIdfState(2, true, {{"alpha", 5}}),
+                             &model);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TfIdfStateTest, RejectsDuplicateVocabularyToken) {
+  TfIdfModel model;
+  Status st = LoadTfIdfState(
+      EncodeTfIdfState(3, true, {{"alpha", 1}, {"alpha", 2}}), &model);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("duplicate"), std::string::npos);
+}
+
+TEST(TfIdfStateTest, RejectsFittedWithZeroDocuments) {
+  TfIdfModel model;
+  Status st = LoadTfIdfState(EncodeTfIdfState(0, true, {}), &model);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TfIdfStateTest, AcceptsUnfittedEmptyState) {
+  TfIdfModel model;
+  EXPECT_TRUE(LoadTfIdfState(EncodeTfIdfState(0, false, {}), &model).ok());
+  EXPECT_FALSE(model.fitted());
+  // df == num_documents is the boundary and stays legal.
+  TfIdfModel full;
+  EXPECT_TRUE(
+      LoadTfIdfState(EncodeTfIdfState(2, true, {{"alpha", 2}}), &full).ok());
+  EXPECT_TRUE(full.fitted());
 }
 
 // ---- generator integration -------------------------------------------------------
