@@ -108,6 +108,25 @@ void BM_SpanProfilerDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_SpanProfilerDisabled);
 
+void BM_FlowStartDisabled(benchmark::State& state) {
+  // ThreadPool::Submit calls EmitFlowStart on every task; with tracing off it
+  // must return 0 after a single relaxed atomic load — the same
+  // single-nanosecond bar as the disabled span guard, because every pool
+  // submission in the program pays this cost unconditionally.
+  if (obs::TracingEnabled()) {
+    state.SkipWithError("tracing unexpectedly enabled");
+    return;
+  }
+  for (auto _ : state) {
+    uint64_t id = obs::EmitFlowStart("bench.flow_disabled");
+    benchmark::DoNotOptimize(id);
+    // EmitFlowFinish with id 0 is the disabled/unlinked no-op path RunTask
+    // takes for every untraced task.
+    obs::EmitFlowFinish("bench.flow_disabled", id);
+  }
+}
+BENCHMARK(BM_FlowStartDisabled);
+
 void BM_ResourceProbeDisabled(benchmark::State& state) {
   // Without --resources every probe placed on a trial/fold/iteration must
   // collapse to one relaxed atomic load plus a branch (same bar as the

@@ -30,7 +30,16 @@
 //       Joins a profiled run's artifacts (train-eval --save-trajectory,
 //       --metrics-out, --trace-out, --profile-out) into one self-contained
 //       HTML report: tuning curve, per-trial resource table, failure
-//       summary, thread-pool timeline, cache stats, CPU flamegraph.
+//       summary, thread-pool timeline, cache stats, CPU flamegraph, and —
+//       when a trace is given — the "where the time went" critical-path
+//       section. Works with any subset: a trace alone still renders the
+//       timeline/critical-path sections ("not recorded" elsewhere).
+//
+//   autoem_cli trace-analyze --trace trace.json [--json-out analysis.json]
+//       Post-processes a --trace-out file (spans + thread-pool flow events)
+//       into the run's critical path, a per-span self/wait/child blame
+//       table, and the queue-delay distribution. Text to stdout; --json-out
+//       writes the same analysis machine-readably for CI assertions.
 //
 // Pairs CSVs use the export_datasets layout: ltable_id,rtable_id,label.
 #include <cstdio>
@@ -47,6 +56,7 @@
 #include "em/pairs_io.h"
 #include "io/atomic_file.h"
 #include "io/model_io.h"
+#include "obs/critical_path.h"
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "table/csv.h"
@@ -356,13 +366,19 @@ int RunMatch(const Flags& flags) {
 }
 
 int RunReport(const Flags& flags) {
-  if (!flags.Has("trajectory")) Fail("report requires --trajectory");
+  // A trace alone is enough for the timeline / critical-path sections; the
+  // trial sections then render "not recorded" instead of erroring.
+  if (!flags.Has("trajectory") && !flags.Has("trace")) {
+    Fail("report requires --trajectory and/or --trace");
+  }
 
   obs::ReportInputs inputs;
   inputs.title = flags.Get("title");
-  Status st = io::ReadFileToString(flags.Get("trajectory"),
-                                   &inputs.trajectory_csv);
-  if (!st.ok()) Fail(st.ToString());
+  Status st;
+  if (flags.Has("trajectory")) {
+    st = io::ReadFileToString(flags.Get("trajectory"), &inputs.trajectory_csv);
+    if (!st.ok()) Fail(st.ToString());
+  }
   if (flags.Has("metrics")) {
     st = io::ReadFileToString(flags.Get("metrics"), &inputs.metrics_text);
     if (!st.ok()) Fail(st.ToString());
@@ -388,6 +404,27 @@ int RunReport(const Flags& flags) {
   return 0;
 }
 
+int RunTraceAnalyze(const Flags& flags) {
+  if (!flags.Has("trace")) Fail("trace-analyze requires --trace");
+  std::string trace_json;
+  Status st = io::ReadFileToString(flags.Get("trace"), &trace_json);
+  if (!st.ok()) Fail(st.ToString());
+  auto analysis = obs::AnalyzeTraceJson(trace_json);
+  if (!analysis.ok()) {
+    Fail(flags.Get("trace") + ": " + analysis.status().ToString());
+  }
+  std::string text = obs::FormatAnalysisText(*analysis);
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  if (flags.Has("json-out")) {
+    std::string json = obs::AnalysisJson(*analysis) + "\n";
+    st = io::AtomicWriteFile(flags.Get("json-out"), json);
+    if (!st.ok()) Fail(st.ToString());
+    std::printf("\nwrote analysis JSON (%zu bytes) to %s\n", json.size(),
+                flags.Get("json-out").c_str());
+  }
+  return 0;
+}
+
 void PrintUsage() {
   std::printf(
       "usage:\n"
@@ -410,9 +447,14 @@ void PrintUsage() {
       "             [--pairs P.csv | --block-on attr] [--out "
       "predictions.csv]\n"
       "             [--chunk-size N] [--threshold T] [--threads N]\n"
-      "  autoem_cli report --trajectory curve.csv [--metrics metrics.json]\n"
+      "  autoem_cli report [--trajectory curve.csv] [--metrics metrics.json]\n"
       "             [--trace trace.json] [--profile p.folded]\n"
       "             [--out report.html] [--title T]\n"
+      "             (needs --trajectory and/or --trace; sections without\n"
+      "             their artifact render \"not recorded\")\n"
+      "  autoem_cli trace-analyze --trace trace.json [--json-out a.json]\n"
+      "             critical path + per-span self/wait/child blame table\n"
+      "             (\"where the time went\") from a --trace-out file\n"
       "\n"
       "  predict loads a model saved by train-eval --save-model and scores\n"
       "  pairs without any training data; given --pairs it scores exactly\n"
@@ -478,6 +520,9 @@ int main(int argc, char** argv) {
     if (!st.ok()) Fail("AUTOEM_FAILPOINTS: " + st.ToString());
   }
   Flags flags = Flags::Parse(argc, argv, 2);
+  // Name the main thread before the session starts tracing so the trace's
+  // thread_name metadata covers it alongside worker-N / flusher.
+  obs::SetCurrentThreadName("main");
   // Top-level session: owns the trace for the whole invocation (the nested
   // sessions inside the library piggyback on it) and writes trace/metrics
   // when main returns.
@@ -489,6 +534,9 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "match") == 0) return RunMatch(flags);
   if (std::strcmp(argv[1], "predict") == 0) return RunPredict(flags);
   if (std::strcmp(argv[1], "report") == 0) return RunReport(flags);
+  if (std::strcmp(argv[1], "trace-analyze") == 0) {
+    return RunTraceAnalyze(flags);
+  }
   PrintUsage();
   return 1;
 }

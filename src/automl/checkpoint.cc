@@ -100,6 +100,9 @@ void WriteEvalRecord(io::Writer* w, const EvalRecord& record) {
   w->U64(record.resources.allocs);
   // v3 profile attribution (0 when no profile was running).
   w->U64(record.profile_samples);
+  // v4 pool wait/run split (0 when resource probes were off).
+  w->U64(record.pool_wait_micros);
+  w->U64(record.pool_busy_micros);
 }
 
 Status ReadEvalRecord(io::Reader* r, uint32_t version, EvalRecord* record) {
@@ -130,6 +133,12 @@ Status ReadEvalRecord(io::Reader* r, uint32_t version, EvalRecord* record) {
   record->profile_samples = 0;
   if (version >= 3) {
     AUTOEM_RETURN_IF_ERROR(r->U64(&record->profile_samples));
+  }
+  record->pool_wait_micros = 0;
+  record->pool_busy_micros = 0;
+  if (version >= 4) {
+    AUTOEM_RETURN_IF_ERROR(r->U64(&record->pool_wait_micros));
+    AUTOEM_RETURN_IF_ERROR(r->U64(&record->pool_busy_micros));
   }
   return Status::OK();
 }

@@ -27,10 +27,12 @@ class Reader;
 inline constexpr char kCheckpointMagic[4] = {'A', 'E', 'M', 'K'};
 /// v1: original container. v2: EvalRecord carries TrialResources (per-trial
 /// CPU/wall/RSS/alloc attribution). v3: EvalRecord carries profile_samples
-/// (per-trial CPU-profile sample count). Writers emit the current version;
-/// readers accept [kCheckpointMinReadVersion, kCheckpointFormatVersion] so
-/// a v3 build resumes a v1/v2 run (missing fields read as zero).
-inline constexpr uint32_t kCheckpointFormatVersion = 3;
+/// (per-trial CPU-profile sample count). v4: EvalRecord carries the
+/// thread-pool wait/run split (pool_wait_micros, pool_busy_micros).
+/// Writers emit the current version; readers accept
+/// [kCheckpointMinReadVersion, kCheckpointFormatVersion] so a v4 build
+/// resumes a v1..v3 run (missing fields read as zero).
+inline constexpr uint32_t kCheckpointFormatVersion = 4;
 inline constexpr uint32_t kCheckpointMinReadVersion = 1;
 
 /// Payload discriminator inside the container, so a search never resumes

@@ -99,6 +99,16 @@ EvalRecord HoldoutEvaluator::Evaluate(const Configuration& config) {
   obs::ResourceProbe probe;
   uint64_t profile_samples_before =
       obs::ProfilingEnabled() ? obs::ProfileSampleCount() : 0;
+  // Pool wait/run attribution (obs v4): trials run serially, so deltas of
+  // the process-wide pool counters belong to this trial, same as the
+  // profile-sample delta below.
+  static obs::Counter* pool_wait =
+      obs::MetricsRegistry::Global().GetCounter("threadpool.wait_micros");
+  static obs::Counter* pool_busy =
+      obs::MetricsRegistry::Global().GetCounter("threadpool.busy_micros");
+  const bool pool_split_sampled = obs::ResourceProbesEnabled();
+  uint64_t pool_wait_before = pool_split_sampled ? pool_wait->Total() : 0;
+  uint64_t pool_busy_before = pool_split_sampled ? pool_busy->Total() : 0;
 
   EvalRecord record;
   record.config = config;
@@ -140,6 +150,14 @@ EvalRecord HoldoutEvaluator::Evaluate(const Configuration& config) {
     record.profile_samples =
         after > profile_samples_before ? after - profile_samples_before : 0;
   }
+  if (pool_split_sampled) {
+    uint64_t wait_after = pool_wait->Total();
+    uint64_t busy_after = pool_busy->Total();
+    record.pool_wait_micros =
+        wait_after > pool_wait_before ? wait_after - pool_wait_before : 0;
+    record.pool_busy_micros =
+        busy_after > pool_busy_before ? busy_after - pool_busy_before : 0;
+  }
 
   trials->Add();
   eval_ms->Observe(record.fit_seconds * 1000.0);
@@ -159,6 +177,10 @@ EvalRecord HoldoutEvaluator::Evaluate(const Configuration& config) {
     }
     if (record.profile_samples > 0) {
       span.Arg("profile_samples", record.profile_samples);
+    }
+    if (pool_split_sampled) {
+      span.Arg("pool_wait_us", record.pool_wait_micros);
+      span.Arg("pool_busy_us", record.pool_busy_micros);
     }
   }
   AUTOEM_LOG(DEBUG) << "trial " << record.trial << " valid_f1="

@@ -63,6 +63,16 @@ struct EvalRecord {
   /// trial's samples include the CPU its pool tasks burned. Joins the
   /// trajectory CSV (`profile_samples`) and v3 checkpoints.
   uint64_t profile_samples = 0;
+  /// Thread-pool wait/run split for this trial (obs v4): deltas of the
+  /// process-wide `threadpool.wait_micros` / `threadpool.busy_micros`
+  /// counters across the evaluation. Wait is summed enqueue→dequeue queue
+  /// delay of the trial's pool tasks; busy is their summed execution wall
+  /// time. Both zero when resource probes were off (trials run serially, so
+  /// the process-wide counters attribute cleanly, like profile_samples).
+  /// Joins the trajectory CSV (`pool_wait_micros`, `pool_busy_micros`) and
+  /// v4 checkpoints.
+  uint64_t pool_wait_micros = 0;
+  uint64_t pool_busy_micros = 0;
 };
 
 /// Per-trial resource limits applied by the evaluator.

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <string>
 
 #include "obs/profiler.h"
 #include "obs/resource.h"
@@ -16,11 +17,15 @@ ThreadPool::ThreadPool(size_t num_threads)
       tasks_executed_(obs::MetricsRegistry::Global().GetCounter(
           "threadpool.tasks_executed")),
       busy_micros_(obs::MetricsRegistry::Global().GetCounter(
-          "threadpool.busy_micros")) {
+          "threadpool.busy_micros")),
+      wait_micros_(obs::MetricsRegistry::Global().GetCounter(
+          "threadpool.wait_micros")),
+      queue_delay_ms_(obs::MetricsRegistry::Global().GetHistogram(
+          "threadpool.queue_delay_ms")) {
   if (num_threads <= 1) return;  // inline mode
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
   workers_gauge_->Set(static_cast<double>(threads_.size()));
 }
@@ -34,25 +39,68 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::RunTask(const std::function<void()>& task) {
-  if (obs::ResourceProbesEnabled()) {
-    uint64_t t0 = obs::internal::NowMicros();
-    task();
-    busy_micros_->Add(obs::internal::NowMicros() - t0);
+obs::TraceContext ThreadPool::MakeContext() {
+  obs::TraceContext ctx;
+  // The flow start lands inside whatever span is open on the submitting
+  // thread; the matching finish is emitted inside the worker's "pool.task"
+  // span, which is what chains submitter → queue wait → execution in the
+  // trace. The enqueue timestamp is also what the probe-side queue-delay
+  // metrics are computed from, so it is stamped when either consumer is on.
+  if (obs::TracingEnabled()) {
+    ctx.flow_id = obs::EmitFlowStart("pool.task");
+  }
+  if (ctx.flow_id != 0 || obs::ResourceProbesEnabled()) {
+    ctx.enqueue_us = obs::internal::NowMicros();
+  }
+  return ctx;
+}
+
+void ThreadPool::RunTask(const PendingTask& task) {
+  const bool probes = obs::ResourceProbesEnabled();
+  if (!probes && !task.ctx.linked()) {
+    task.fn();
+    return;
+  }
+  uint64_t start_us = obs::internal::NowMicros();
+  uint64_t queue_us =
+      task.ctx.enqueue_us != 0 && start_us > task.ctx.enqueue_us
+          ? start_us - task.ctx.enqueue_us
+          : 0;
+  {
+    // The span carries the queue delay as an arg and closes the flow opened
+    // at Submit(); "bp":"e" binding makes the Perfetto arrow land on it.
+    obs::Span span("pool.task");
+    if (span.active() && task.ctx.enqueue_us != 0) {
+      span.Arg("queue_us", queue_us);
+    }
+    obs::EmitFlowFinish("pool.task", task.ctx.flow_id);
+    task.fn();
+  }
+  if (probes) {
+    busy_micros_->Add(obs::internal::NowMicros() - start_us);
     tasks_executed_->Add(1);
-  } else {
-    task();
+    if (task.ctx.enqueue_us != 0) {
+      wait_micros_->Add(queue_us);
+      queue_delay_ms_->Observe(static_cast<double>(queue_us) / 1000.0);
+    }
   }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   if (threads_.empty()) {
-    RunTask(task);
+    // Inline mode: no queue, so no flow and zero queue delay — RunTask's
+    // fast path keeps the single-thread configuration unperturbed.
+    PendingTask pending;
+    pending.fn = std::move(task);
+    RunTask(pending);
     return;
   }
+  PendingTask pending;
+  pending.fn = std::move(task);
+  pending.ctx = MakeContext();
   {
     std::unique_lock<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
+    tasks_.push(std::move(pending));
     ++in_flight_;
     if (obs::ResourceProbesEnabled()) {
       queue_depth_gauge_->Set(static_cast<double>(tasks_.size()));
@@ -67,13 +115,15 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   // Workers join the profiler's thread registry for their lifetime, so
   // whenever a CPU profile is running their stacks (feature-gen chunks,
-  // tree fits) are sampled alongside the main thread's.
+  // tree fits) are sampled alongside the main thread's. They also register
+  // a stable name so traces render "worker-N" instead of a bare tid.
+  obs::SetCurrentThreadName("worker-" + std::to_string(worker_index));
   obs::ProfiledThreadScope profiled;
   for (;;) {
-    std::function<void()> task;
+    PendingTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_available_.wait(lock,

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace autoem {
 
@@ -41,14 +43,29 @@ class ThreadPool {
                    const char* trace_label = nullptr);
 
  private:
-  void WorkerLoop();
+  /// A queued closure plus the causal baggage it carries from submitter to
+  /// worker (obs v4): the trace flow id linking the submitting span to the
+  /// executing "pool.task" span, and the enqueue timestamp the queue-delay
+  /// attribution is computed from. Both stay 0 — and cost nothing past the
+  /// enabled checks — when tracing / resource probes are off.
+  struct PendingTask {
+    std::function<void()> fn;
+    obs::TraceContext ctx;
+  };
+
+  void WorkerLoop(size_t worker_index);
   /// Runs one task, maintaining the pool telemetry (tasks-executed counter,
-  /// busy-time accumulation). Timing is gated on ResourceProbesEnabled() so
-  /// the un-instrumented cost is one relaxed load and a branch.
-  void RunTask(const std::function<void()>& task);
+  /// busy/wait-time accumulation, queue-delay histogram) and — when tracing —
+  /// a "pool.task" span closing the flow opened at Submit(). Everything is
+  /// gated on TracingEnabled() / ResourceProbesEnabled() so the
+  /// un-instrumented cost is two relaxed loads and a branch.
+  void RunTask(const PendingTask& task);
+  /// Stamps the causal context onto a task about to be queued (flow start
+  /// when tracing, enqueue timestamp when anything will consume it).
+  static obs::TraceContext MakeContext();
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<PendingTask> tasks_;
   std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
@@ -62,10 +79,18 @@ class ThreadPool {
   //   threadpool.tasks_executed counter  tasks completed (incl. inline mode)
   //   threadpool.busy_micros    counter  summed task wall time on workers —
   //                                      utilization = rate / (workers * 1e6)
+  // Queue-delay attribution (obs v4):
+  //   threadpool.wait_micros    counter  summed enqueue→dequeue wait — the
+  //                                      per-trial wait/run split in
+  //                                      EvalRecord is a delta of this and
+  //                                      busy_micros
+  //   threadpool.queue_delay_ms histogram  per-task queue delay distribution
   obs::Gauge* workers_gauge_;
   obs::Gauge* queue_depth_gauge_;
   obs::Counter* tasks_executed_;
   obs::Counter* busy_micros_;
+  obs::Counter* wait_micros_;
+  obs::Histogram* queue_delay_ms_;
 };
 
 }  // namespace autoem

@@ -84,6 +84,7 @@ uint64_t MetricsFlusher::flush_count() const {
 }
 
 void MetricsFlusher::Loop() {
+  SetCurrentThreadName("flusher");
   std::chrono::duration<double> interval(options_.interval_seconds);
   std::unique_lock<std::mutex> lock(mu_);
   while (!shutdown_) {

@@ -10,6 +10,7 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 // Backend selection. The sampling machinery needs backtrace() (glibc /
 // macOS execinfo) plus POSIX signals; the per-thread CPU interval timers
@@ -276,6 +277,7 @@ void DisarmThreadTimer(RegisteredThread* entry) {
 // ---- watcher backend (portable fallback) -----------------------------------
 
 void WatcherLoop() {
+  SetCurrentThreadName("profiler-watcher");
   double period_s = g_hz > 0 ? 1.0 / g_hz : 1.0 / 97.0;
   auto period = std::chrono::duration<double>(period_s);
   while (!g_watcher_stop.load(std::memory_order_acquire)) {

@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/critical_path.h"
 #include "obs/json.h"
 
 namespace autoem {
@@ -263,7 +264,13 @@ tr.failed td { color: #a32020; background: #fdf3f3; }
 </header>
 <main>
   <section><h2>Summary</h2><div class="cards" id="summary"></div></section>
-  <section><h2>Tuning curve</h2><canvas id="tuning" height="260"></canvas></section>
+  <section><h2>Where the time went</h2><div id="critwrap">
+    <div class="empty" id="critstatus">critical path — hover a segment</div>
+    <canvas id="critlane" height="0"></canvas>
+    <div class="cards" id="critqueue" style="margin:10px 0"></div>
+    <div class="tablewrap" id="blame"></div>
+  </div></section>
+  <section><h2>Tuning curve</h2><div id="tuningwrap"><canvas id="tuning" height="260"></canvas></div></section>
   <section><h2>Per-trial resources</h2><div id="reswrap"><canvas id="resources" height="260"></canvas></div></section>
   <section><h2>Thread pool</h2><div id="poolwrap"><canvas id="pool" height="260"></canvas></div></section>
   <section><h2>Failures &amp; quarantine</h2><div id="failures"></div></section>
@@ -358,10 +365,87 @@ function axes(c, x0, x1, y0, y1, yfmt) {
   c.py = v => t + (h - t - b) * (1 - (v - y0) / ((y1 - y0) || 1));
 }
 
+// ---- where the time went (critical path + blame) ------------------------
+(function () {
+  const C = P.critical;
+  const wrap = document.getElementById("critwrap");
+  if (!C || !C.critical_path || !C.critical_path.length) {
+    wrap.innerHTML = '<div class="empty">No trace — rerun with --trace-out ' +
+      "to get critical-path and queue-delay attribution.</div>";
+    return;
+  }
+  const ms = us => fmt(us / 1000, 1);
+  // Critical-path lane: one strip spanning the run; each segment is the
+  // span (or queue wait, hatched gray) that determined the wall clock then.
+  const cv = document.getElementById("critlane");
+  const W = cv.clientWidth || 1000, H = 46, dpr = window.devicePixelRatio || 1;
+  cv.width = W * dpr; cv.height = H * dpr; cv.style.height = H + "px";
+  const g = cv.getContext("2d");
+  g.scale(dpr, dpr);
+  const segs = C.critical_path;
+  const t0 = segs[0].start_us, t1 = segs[segs.length - 1].end_us;
+  const px = v => (v - t0) / ((t1 - t0) || 1) * W;
+  const hue = s => {
+    let h = 0;
+    for (let i = 0; i < s.length; i++) h = (h * 31 + s.charCodeAt(i)) >>> 0;
+    return h % 360;
+  };
+  for (const s of segs) {
+    const x = px(s.start_us), w = Math.max(px(s.end_us) - x, 0.4);
+    g.fillStyle = s.kind === "queue" ? "#b9c0cc"
+                                     : `hsl(${hue(s.name)},55%,60%)`;
+    g.fillRect(x, 10, w, 26);
+    if (s.kind === "queue") {
+      g.fillStyle = "#8a93a0";
+      for (let hx = x + 2; hx < x + w - 1; hx += 5) g.fillRect(hx, 10, 1, 26);
+    }
+  }
+  const status = document.getElementById("critstatus");
+  const cover = C.wall_us ? (100 * C.critical_us / C.wall_us).toFixed(1) : "0";
+  const idle = "critical path: " + ms(C.critical_us) + " ms over " +
+    ms(C.wall_us) + " ms wall (" + cover + "%) — hover a segment";
+  status.textContent = idle;
+  cv.addEventListener("mousemove", ev => {
+    const box = cv.getBoundingClientRect();
+    const mu = (ev.clientX - box.left) / W * ((t1 - t0) || 1) + t0;
+    const s = segs.find(s => mu >= s.start_us && mu < s.end_us);
+    status.textContent = s
+      ? `${s.name}${s.kind === "queue" ? " [queue wait]" : ""} — ` +
+        `${ms(s.end_us - s.start_us)} ms on tid ${s.tid}`
+      : idle;
+  });
+  const q = C.queue_delay_us;
+  document.getElementById("critqueue").innerHTML = !q || !q.count ? "" :
+    card("queued tasks", q.count.toLocaleString()) +
+    card("queue delay total", ms(q.total) + " ms") +
+    card("p50", ms(q.p50) + " ms") +
+    card("p95", ms(q.p95) + " ms") +
+    card("max", ms(q.max) + " ms");
+  // Ranked blame table: self + wait + child == total for every row.
+  let html = '<table><tr><th class="l">span</th><th>count</th>' +
+    "<th>total ms</th><th>self ms</th><th>wait ms</th><th>child ms</th>" +
+    "<th>queue ms</th></tr>";
+  for (const r of C.blame.slice(0, 25)) html +=
+    `<tr><td class="l mono">${esc(r.name)}</td><td>${r.count}</td>` +
+    `<td>${ms(r.total_us)}</td><td>${ms(r.self_us)}</td>` +
+    `<td>${ms(r.wait_us)}</td><td>${ms(r.child_us)}</td>` +
+    `<td>${ms(r.queue_us)}</td></tr>`;
+  document.getElementById("blame").innerHTML = html + "</table>" +
+    `<p class="empty">wait = span-local time covered by its queued tasks; ` +
+    `queue = delay suffered by instances of the span itself. ` +
+    `${C.flow_count} flows` +
+    (C.flows_unmatched ? `, ${C.flows_unmatched} unmatched` : "") + ".</p>";
+})();
+
 // ---- tuning curve -------------------------------------------------------
 (function () {
+  if (!trials.length) {
+    document.getElementById("tuningwrap").innerHTML =
+      '<div class="empty">' + (P.has_trajectory ? "Empty trajectory."
+        : "Trajectory not recorded — pass --trajectory.") + "</div>";
+    return;
+  }
   const c = setup("tuning");
-  if (!trials.length) return;
   const xs = trials.map(t => +t.trial);
   axes(c, Math.min(...xs), Math.max(...xs), 0, 1, v => fmt(v, 2));
   c.g.fillStyle = "#7f9bd1";
@@ -387,7 +471,9 @@ function axes(c, x0, x1, y0, y1, yfmt) {
 (function () {
   if (!sampled.length) {
     document.getElementById("reswrap").innerHTML =
-      '<div class="empty">No resource samples — rerun with --resources.</div>';
+      '<div class="empty">' + (P.has_trajectory
+        ? "No resource samples — rerun with --resources."
+        : "Trial resources not recorded — pass --trajectory.") + "</div>";
     return;
   }
   const c = setup("resources");
@@ -454,7 +540,9 @@ function axes(c, x0, x1, y0, y1, yfmt) {
 (function () {
   const el = document.getElementById("failures");
   if (!failed.length) {
-    el.innerHTML = '<div class="empty">No failed trials.</div>';
+    el.innerHTML = '<div class="empty">' + (P.has_trajectory
+      ? "No failed trials."
+      : "Trial outcomes not recorded — pass --trajectory.") + "</div>";
     return;
   }
   const by = {};
@@ -606,7 +694,9 @@ function axes(c, x0, x1, y0, y1, yfmt) {
 (function () {
   const el = document.getElementById("trials");
   if (!trials.length) {
-    el.innerHTML = '<div class="empty">Empty trajectory.</div>';
+    el.innerHTML = '<div class="empty">' + (P.has_trajectory
+      ? "Empty trajectory."
+      : "Trials not recorded — pass --trajectory.") + "</div>";
     return;
   }
   let html = "<table><tr><th>trial</th><th>valid F1</th><th>test F1</th>" +
@@ -633,10 +723,21 @@ function axes(c, x0, x1, y0, y1, yfmt) {
 std::string BuildRunReportHtml(const ReportInputs& inputs) {
   std::string payload = "{\"trials\":";
   payload += TrajectoryToJson(inputs.trajectory_csv);
+  payload += ",\"has_trajectory\":";
+  payload += inputs.trajectory_csv.empty() ? "false" : "true";
   payload += ",";
   AppendMetricsJson(inputs.metrics_text, &payload);
   payload += ",\"trace\":";
   payload += TraceSummaryJson(inputs.trace_json);
+  // Critical-path / blame analysis (obs v4): computed from the same trace
+  // the timeline uses. null when there is no trace or it has no spans.
+  payload += ",\"critical\":";
+  if (inputs.trace_json.empty()) {
+    payload += "null";
+  } else {
+    auto analysis = AnalyzeTraceJson(inputs.trace_json);
+    payload += analysis.ok() ? AnalysisJson(*analysis) : "null";
+  }
   payload += ",\"profile\":";
   payload += inputs.profile_folded.empty() ? "null"
                                            : JsonQuote(inputs.profile_folded);

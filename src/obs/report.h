@@ -6,12 +6,12 @@
 namespace autoem {
 namespace obs {
 
-/// Inputs for the post-run report (`autoem_cli report`). Only the
-/// trajectory is required; metrics and trace enrich the report when the run
-/// was profiled with `--metrics-out=` / `--trace-out=`.
+/// Inputs for the post-run report (`autoem_cli report`). Every artifact is
+/// optional: sections whose input is missing render a "not recorded" note,
+/// so a trace alone still yields the timeline and critical-path sections.
 struct ReportInputs {
   std::string title;           // heading; defaults to "AutoEM run report"
-  std::string trajectory_csv;  // SerializeTrajectoryCsv output (required)
+  std::string trajectory_csv;  // SerializeTrajectoryCsv output
   std::string metrics_text;    // metrics file: json, jsonl, or openmetrics
   std::string trace_json;      // Chrome trace_event JSON (TraceJson output)
   std::string profile_folded;  // collapsed-stack CPU profile (WriteProfile)
@@ -20,9 +20,11 @@ struct ReportInputs {
 /// Joins trajectory + metrics time series + trace + CPU profile into one
 /// self-contained HTML file: tuning curve, per-trial table (score, config
 /// hash, CPU / wall / RSS, failure reason), failure summary, thread-pool
-/// utilization timeline, cache hit-rate stats, and — when a collapsed-stack
-/// profile is supplied — an interactive canvas flamegraph with a
-/// top-functions (self/total samples) table. The document embeds its data
+/// utilization timeline, cache hit-rate stats, a "where the time went"
+/// section (critical-path lane + ranked self/wait/child blame table,
+/// computed from the trace via obs/critical_path.h), and — when a
+/// collapsed-stack profile is supplied — an interactive canvas flamegraph
+/// with a top-functions (self/total samples) table. The document embeds its data
 /// as an inline JSON payload and draws with <canvas>; it references no
 /// external assets, so it can be archived or attached to a CI run as a
 /// single file.

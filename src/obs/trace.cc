@@ -1,7 +1,9 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <mutex>
 
 #include "obs/json.h"
@@ -34,6 +36,20 @@ std::vector<TraceEvent>& Buffer() {
   static std::vector<TraceEvent>* buffer = new std::vector<TraceEvent>;
   return *buffer;
 }
+
+std::mutex& ThreadNameMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::map<unsigned, std::string>& ThreadNames() {
+  static std::map<unsigned, std::string>* names =
+      new std::map<unsigned, std::string>;
+  return *names;
+}
+
+// Flow ids start at 1 so 0 can mean "no flow" in TraceContext.
+std::atomic<uint64_t> g_next_flow_id{1};
 
 }  // namespace
 
@@ -69,20 +85,83 @@ std::vector<TraceEvent> SnapshotTraceEvents() {
   return internal::Buffer();
 }
 
+uint64_t NewFlowId() {
+  return internal::g_next_flow_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t EmitFlowStart(const char* name) {
+  if (!TracingEnabled()) return 0;
+  TraceEvent event;
+  event.name = name;
+  event.ph = 's';
+  event.tid = LogThreadId();
+  event.ts_us = internal::NowMicros();
+  event.flow_id = NewFlowId();
+  uint64_t id = event.flow_id;
+  internal::RecordEvent(std::move(event));
+  return id;
+}
+
+void EmitFlowFinish(const char* name, uint64_t flow_id) {
+  if (flow_id == 0 || !TracingEnabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.ph = 'f';
+  event.tid = LogThreadId();
+  event.ts_us = internal::NowMicros();
+  event.flow_id = flow_id;
+  internal::RecordEvent(std::move(event));
+}
+
+void SetCurrentThreadName(const std::string& name) {
+  unsigned tid = LogThreadId();
+  std::lock_guard<std::mutex> lock(internal::ThreadNameMutex());
+  internal::ThreadNames()[tid] = name;
+}
+
+std::vector<std::pair<unsigned, std::string>> SnapshotThreadNames() {
+  std::lock_guard<std::mutex> lock(internal::ThreadNameMutex());
+  return {internal::ThreadNames().begin(), internal::ThreadNames().end()};
+}
+
 std::string TraceJson() {
   std::vector<TraceEvent> events = SnapshotTraceEvents();
+  std::vector<std::pair<unsigned, std::string>> names = SnapshotThreadNames();
   std::string out = "{\"traceEvents\":[";
-  for (size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& e = events[i];
-    if (i > 0) out += ',';
+  bool first = true;
+  // Thread-name metadata first: Perfetto applies "ph":"M" thread_name
+  // records to the whole track regardless of position, but leading with
+  // them keeps the file legible to humans too.
+  for (const auto& [tid, name] : names) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":";
+    out += JsonQuote(name);
+    out += "}}";
+  }
+  for (const TraceEvent& e : events) {
+    if (!first) out += ',';
+    first = false;
     out += "\n{\"name\":";
-    out += JsonQuote(e.name);
-    out += ",\"cat\":\"autoem\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += JsonQuote(e.label());
+    out += ",\"cat\":\"autoem\",\"ph\":\"";
+    out += e.ph;
+    out += "\",\"pid\":1,\"tid\":";
     out += std::to_string(e.tid);
     out += ",\"ts\":";
     out += std::to_string(e.ts_us);
-    out += ",\"dur\":";
-    out += std::to_string(e.dur_us);
+    if (e.ph == 'X') {
+      out += ",\"dur\":";
+      out += std::to_string(e.dur_us);
+    } else if (e.ph == 's' || e.ph == 'f') {
+      out += ",\"id\":";
+      out += std::to_string(e.flow_id);
+      // Bind the finish to the enclosing slice so the arrow lands on the
+      // executing span, not on the thread baseline.
+      if (e.ph == 'f') out += ",\"bp\":\"e\"";
+    }
     if (!e.args_json.empty()) {
       out += ",\"args\":{";
       out += e.args_json;
@@ -135,7 +214,13 @@ void Span::Arg(const char* key, const std::string& value) {
 void Span::Finish() {
   uint64_t end_us = internal::NowMicros();
   TraceEvent event;
-  event.name = name_;
+  if (!owned_.empty()) {
+    // The buffer outlives this span; hand it the owned backing string.
+    event.owned_name = std::move(owned_);
+    event.name = nullptr;
+  } else {
+    event.name = name_;
+  }
   event.tid = LogThreadId();
   event.ts_us = start_us_;
   event.dur_us = end_us - start_us_;

@@ -156,6 +156,9 @@ TEST(SearchCheckpointTest, ResourcesRoundTrip) {
   // only in delta terms after a concurrent peak); the field is signed.
   state.history[0].resources.peak_rss_delta_kb = -64;
   state.history[0].resources.allocs = 123456789;
+  // v4 fields: the thread-pool wait/run split.
+  state.history[0].pool_wait_micros = 4242;
+  state.history[0].pool_busy_micros = 987654321;
   ASSERT_TRUE(SaveSearchCheckpoint(state, path).ok());
 
   auto loaded = LoadSearchCheckpoint(path);
@@ -166,7 +169,10 @@ TEST(SearchCheckpointTest, ResourcesRoundTrip) {
   EXPECT_DOUBLE_EQ(loaded->history[0].resources.wall_seconds, 0.5);
   EXPECT_EQ(loaded->history[0].resources.peak_rss_delta_kb, -64);
   EXPECT_EQ(loaded->history[0].resources.allocs, 123456789u);
+  EXPECT_EQ(loaded->history[0].pool_wait_micros, 4242u);
+  EXPECT_EQ(loaded->history[0].pool_busy_micros, 987654321u);
   EXPECT_FALSE(loaded->history[1].resources.sampled);
+  EXPECT_EQ(loaded->history[1].pool_wait_micros, 0u);
   std::remove(path.c_str());
 }
 

@@ -609,7 +609,8 @@ TEST(TrajectoryTest, SerializeTrajectoryCsvFormat) {
   EXPECT_EQ(line,
             "trial,elapsed_seconds,fit_seconds,valid_f1,test_f1,"
             "best_f1_so_far,config_hash,cpu_seconds,peak_rss_delta_kb,"
-            "allocs,profile_samples,failure");
+            "allocs,profile_samples,pool_wait_micros,pool_busy_micros,"
+            "failure");
   ASSERT_TRUE(std::getline(in, line));
   EXPECT_EQ(line.substr(0, 2), "0,");
   ASSERT_TRUE(std::getline(in, line));

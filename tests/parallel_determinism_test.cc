@@ -17,6 +17,7 @@
 #include "ml/models/random_forest.h"
 #include "obs/profiler.h"
 #include "obs/resource.h"
+#include "obs/trace.h"
 
 namespace autoem {
 namespace {
@@ -219,6 +220,55 @@ TEST(ParallelDeterminismTest, ProfilingChangesNoOutputBits) {
   ExpectBitIdentical(clean_proba, profiled_proba, "proba under profiler");
   // And the profile actually sampled the run — this leg is not vacuous.
   EXPECT_GT(obs::ProfileSampleCount(), 0u);
+}
+
+// Causal tracing (obs v4) is measurement-only too: with span + flow tracing
+// live, feature generation and forest training must reproduce the clean
+// baseline bit-for-bit at 1, 2, and 8 threads — and the traced runs must
+// actually have emitted flow events, so the leg isn't vacuous.
+TEST(ParallelDeterminismTest, FlowTracingChangesNoOutputBits) {
+  BenchmarkData data = MakeBenchmark();
+
+  auto run_once = [&](int threads) {
+    AutoMlEmFeatureGenerator gen(/*include_tfidf=*/true);
+    gen.set_parallelism(Parallelism::Threads(threads));
+    EXPECT_TRUE(gen.Plan(data.train.left, data.train.right).ok());
+    Dataset train = gen.Generate(data.train);
+    RandomForestOptions opt;
+    opt.n_estimators = 16;
+    opt.seed = 42;
+    opt.parallelism = Parallelism::Threads(threads);
+    RandomForestClassifier rf(opt);
+    EXPECT_TRUE(rf.Fit(train.X, train.y).ok());
+    return std::make_pair(std::move(train), rf.PredictProba(train.X));
+  };
+
+  ASSERT_FALSE(obs::TracingEnabled());
+  auto [clean_train, clean_proba] = run_once(4);
+
+  for (int threads : kThreadCounts) {
+    obs::StartTracing();
+    auto [traced_train, traced_proba] = run_once(threads);
+    obs::StopTracing();
+    ExpectBitIdentical(clean_train.X, traced_train.X,
+                       "feature matrix traced @" + std::to_string(threads));
+    ExpectBitIdentical(clean_proba, traced_proba,
+                       "proba traced @" + std::to_string(threads));
+    size_t flow_starts = 0;
+    size_t flow_finishes = 0;
+    for (const obs::TraceEvent& e : obs::SnapshotTraceEvents()) {
+      if (e.ph == 's') ++flow_starts;
+      if (e.ph == 'f') ++flow_finishes;
+    }
+    if (threads > 1) {
+      // Pooled runs link every queued task; inline runs have no queue and
+      // therefore no flows.
+      EXPECT_GT(flow_starts, 0u) << "@" << threads;
+      EXPECT_EQ(flow_starts, flow_finishes) << "@" << threads;
+    } else {
+      EXPECT_EQ(flow_starts, 0u) << "@" << threads;
+    }
+  }
 }
 
 TEST(ParallelDeterminismTest, CrossValidatedF1IdenticalAcrossThreadCounts) {
